@@ -1,0 +1,111 @@
+// E1/E2/E4: regenerate the paper's classification artifacts.
+//  - E1: the Figure 1 intro queries (triangle/tripod hard, rats/linear easy);
+//  - E2: the Figure 5 two-R-atom pattern table;
+//  - E4: the Section 8 three-R-atom map (hard / PTIME / open).
+// Then times the Theorem 37 decision procedure itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "complexity/classifier.h"
+#include "complexity/patterns.h"
+#include "cq/parser.h"
+
+namespace rescq {
+namespace {
+
+void PrintRow(const char* name, const std::string& text) {
+  Classification c = ClassifyResilience(MustParseQuery(text));
+  std::printf("%-16s %-46s %-12s %s\n", name, text.c_str(),
+              ComplexityName(c.complexity), c.pattern.c_str());
+}
+
+void PrintIntroTable() {
+  bench::PrintHeader("E1: Figure 1 / Section 2",
+                     "The four intro queries: triads make the triangle and "
+                     "tripod hard; domination and linearity make rats and "
+                     "q_lin easy.");
+  std::printf("%-16s %-46s %-12s %s\n", "query", "body", "RES(q)", "pattern");
+  PrintRow("q_triangle", "R(x,y), S(y,z), T(z,x)");
+  PrintRow("q_T", "A(x), B(y), C(z), W(x,y,z)");
+  PrintRow("q_rats", "R(x,y), A(x), T(z,x), S(y,z)");
+  PrintRow("q_lin", "A(x), R(x,y,z), S(y,z)");
+}
+
+void PrintFigure5Table() {
+  bench::PrintHeader("E2: Figure 5 (two-R-atom patterns)",
+                     "PTIME and NP-hard cases per self-join pattern, as in "
+                     "the paper's pattern table.");
+  std::printf("%-16s %-46s %-12s %s\n", "pattern", "example query", "RES(q)",
+              "decisive structure");
+  // Chains: no PTIME case.
+  PrintRow("chain", "R(x,y), R(y,z)");
+  PrintRow("chain", "A(x), R(x,y), R(y,z), C(z)");
+  PrintRow("chain", "A(x), R(x,y), B(y), R(y,z), C(z)");
+  // Confluences: easy without, hard with an exogenous path.
+  PrintRow("confluence", "A(x), R(x,y), R(z,y), C(z)");
+  PrintRow("confluence", "R(x,y), H^x(x,z), R(z,y)");
+  // Permutations: easy unbound, hard bound.
+  PrintRow("permutation", "R(x,y), R(y,x)");
+  PrintRow("permutation", "A(x), R(x,y), R(y,x)");
+  PrintRow("permutation", "A(x), R(x,y), R(y,x), B(y)");
+  // REP: no NP-hard case (when the atoms share a variable).
+  PrintRow("rep", "R(x,x), R(x,y), A(y)");
+  PrintRow("rep(path)", "R(x,x), S(x,y), R(y,y)");
+}
+
+void PrintSection8Table() {
+  bench::PrintHeader("E4: Section 8 (three R-atoms)",
+                     "The Section 8 catalog: k-chains and most mixed "
+                     "patterns are hard; two flow constructions stay easy; "
+                     "several cases remain open.");
+  std::printf("%-16s %-46s %-12s %s\n", "name", "body", "RES(q)", "reference");
+  for (const CatalogEntry& e : PaperCatalog()) {
+    Query q = MustParseQuery(e.text);
+    std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+    if (!sj.has_value() || sj->atoms.size() != 3) continue;
+    Classification c = ClassifyResilience(q);
+    std::printf("%-16s %-46s %-12s %s\n", e.name.c_str(), e.text.c_str(),
+                ComplexityName(c.complexity), e.reference.c_str());
+  }
+}
+
+void BM_ClassifyCatalog(benchmark::State& state) {
+  std::vector<Query> queries;
+  for (const CatalogEntry& e : PaperCatalog()) {
+    queries.push_back(MustParseQuery(e.text));
+  }
+  for (auto _ : state) {
+    for (const Query& q : queries) {
+      benchmark::DoNotOptimize(ClassifyResilience(q));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_ClassifyCatalog);
+
+void BM_ClassifySingle(benchmark::State& state, const char* text) {
+  Query q = MustParseQuery(text);
+  for (auto _ : state) benchmark::DoNotOptimize(ClassifyResilience(q));
+}
+BENCHMARK_CAPTURE(BM_ClassifySingle, triangle, "R(x,y), S(y,z), T(z,x)");
+BENCHMARK_CAPTURE(BM_ClassifySingle, qchain, "R(x,y), R(y,z)");
+BENCHMARK_CAPTURE(BM_ClassifySingle, qABperm, "A(x), R(x,y), R(y,x), B(y)");
+BENCHMARK_CAPTURE(BM_ClassifySingle, qTS3conf,
+                  "T^x(x,y), R(x,y), R(z,y), R(z,w), S^x(z,w)");
+
+}  // namespace
+}  // namespace rescq
+
+int main(int argc, char** argv) {
+  rescq::PrintIntroTable();
+  rescq::PrintFigure5Table();
+  rescq::PrintSection8Table();
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

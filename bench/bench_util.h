@@ -1,0 +1,42 @@
+#ifndef RESCQ_BENCH_BENCH_UTIL_H_
+#define RESCQ_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark binaries: each binary prints the
+// paper-artifact tables on stdout first, then runs its google-benchmark
+// timing series.
+
+#include <cstdio>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "util/rng.h"
+
+namespace rescq::bench {
+
+/// Fills db with `tuples_per_relation` random tuples per query relation
+/// over `domain` constants (deterministic in rng).
+inline Database RandomDatabase(const Query& q, int domain,
+                               int tuples_per_relation, Rng& rng) {
+  Database db;
+  std::vector<Value> dom;
+  for (int i = 0; i < domain; ++i) dom.push_back(db.InternIndexed("c", i));
+  for (const std::string& rel : q.RelationNames()) {
+    int arity = q.RelationArity(rel);
+    for (int t = 0; t < tuples_per_relation; ++t) {
+      std::vector<Value> row;
+      for (int c = 0; c < arity; ++c) {
+        row.push_back(dom[rng.Below(static_cast<uint64_t>(domain))]);
+      }
+      db.AddTuple(rel, row);
+    }
+  }
+  return db;
+}
+
+inline void PrintHeader(const char* experiment, const char* description) {
+  std::printf("\n==== %s ====\n%s\n\n", experiment, description);
+}
+
+}  // namespace rescq::bench
+
+#endif  // RESCQ_BENCH_BENCH_UTIL_H_

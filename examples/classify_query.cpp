@@ -1,0 +1,68 @@
+// classify_query: run the paper's dichotomy decision procedure on a
+// query given on the command line (or on a built-in tour of the paper's
+// flagship queries).
+//
+// Usage:
+//   classify_query                       # classify the built-in tour
+//   classify_query "A(x), R(x,y), R(y,x), B(y)"
+
+#include <cstdio>
+
+#include "complexity/classifier.h"
+#include "cq/binary_graph.h"
+#include "cq/parser.h"
+
+namespace {
+
+void Classify(const std::string& text) {
+  using namespace rescq;
+  ParseResult parsed = ParseQuery(text);
+  if (!parsed.ok) {
+    std::printf("parse error for '%s': %s\n", text.c_str(),
+                parsed.error.c_str());
+    return;
+  }
+  Classification c = ClassifyResilience(parsed.query);
+  std::printf("query      : %s\n", parsed.query.ToString().c_str());
+  if (!(c.minimized == parsed.query)) {
+    std::printf("minimized  : %s\n", c.minimized.ToString().c_str());
+  }
+  if (!(c.normalized == c.minimized)) {
+    std::printf("normalized : %s\n", c.normalized.ToString().c_str());
+  }
+  std::printf("complexity : RES(q) is %s\n", ComplexityName(c.complexity));
+  std::printf("pattern    : %s\n", c.pattern.c_str());
+  std::printf("reason     : %s\n", c.reason.c_str());
+  if (c.normalized.IsBinary()) {
+    std::printf("binary graph (GraphViz):\n%s",
+                BinaryGraph(c.normalized).ToDot(c.normalized).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) Classify(argv[i]);
+    return 0;
+  }
+  // A tour through Sections 2-8 of the paper.
+  for (const char* text : {
+           "R(x,y), S(y,z), T(z,x)",            // triangle: triad, hard
+           "R(x,y), A(x), T(z,x), S(y,z)",      // rats: domination, easy
+           "R(x), S(x,y), R(y)",                // q_vc: unary path, hard
+           "R(x,y), R(y,z)",                    // q_chain: hard
+           "A(x), R(x,y), R(z,y), C(z)",        // confluence: easy
+           "R(x,y), H^x(x,z), R(z,y)",          // confluence + exo path: hard
+           "A(x), R(x,y), R(y,x)",              // unbound permutation: easy
+           "A(x), R(x,y), R(y,x), B(y)",        // bound permutation: hard
+           "R(x,x), R(x,y), A(y)",              // REP z3: easy
+           "A(x), R(x,y), R(y,z), R(z,y)",      // perm+R: easy (Prop 13)
+           "A(x), R(x,y), R(z,y), R(z,w), C(w)",  // 3-confluence: hard
+           "A(x), R(x,y), R(z,y), R(z,w), S^x(z,w)",  // open problem
+       }) {
+    Classify(text);
+  }
+  return 0;
+}

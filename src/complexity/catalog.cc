@@ -1,0 +1,152 @@
+#include "complexity/catalog.h"
+
+#include "cq/parser.h"
+#include "util/check.h"
+
+namespace rescq {
+
+const char* ComplexityName(Complexity c) {
+  switch (c) {
+    case Complexity::kPTime:
+      return "PTIME";
+    case Complexity::kNpComplete:
+      return "NP-complete";
+    case Complexity::kOpen:
+      return "open";
+    case Complexity::kOutOfScope:
+      return "out-of-scope";
+  }
+  return "?";
+}
+
+const std::vector<CatalogEntry>& PaperCatalog() {
+  static const std::vector<CatalogEntry>* const kCatalog =
+      new std::vector<CatalogEntry>{
+          // --- Section 2: sj-free background queries -----------------------
+          {"q_triangle", "R(x,y), S(y,z), T(z,x)", Complexity::kNpComplete,
+           "Lemma 6 / Proposition 56 (triad)"},
+          {"q_T", "A(x), B(y), C(z), W(x,y,z)", Complexity::kNpComplete,
+           "Lemma 6 / Proposition 57 (triad)"},
+          {"q_rats", "R(x,y), A(x), T(z,x), S(y,z)", Complexity::kPTime,
+           "Section 2.2 (domination disarms the triad)"},
+          {"q_brats", "B(y), R(x,y), A(x), T(z,x), S(y,z)",
+           Complexity::kPTime, "Section 5.1 (sj-free, dominated)"},
+          {"q_lin", "A(x), R(x,y,z), S(y,z)", Complexity::kPTime,
+           "Section 2.4 (linear)"},
+          // --- Section 3.1: basic hard self-join queries --------------------
+          {"q_vc", "R(x), S(x,y), R(y)", Complexity::kNpComplete,
+           "Proposition 9"},
+          {"q_chain", "R(x,y), R(y,z)", Complexity::kNpComplete,
+           "Proposition 10"},
+          // --- Section 3.3: trickier flow --------------------------------
+          {"q_ACconf", "A(x), R(x,y), R(z,y), C(z)", Complexity::kPTime,
+           "Proposition 12"},
+          {"q_A3perm_R", "A(x), R(x,y), R(y,z), R(z,y)", Complexity::kPTime,
+           "Proposition 13"},
+          // --- Section 5: self-join variations of the triangle -------------
+          {"q_sj1_triangle", "R(x,y), R(y,z), R(z,x)",
+           Complexity::kNpComplete, "Lemma 21 / Theorem 24 (triad)"},
+          {"q_sj2_triangle", "R(x,y), R(y,z), T(z,x)",
+           Complexity::kNpComplete, "Lemma 21 / Theorem 24 (triad)"},
+          {"q_sj3_triangle", "R(x,y), S(y,z), R(z,x)",
+           Complexity::kNpComplete, "Lemma 21 / Theorem 24 (triad)"},
+          {"q_sj1rats", "R(x,y), A(x), R(y,z), R(z,x)",
+           Complexity::kNpComplete, "Proposition 23 / Lemma 50"},
+          {"q_sj2rats", "R(x,y), A(x), R(y,z), R(x,z)",
+           Complexity::kNpComplete, "Proposition 23 / Lemma 50"},
+          {"q_sj1brats", "B(y), R(x,y), A(x), R(z,x), R(y,z)",
+           Complexity::kNpComplete, "Proposition 23 / Lemma 51"},
+          // --- Section 7.1: chain expansions --------------------------------
+          {"q_achain", "A(x), R(x,y), R(y,z)", Complexity::kNpComplete,
+           "Lemma 53"},
+          {"q_bchain", "R(x,y), B(y), R(y,z)", Complexity::kNpComplete,
+           "Lemma 52"},
+          {"q_cchain", "R(x,y), R(y,z), C(z)", Complexity::kNpComplete,
+           "Lemma 53"},
+          {"q_abchain", "A(x), R(x,y), B(y), R(y,z)", Complexity::kNpComplete,
+           "Lemma 53"},
+          {"q_bcchain", "R(x,y), B(y), R(y,z), C(z)", Complexity::kNpComplete,
+           "Lemma 53"},
+          {"q_acchain", "A(x), R(x,y), R(y,z), C(z)", Complexity::kNpComplete,
+           "Lemma 54"},
+          {"q_abcchain", "A(x), R(x,y), B(y), R(y,z), C(z)",
+           Complexity::kNpComplete, "Lemma 54"},
+          // --- Section 7.2: confluences -------------------------------------
+          {"cf_p", "R(x,y), H^x(x,z), R(z,y)", Complexity::kNpComplete,
+           "Proposition 32 (exogenous path; RES ≡ RES(q_vc))"},
+          // --- Section 7.3: permutations ------------------------------------
+          {"q_perm", "R(x,y), R(y,x)", Complexity::kPTime, "Proposition 33"},
+          {"q_Aperm", "A(x), R(x,y), R(y,x)", Complexity::kPTime,
+           "Proposition 33"},
+          {"q_ABperm", "A(x), R(x,y), R(y,x), B(y)", Complexity::kNpComplete,
+           "Proposition 34"},
+          // --- Section 7.4: REP ---------------------------------------------
+          {"z1", "R(x,x), S(x,y), R(y,y)", Complexity::kNpComplete,
+           "Theorem 28 (binary path)"},
+          {"z2", "R(x,x), S(x,y), R(y,z)", Complexity::kNpComplete,
+           "Theorem 28 (binary path)"},
+          {"z3", "R(x,x), R(x,y), A(y)", Complexity::kPTime,
+           "Proposition 36"},
+          // --- Section 8.1: 3-chains ----------------------------------------
+          {"q_3chain", "R(x,y), R(y,z), R(z,w)", Complexity::kNpComplete,
+           "Proposition 38"},
+          // --- Section 8.2: 3-confluences -----------------------------------
+          {"q_AC3conf", "A(x), R(x,y), R(z,y), R(z,w), C(w)",
+           Complexity::kNpComplete, "Proposition 39"},
+          {"q_TS3conf", "T^x(x,y), R(x,y), R(z,y), R(z,w), S^x(z,w)",
+           Complexity::kPTime, "Proposition 41"},
+          {"q_AS3conf", "A(x), R(x,y), R(z,y), R(z,w), S^x(z,w)",
+           Complexity::kOpen, "Section 8.2 (open problem)"},
+          // --- Section 8.3: chain + confluence -------------------------------
+          {"q_AC3cc", "A(x), R(x,y), R(y,z), R(w,z), C(w)",
+           Complexity::kNpComplete, "Proposition 42"},
+          {"q_AS3cc", "A(x), R(x,y), R(y,z), R(w,z), S(w,z)",
+           Complexity::kNpComplete, "Proposition 42"},
+          {"q_C3cc", "R(x,y), R(y,z), R(w,z), C(w)", Complexity::kNpComplete,
+           "Proposition 43"},
+          {"q_S3cc", "R(x,y), R(y,z), R(w,z), S(w,z)", Complexity::kOpen,
+           "Section 8.3 (open problem)"},
+          // --- Section 8.4: permutation plus R --------------------------------
+          {"q_Swx3perm_R", "S(w,x), R(x,y), R(y,z), R(z,y)",
+           Complexity::kPTime, "Proposition 44"},
+          {"q_Sxy3perm_R", "S^x(x,y), R(x,y), R(y,z), R(z,y)",
+           Complexity::kNpComplete, "Proposition 45"},
+          {"q_AC3perm_R", "A(x), R(x,y), R(y,z), R(z,y), C(z)",
+           Complexity::kNpComplete, "Proposition 46"},
+          {"q_AB3perm_R", "A(x), R(x,y), B(y), R(y,z), R(z,y)",
+           Complexity::kNpComplete, "Proposition 46"},
+          {"q_SxyBC3perm_R", "S(x,y), R(x,y), B(y), R(y,z), R(z,y), C(z)",
+           Complexity::kNpComplete, "Proposition 46"},
+          {"q_ASxy3perm_R", "A(x), S(x,y), R(x,y), R(y,z), R(z,y)",
+           Complexity::kOpen, "Section 8.4 (open problem)"},
+          {"q_SxyB3perm_R", "S(x,y), R(x,y), B(y), R(y,z), R(z,y)",
+           Complexity::kOpen, "Section 8.4 (open problem)"},
+          {"q_SxyC3perm_R", "S(x,y), R(x,y), R(y,z), R(z,y), C(z)",
+           Complexity::kOpen, "Section 8.4 (open problem)"},
+          // --- Section 8.5: REP with three R-atoms -----------------------------
+          {"z4", "R(x,x), R(x,y), S(x,y), R(y,y)", Complexity::kNpComplete,
+           "Proposition 47"},
+          {"z5", "A(x), R(x,y), R(y,z), R(z,z)", Complexity::kNpComplete,
+           "Proposition 47"},
+          {"z6", "A(x), R(x,y), R(y,y), R(y,z), C(z)", Complexity::kOpen,
+           "Section 8.5 (open problem)"},
+          {"z7", "A(x), R(x,y), R(y,x), R(y,y)", Complexity::kOpen,
+           "Section 8.5 (open problem)"},
+      };
+  return *kCatalog;
+}
+
+Query CatalogQuery(const std::string& name) {
+  std::optional<CatalogEntry> entry = FindCatalogEntry(name);
+  RESCQ_CHECK_MSG(entry.has_value(), name.c_str());
+  return MustParseQuery(entry->text);
+}
+
+std::optional<CatalogEntry> FindCatalogEntry(const std::string& name) {
+  for (const CatalogEntry& e : PaperCatalog()) {
+    if (e.name == name) return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rescq

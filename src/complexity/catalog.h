@@ -1,0 +1,43 @@
+#ifndef RESCQ_COMPLEXITY_CATALOG_H_
+#define RESCQ_COMPLEXITY_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// Complexity of the resilience decision problem RES(q).
+enum class Complexity {
+  kPTime,       // solvable in polynomial time
+  kNpComplete,  // NP-complete
+  kOpen,        // left open by the paper
+  kOutOfScope,  // outside the query classes the paper characterizes
+};
+
+const char* ComplexityName(Complexity c);
+
+/// One named query from the paper with its published classification.
+struct CatalogEntry {
+  std::string name;       // e.g. "q_AC3conf"
+  std::string text;       // parseable query body
+  Complexity expected;    // the paper's verdict
+  std::string reference;  // e.g. "Proposition 39"
+};
+
+/// Every named query in the paper (Sections 2-8 and the appendix),
+/// including the open problems. Used by the classifier for the 3-R-atom
+/// cases of Section 8, and by tests/benchmarks as ground truth.
+const std::vector<CatalogEntry>& PaperCatalog();
+
+/// Looks up a catalog query by name (aborts if absent).
+Query CatalogQuery(const std::string& name);
+
+/// Finds the catalog entry for this name, if any.
+std::optional<CatalogEntry> FindCatalogEntry(const std::string& name);
+
+}  // namespace rescq
+
+#endif  // RESCQ_COMPLEXITY_CATALOG_H_

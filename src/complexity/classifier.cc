@@ -1,0 +1,298 @@
+#include "complexity/classifier.h"
+
+#include <map>
+
+#include "complexity/patterns.h"
+#include "complexity/triad.h"
+#include "cq/components.h"
+#include "cq/domination.h"
+#include "cq/homomorphism.h"
+#include "cq/parser.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+namespace {
+
+Classification Make(Complexity c, const std::string& pattern,
+                    const std::string& reason, Query minimized,
+                    Query normalized) {
+  Classification out;
+  out.complexity = c;
+  out.pattern = pattern;
+  out.reason = reason;
+  out.minimized = std::move(minimized);
+  out.normalized = std::move(normalized);
+  return out;
+}
+
+// Normalized catalog queries, prepared once: each entry minimized and
+// domination-normalized so inputs match after their own normalization.
+struct NormalizedCatalog {
+  std::vector<std::pair<Query, const CatalogEntry*>> entries;
+};
+
+const NormalizedCatalog& GetNormalizedCatalog() {
+  static const NormalizedCatalog* const kNorm = [] {
+    auto* norm = new NormalizedCatalog();
+    for (const CatalogEntry& e : PaperCatalog()) {
+      Query q = NormalizeDomination(Minimize(MustParseQuery(e.text)));
+      norm->entries.emplace_back(std::move(q), &e);
+    }
+    return norm;
+  }();
+  return *kNorm;
+}
+
+const CatalogEntry* MatchCatalog(const Query& normalized) {
+  for (const auto& [q, entry] : GetNormalizedCatalog().entries) {
+    if (AreIsomorphicModuloRelabeling(normalized, q)) return entry;
+  }
+  return nullptr;
+}
+
+// Number of relations (over all atoms) that occur more than once.
+std::vector<std::string> AllRepeatedRelations(const Query& q) {
+  return q.RepeatedRelations();
+}
+
+Classification ClassifyComponent(const Query& minimized);
+
+// Lemma 15: a disconnected minimal query has the complexity of its
+// hardest component.
+Classification CombineComponents(const Query& minimized,
+                                 const std::vector<Query>& components) {
+  Classification worst;
+  bool first = true;
+  auto rank = [](Complexity c) {
+    switch (c) {
+      case Complexity::kPTime:
+        return 0;
+      case Complexity::kOpen:
+        return 1;
+      case Complexity::kOutOfScope:
+        return 2;
+      case Complexity::kNpComplete:
+        return 3;
+    }
+    return 0;
+  };
+  for (const Query& comp : components) {
+    Classification c = ClassifyComponent(comp);
+    if (first || rank(c.complexity) > rank(worst.complexity)) {
+      worst = c;
+      first = false;
+    }
+  }
+  worst.reason = StrFormat(
+      "disconnected query: hardest of %zu components (Lemma 15): %s",
+      components.size(), worst.reason.c_str());
+  worst.minimized = minimized;
+  worst.normalized = minimized;
+  return worst;
+}
+
+// Classifies q with exactly two endogenous R-atoms (Theorem 37), given
+// that triads and paths have been ruled out.
+Classification ClassifyTwoAtoms(const Query& minimized, const Query& n,
+                                const SelfJoinInfo& sj) {
+  int a1 = sj.atoms[0];
+  int a2 = sj.atoms[1];
+  switch (ClassifyPair(n, a1, a2)) {
+    case PairPattern::kChain:
+      return Make(Complexity::kNpComplete, "chain",
+                  "contains a 2-chain as its only self-join "
+                  "(Propositions 10, 29, 30)",
+                  minimized, n);
+    case PairPattern::kPermutation:
+      if (PermutationIsBound(n, a1, a2)) {
+        return Make(Complexity::kNpComplete, "bound-permutation",
+                    "bound permutation R(x,y),R(y,x) (Propositions 34, 35)",
+                    minimized, n);
+      }
+      return Make(Complexity::kPTime, "unbound-permutation",
+                  "unbound permutation: witness pairs are independent / "
+                  "bipartite vertex cover (Propositions 33, 35)",
+                  minimized, n);
+    case PairPattern::kConfluence:
+      if (ConfluenceHasExogenousPath(n, a1, a2)) {
+        return Make(Complexity::kNpComplete, "confluence-exogenous-path",
+                    "confluence with an exogenous path between its open "
+                    "ends (Proposition 32)",
+                    minimized, n);
+      }
+      return Make(Complexity::kPTime, "confluence",
+                  "confluence without exogenous path: standard network "
+                  "flow with duplicated R-edges (Propositions 12, 31, 32)",
+                  minimized, n);
+    case PairPattern::kRep:
+      return Make(Complexity::kPTime, "rep",
+                  "repeated-variable self-join sharing a variable "
+                  "(z3 family, Proposition 36)",
+                  minimized, n);
+    case PairPattern::kIdentical:
+      // Unreachable after minimization (duplicate atoms collapse).
+      return Make(Complexity::kOutOfScope, "identical-atoms",
+                  "identical repeated atoms survived minimization "
+                  "(unexpected)",
+                  minimized, n);
+    case PairPattern::kDisjoint:
+      // Disjoint pairs in a connected query are paths, handled earlier.
+      return Make(Complexity::kOutOfScope, "disjoint-pair",
+                  "variable-disjoint R-atoms without a connecting R-free "
+                  "path (unexpected in a connected query)",
+                  minimized, n);
+  }
+  return Make(Complexity::kOutOfScope, "unreachable", "unreachable",
+              minimized, n);
+}
+
+// Classifies q with three or more endogenous R-atoms (Section 8), given
+// that triads and paths have been ruled out.
+Classification ClassifyThreePlusAtoms(const Query& minimized, const Query& n,
+                                      const SelfJoinInfo& sj) {
+  if (RAtomsFormChain(n, sj)) {
+    return Make(
+        Complexity::kNpComplete, "k-chain",
+        StrFormat("the %zu R-atoms form a k-chain (Proposition 38)",
+                  sj.atoms.size()),
+        minimized, n);
+  }
+  if (const CatalogEntry* entry = MatchCatalog(n)) {
+    return Make(entry->expected, StrFormat("catalog:%s", entry->name.c_str()),
+                StrFormat("matches %s from the paper (%s)",
+                          entry->name.c_str(), entry->reference.c_str()),
+                minimized, n);
+  }
+  // Proposition 40 generalization: a 3-confluence whose two open ends are
+  // both pinned by endogenous unary atoms is NP-complete (any variation of
+  // q^AC_3conf with unary relations).
+  if (sj.atoms.size() == 3) {
+    std::optional<ThreeConfluence> conf = FindThreeConfluence(n, sj);
+    if (conf.has_value()) {
+      bool end_x_pinned = false;
+      bool end_w_pinned = false;
+      for (int i : n.EndogenousAtoms()) {
+        const Atom& a = n.atom(i);
+        if (a.arity() != 1) continue;
+        if (a.vars[0] == conf->end_x) end_x_pinned = true;
+        if (a.vars[0] == conf->end_w) end_w_pinned = true;
+      }
+      if (end_x_pinned && end_w_pinned) {
+        return Make(Complexity::kNpComplete, "3-confluence-unary-bounds",
+                    "3-confluence with both open ends pinned by endogenous "
+                    "unary atoms (Propositions 39, 40)",
+                    minimized, n);
+      }
+    }
+  }
+  return Make(Complexity::kOpen, "3plus-atoms-uncharacterized",
+              StrFormat("%zu R-atoms beyond the Section 8 catalog: the "
+                        "dichotomy for this class is open",
+                        sj.atoms.size()),
+              minimized, n);
+}
+
+Classification ClassifyComponent(const Query& minimized) {
+  Query n = NormalizeDomination(minimized);
+
+  if (n.EndogenousAtoms().empty()) {
+    return Make(Complexity::kPTime, "all-exogenous",
+                "no endogenous atoms: the query can never be made false "
+                "(resilience is undefined/infinite); trivially decidable",
+                minimized, n);
+  }
+
+  if (HasTriad(n)) {
+    std::optional<Triad> t = FindTriad(n);
+    return Make(
+        Complexity::kNpComplete, "triad",
+        StrFormat("triad {%s, %s, %s} (Theorem 24)",
+                  n.atom(t->atoms[0]).relation.c_str(),
+                  n.atom(t->atoms[1]).relation.c_str(),
+                  n.atom(t->atoms[2]).relation.c_str()),
+        minimized, n);
+  }
+
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(n);
+  std::vector<std::string> repeated = AllRepeatedRelations(n);
+
+  if (!sj.has_value()) {
+    if (repeated.empty() ||
+        (repeated.size() <= 1 && n.IsRelationExogenous(repeated.front()))) {
+      // No endogenous self-join: with no triad the endogenous atoms are
+      // pseudo-linear (Theorem 25) and sj-free; PTIME by the sj-free
+      // dichotomy (Theorem 7) resp. domination equivalence (Prop 18).
+      return Make(Complexity::kPTime, "sj-free-triad-free",
+                  "endogenous atoms are self-join-free and triad-free: "
+                  "PTIME via network flow (Theorems 7, 25)",
+                  minimized, n);
+    }
+    return Make(Complexity::kOutOfScope, "multiple-self-joins",
+                "more than one repeated endogenous relation: outside the "
+                "single-self-join class the paper characterizes",
+                minimized, n);
+  }
+
+  // Exactly one endogenous self-join relation R. If any *other* relation
+  // also repeats, q is not single-self-join.
+  for (const std::string& rel : repeated) {
+    if (rel != sj->relation) {
+      return Make(Complexity::kOutOfScope, "multiple-self-joins",
+                  StrFormat("relations %s and %s both repeat: outside the "
+                            "single-self-join class",
+                            sj->relation.c_str(), rel.c_str()),
+                  minimized, n);
+    }
+  }
+
+  int arity = n.RelationArity(sj->relation);
+  if (arity == 1) {
+    if (HasUnaryPath(n, *sj)) {
+      return Make(Complexity::kNpComplete, "unary-path",
+                  "two distinct unary R-atoms form a path (Theorem 27)",
+                  minimized, n);
+    }
+    // Distinct unary atoms of the same relation always differ in variable
+    // after minimization, so this is unreachable; defensively:
+    return Make(Complexity::kOutOfScope, "unary-self-join",
+                "unary self-join without a path (unexpected)", minimized, n);
+  }
+  if (arity > 2) {
+    return Make(Complexity::kOutOfScope, "wide-self-join",
+                "self-join relation of arity > 2: outside the binary class",
+                minimized, n);
+  }
+
+  if (HasBinaryPath(n, *sj)) {
+    return Make(Complexity::kNpComplete, "binary-path",
+                "variable-disjoint consecutive R-atoms form a binary path "
+                "(Theorem 28)",
+                minimized, n);
+  }
+
+  if (!n.IsBinary()) {
+    return Make(Complexity::kOutOfScope, "non-binary-query",
+                "query has relations of arity > 2: the Section 7/8 "
+                "analysis covers binary queries only",
+                minimized, n);
+  }
+
+  if (sj->atoms.size() == 2) {
+    return ClassifyTwoAtoms(minimized, n, *sj);
+  }
+  return ClassifyThreePlusAtoms(minimized, n, *sj);
+}
+
+}  // namespace
+
+Classification ClassifyResilience(const Query& q) {
+  Query minimized = Minimize(q);
+  std::vector<Query> components = SplitIntoComponents(minimized);
+  if (components.size() > 1) {
+    return CombineComponents(minimized, components);
+  }
+  return ClassifyComponent(minimized);
+}
+
+}  // namespace rescq

@@ -1,0 +1,48 @@
+#ifndef RESCQ_COMPLEXITY_CLASSIFIER_H_
+#define RESCQ_COMPLEXITY_CLASSIFIER_H_
+
+#include <string>
+
+#include "complexity/catalog.h"
+#include "cq/query.h"
+
+namespace rescq {
+
+/// The verdict of the resilience-complexity decision procedure.
+struct Classification {
+  Complexity complexity = Complexity::kOutOfScope;
+  /// Short machine-friendly tag for the decisive structure, e.g. "triad",
+  /// "unary-path", "chain", "bound-permutation", "linear-flow".
+  std::string pattern;
+  /// Human-readable explanation with the paper reference.
+  std::string reason;
+  /// q after Chandra–Merlin minimization (Section 4.1).
+  Query minimized;
+  /// The minimized query after self-join domination normalization
+  /// (Definition 16 / Proposition 18).
+  Query normalized;
+};
+
+/// Decides the complexity of RES(q) following the paper's plan of attack
+/// (Section 4.4):
+///
+///  1. minimize q (Section 4.1) and split into components (Lemmas 14/15);
+///  2. normalize domination (Definition 16, Proposition 18);
+///  3. triad => NP-complete (Theorem 24);
+///  4. endogenous self-join-free and triad-free => PTIME (Theorem 7);
+///  5. single-self-join analysis: unary/binary paths (Theorems 27/28),
+///     then for two R-atoms the full dichotomy of Theorem 37
+///     (chain / bounded permutation / confluence with exogenous path are
+///     hard; everything else reduces to network flow), and for three or
+///     more R-atoms the Section 8 map: k-chains (Prop 38), the
+///     3-confluence criteria (Props 39-41), and the named catalog,
+///     returning kOpen for the paper's open problems.
+///
+/// Queries outside the characterized classes (multiple repeated relations,
+/// self-joins of arity > 2) report kOutOfScope unless a general hardness
+/// criterion (triad, path) already applies.
+Classification ClassifyResilience(const Query& q);
+
+}  // namespace rescq
+
+#endif  // RESCQ_COMPLEXITY_CLASSIFIER_H_

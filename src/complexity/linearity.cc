@@ -1,0 +1,80 @@
+#include "complexity/linearity.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rescq {
+
+namespace {
+
+struct LinearSearch {
+  const Query& q;
+  std::vector<int> order;
+  std::vector<bool> placed;
+  // last_pos[v]: last prefix index whose atom contains v; -1 if unseen.
+  std::vector<int> last_pos;
+
+  bool Recurse() {
+    size_t depth = order.size();
+    if (depth == static_cast<size_t>(q.num_atoms())) return true;
+    for (int a = 0; a < q.num_atoms(); ++a) {
+      if (placed[static_cast<size_t>(a)]) continue;
+      // Contiguity check: any already-seen variable of `a` must have been
+      // seen in the immediately preceding atom.
+      bool ok = true;
+      for (VarId v : q.atom(a).DistinctVars()) {
+        int lp = last_pos[static_cast<size_t>(v)];
+        if (lp != -1 && lp != static_cast<int>(depth) - 1) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      std::vector<std::pair<VarId, int>> saved;
+      for (VarId v : q.atom(a).DistinctVars()) {
+        saved.emplace_back(v, last_pos[static_cast<size_t>(v)]);
+        last_pos[static_cast<size_t>(v)] = static_cast<int>(depth);
+      }
+      placed[static_cast<size_t>(a)] = true;
+      order.push_back(a);
+      if (Recurse()) return true;
+      order.pop_back();
+      placed[static_cast<size_t>(a)] = false;
+      for (auto& [v, lp] : saved) last_pos[static_cast<size_t>(v)] = lp;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> FindLinearOrder(const Query& q) {
+  LinearSearch search{q,
+                      {},
+                      std::vector<bool>(static_cast<size_t>(q.num_atoms()), false),
+                      std::vector<int>(static_cast<size_t>(q.num_vars()), -1)};
+  if (search.Recurse()) return search.order;
+  return std::nullopt;
+}
+
+bool IsLinear(const Query& q) { return FindLinearOrder(q).has_value(); }
+
+std::vector<std::vector<VarId>> LinearInterfaces(
+    const Query& q, const std::vector<int>& order) {
+  RESCQ_CHECK_EQ(static_cast<int>(order.size()), q.num_atoms());
+  std::vector<std::vector<VarId>> interfaces;
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    std::vector<VarId> left = q.atom(order[i]).DistinctVars();
+    std::vector<VarId> right = q.atom(order[i + 1]).DistinctVars();
+    std::sort(left.begin(), left.end());
+    std::sort(right.begin(), right.end());
+    std::vector<VarId> shared;
+    std::set_intersection(left.begin(), left.end(), right.begin(),
+                          right.end(), std::back_inserter(shared));
+    interfaces.push_back(std::move(shared));
+  }
+  return interfaces;
+}
+
+}  // namespace rescq

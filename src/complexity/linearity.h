@@ -1,0 +1,32 @@
+#ifndef RESCQ_COMPLEXITY_LINEARITY_H_
+#define RESCQ_COMPLEXITY_LINEARITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// Searches for a *linear order* of all atoms of q: an arrangement in
+/// which every variable occurs in a contiguous run of atoms (Section 2.4).
+/// Returns the atom order, or nullopt if q is not linear.
+///
+/// This is the consecutive-ones property of the atom/variable incidence
+/// matrix; query sizes are small, so a pruned backtracking search is used.
+std::optional<std::vector<int>> FindLinearOrder(const Query& q);
+
+/// True if q is a linear query.
+bool IsLinear(const Query& q);
+
+/// Variables shared by consecutive atoms in a linear order: the
+/// "interface" at each boundary (used by the flow solver). Entry i holds
+/// the variables live between order[i] and order[i+1]; the list has
+/// q.num_atoms()-1 entries. For a valid linear order this equals
+/// var(order[i]) ∩ var(order[i+1]).
+std::vector<std::vector<VarId>> LinearInterfaces(
+    const Query& q, const std::vector<int>& order);
+
+}  // namespace rescq
+
+#endif  // RESCQ_COMPLEXITY_LINEARITY_H_

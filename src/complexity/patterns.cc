@@ -1,0 +1,221 @@
+#include "complexity/patterns.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "cq/hypergraph.h"
+#include "util/check.h"
+
+namespace rescq {
+
+std::optional<SelfJoinInfo> GetSingleSelfJoin(const Query& q) {
+  std::map<std::string, std::vector<int>> endo_by_relation;
+  for (int i : q.EndogenousAtoms()) {
+    endo_by_relation[q.atom(i).relation].push_back(i);
+  }
+  std::optional<SelfJoinInfo> found;
+  for (const auto& [rel, atoms] : endo_by_relation) {
+    if (atoms.size() < 2) continue;
+    if (found.has_value()) return std::nullopt;  // two repeated relations
+    found = SelfJoinInfo{rel, atoms};
+  }
+  return found;
+}
+
+bool HasUnaryPath(const Query& q, const SelfJoinInfo& sj) {
+  if (q.RelationArity(sj.relation) != 1) return false;
+  // Two distinct unary R-atoms: distinct variables (identical atoms are
+  // removed by minimization).
+  for (size_t i = 0; i < sj.atoms.size(); ++i) {
+    for (size_t j = i + 1; j < sj.atoms.size(); ++j) {
+      if (q.atom(sj.atoms[i]).vars != q.atom(sj.atoms[j]).vars) return true;
+    }
+  }
+  return false;
+}
+
+bool HasBinaryPath(const Query& q, const SelfJoinInfo& sj) {
+  if (q.RelationArity(sj.relation) != 2) return false;
+  DualHypergraph h(q);
+  // All R atoms (endogenous; R is uniformly labeled) are forbidden as
+  // intermediate path vertices: "consecutive" means joined R-free.
+  for (size_t i = 0; i < sj.atoms.size(); ++i) {
+    for (size_t j = i + 1; j < sj.atoms.size(); ++j) {
+      int a = sj.atoms[i], b = sj.atoms[j];
+      std::vector<VarId> va = q.atom(a).DistinctVars();
+      std::vector<VarId> vb = q.atom(b).DistinctVars();
+      bool disjoint = true;
+      for (VarId u : va) {
+        for (VarId v : vb) disjoint = disjoint && (u != v);
+      }
+      if (!disjoint) continue;
+      std::vector<int> other_r;
+      for (int c : sj.atoms) {
+        if (c != a && c != b) other_r.push_back(c);
+      }
+      if (h.PathAvoidingAtoms(a, b, other_r)) return true;
+    }
+  }
+  return false;
+}
+
+PairPattern ClassifyPair(const Query& q, int a1, int a2) {
+  const Atom& p = q.atom(a1);
+  const Atom& r = q.atom(a2);
+  RESCQ_CHECK_EQ(p.arity(), 2);
+  RESCQ_CHECK_EQ(r.arity(), 2);
+  if (p.vars == r.vars) return PairPattern::kIdentical;
+  bool share = false;
+  for (VarId u : p.DistinctVars()) {
+    for (VarId v : r.DistinctVars()) share = share || (u == v);
+  }
+  if (!share) return PairPattern::kDisjoint;
+  if (p.HasRepeatedVar() || r.HasRepeatedVar()) return PairPattern::kRep;
+  if (p.vars[0] == r.vars[1] && p.vars[1] == r.vars[0]) {
+    return PairPattern::kPermutation;
+  }
+  // Exactly one shared variable now: same position => confluence,
+  // different position => chain.
+  if (p.vars[0] == r.vars[0] || p.vars[1] == r.vars[1]) {
+    return PairPattern::kConfluence;
+  }
+  return PairPattern::kChain;
+}
+
+bool PermutationIsBound(const Query& q, int a1, int a2) {
+  VarId x = q.atom(a1).vars[0];
+  VarId y = q.atom(a1).vars[1];
+  bool bound_x = false;
+  bool bound_y = false;
+  for (int i : q.EndogenousAtoms()) {
+    if (i == a1 || i == a2) continue;
+    const Atom& a = q.atom(i);
+    if (a.HasVar(x) && !a.HasVar(y)) bound_x = true;
+    if (a.HasVar(y) && !a.HasVar(x)) bound_y = true;
+  }
+  return bound_x && bound_y;
+}
+
+bool ConfluenceHasExogenousPath(const Query& q, int a1, int a2) {
+  const Atom& p = q.atom(a1);
+  const Atom& r = q.atom(a2);
+  VarId shared, end_x, end_z;
+  if (p.vars[0] == r.vars[0]) {
+    shared = p.vars[0];
+    end_x = p.vars[1];
+    end_z = r.vars[1];
+  } else {
+    RESCQ_CHECK(p.vars[1] == r.vars[1]);
+    shared = p.vars[1];
+    end_x = p.vars[0];
+    end_z = r.vars[0];
+  }
+  // BFS over variables via atoms other than the confluence pair, never
+  // stepping on the shared variable.
+  std::vector<bool> visited(static_cast<size_t>(q.num_vars()), false);
+  std::deque<VarId> queue = {end_x};
+  visited[static_cast<size_t>(end_x)] = true;
+  while (!queue.empty()) {
+    VarId v = queue.front();
+    queue.pop_front();
+    for (int i = 0; i < q.num_atoms(); ++i) {
+      if (i == a1 || i == a2) continue;
+      const Atom& a = q.atom(i);
+      if (!a.HasVar(v)) continue;
+      for (VarId w : a.DistinctVars()) {
+        if (w == shared || visited[static_cast<size_t>(w)]) continue;
+        if (w == end_z) return true;
+        visited[static_cast<size_t>(w)] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Checks whether the given atoms, in the given order and orientation,
+// form R(x1,x2), R(x2,x3), ..., all variables distinct.
+bool IsChainSequence(const Query& q, const std::vector<int>& atoms,
+                     bool swapped) {
+  std::vector<VarId> seq;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const Atom& a = q.atom(atoms[i]);
+    if (a.arity() != 2 || a.HasRepeatedVar()) return false;
+    VarId from = swapped ? a.vars[1] : a.vars[0];
+    VarId to = swapped ? a.vars[0] : a.vars[1];
+    if (i == 0) {
+      seq.push_back(from);
+    } else if (seq.back() != from) {
+      return false;
+    }
+    seq.push_back(to);
+  }
+  std::vector<VarId> sorted = seq;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+}  // namespace
+
+bool RAtomsFormChain(const Query& q, const SelfJoinInfo& sj) {
+  if (q.RelationArity(sj.relation) != 2) return false;
+  std::vector<int> atoms = sj.atoms;
+  std::sort(atoms.begin(), atoms.end());
+  do {
+    if (IsChainSequence(q, atoms, /*swapped=*/false)) return true;
+    if (IsChainSequence(q, atoms, /*swapped=*/true)) return true;
+  } while (std::next_permutation(atoms.begin(), atoms.end()));
+  return false;
+}
+
+namespace {
+
+// Tries to see the three atoms as R(x,y), R(z,y), R(z,w) in the given
+// orientation: mid = (z,y) shares y (pos 2) with p = (x,y) and z (pos 1)
+// with r = (z,w); p and r are variable-disjoint.
+std::optional<ThreeConfluence> MatchThreeConf(const Query& q, int p, int mid,
+                                              int r, bool swapped) {
+  auto col = [&](int atom, int c) {
+    const Atom& a = q.atom(atom);
+    return swapped ? a.vars[static_cast<size_t>(1 - c)]
+                   : a.vars[static_cast<size_t>(c)];
+  };
+  for (int atom : {p, mid, r}) {
+    const Atom& a = q.atom(atom);
+    if (a.arity() != 2 || a.HasRepeatedVar()) return std::nullopt;
+  }
+  VarId z = col(mid, 0), y = col(mid, 1);
+  if (col(p, 1) != y || col(r, 0) != z) return std::nullopt;
+  VarId x = col(p, 0), w = col(r, 1);
+  // All four variables distinct.
+  std::vector<VarId> vars = {x, y, z, w};
+  std::sort(vars.begin(), vars.end());
+  if (std::adjacent_find(vars.begin(), vars.end()) != vars.end()) {
+    return std::nullopt;
+  }
+  return ThreeConfluence{x, w, p, r};
+}
+
+}  // namespace
+
+std::optional<ThreeConfluence> FindThreeConfluence(const Query& q,
+                                                   const SelfJoinInfo& sj) {
+  if (sj.atoms.size() != 3 || q.RelationArity(sj.relation) != 2) {
+    return std::nullopt;
+  }
+  std::vector<int> atoms = sj.atoms;
+  std::sort(atoms.begin(), atoms.end());
+  do {
+    for (bool swapped : {false, true}) {
+      std::optional<ThreeConfluence> m =
+          MatchThreeConf(q, atoms[0], atoms[1], atoms[2], swapped);
+      if (m.has_value()) return m;
+    }
+  } while (std::next_permutation(atoms.begin(), atoms.end()));
+  return std::nullopt;
+}
+
+}  // namespace rescq

@@ -1,0 +1,76 @@
+#ifndef RESCQ_COMPLEXITY_PATTERNS_H_
+#define RESCQ_COMPLEXITY_PATTERNS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// The single self-join relation of a query (Section 6): the one relation
+/// occurring in more than one *endogenous* atom.
+struct SelfJoinInfo {
+  std::string relation;
+  std::vector<int> atoms;  // its endogenous atom indices
+};
+
+/// Returns the self-join info if exactly one relation repeats among the
+/// endogenous atoms; nullopt if there is no endogenous self-join or more
+/// than one repeated relation (outside the paper's ssj class).
+std::optional<SelfJoinInfo> GetSingleSelfJoin(const Query& q);
+
+/// Theorem 27 (unary path): q minimal ssj-CQ with two distinct unary
+/// R-atoms => NP-complete.
+bool HasUnaryPath(const Query& q, const SelfJoinInfo& sj);
+
+/// Theorem 28 (binary path): two variable-disjoint R-atoms joined by an
+/// R-free path ("consecutive") => NP-complete. Covers the REP queries z1,
+/// z2 whose R-atoms are variable-disjoint.
+bool HasBinaryPath(const Query& q, const SelfJoinInfo& sj);
+
+/// How two binary R-atoms sharing at least one variable relate (Fig. 5).
+enum class PairPattern {
+  kChain,        // share one variable, different attribute positions
+  kConfluence,   // share one variable, same attribute position
+  kPermutation,  // R(x,y), R(y,x)
+  kRep,          // at least one atom repeats a variable, shared var
+  kDisjoint,     // no shared variable (path territory)
+  kIdentical,    // same atom twice (non-minimal)
+};
+
+/// Classifies the relationship between two binary R-atoms.
+PairPattern ClassifyPair(const Query& q, int a1, int a2);
+
+/// Proposition 35's criterion for permutations R(x,y),R(y,x): the
+/// permutation is *bound* if some endogenous atom (other than the pair)
+/// contains x but not y, and another contains y but not x.
+bool PermutationIsBound(const Query& q, int a1, int a2);
+
+/// Proposition 32's criterion for confluences R(x,y),R(z,y): true if x
+/// and z are connected by a path through non-R atoms avoiding the shared
+/// variable y (the "exogenous path"; in triad-free queries any such
+/// connector is exogenous). `a1`/`a2` are the confluence atoms.
+bool ConfluenceHasExogenousPath(const Query& q, int a1, int a2);
+
+/// Proposition 38: the endogenous R-atoms form a k-chain
+/// R(x1,x2), R(x2,x3), ..., R(xk,xk+1) (all variables distinct) in some
+/// order, possibly after globally swapping R's columns.
+bool RAtomsFormChain(const Query& q, const SelfJoinInfo& sj);
+
+/// Section 8.2: the three R-atoms form a 3-confluence
+/// R(x,y), R(z,y), R(z,w) (up to global column swap). On success fills
+/// the "end" variables x and w and the middle atoms.
+struct ThreeConfluence {
+  VarId end_x;     // the open end of the first atom
+  VarId end_w;     // the open end of the last atom
+  int atom_x;      // atom containing end_x
+  int atom_w;      // atom containing end_w
+};
+std::optional<ThreeConfluence> FindThreeConfluence(const Query& q,
+                                                   const SelfJoinInfo& sj);
+
+}  // namespace rescq
+
+#endif  // RESCQ_COMPLEXITY_PATTERNS_H_

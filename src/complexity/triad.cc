@@ -1,0 +1,35 @@
+#include "complexity/triad.h"
+
+#include "cq/hypergraph.h"
+
+namespace rescq {
+
+std::optional<Triad> FindTriad(const Query& q) {
+  std::vector<int> endo = q.EndogenousAtoms();
+  if (endo.size() < 3) return std::nullopt;
+  DualHypergraph h(q);
+
+  auto vars_of = [&](int atom) { return q.atom(atom).DistinctVars(); };
+  auto pair_connected = [&](int a, int b, int avoid) {
+    return h.PathAvoiding(a, b, vars_of(avoid));
+  };
+
+  for (size_t i = 0; i < endo.size(); ++i) {
+    for (size_t j = i + 1; j < endo.size(); ++j) {
+      for (size_t k = j + 1; k < endo.size(); ++k) {
+        int s0 = endo[i], s1 = endo[j], s2 = endo[k];
+        if (pair_connected(s0, s1, s2) && pair_connected(s1, s2, s0) &&
+            pair_connected(s0, s2, s1)) {
+          return Triad{{s0, s1, s2}};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool HasTriad(const Query& q) { return FindTriad(q).has_value(); }
+
+bool IsPseudoLinear(const Query& q) { return !HasTriad(q); }
+
+}  // namespace rescq

@@ -1,0 +1,33 @@
+#ifndef RESCQ_COMPLEXITY_TRIAD_H_
+#define RESCQ_COMPLEXITY_TRIAD_H_
+
+#include <array>
+#include <optional>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// A triad (Definition 5): three endogenous atoms {S0,S1,S2} such that for
+/// every pair (i,j) there is a path from Si to Sj in the dual hypergraph
+/// H(q) whose connecting variables avoid var(Sk) of the third atom.
+struct Triad {
+  std::array<int, 3> atoms;
+};
+
+/// Searches for a triad among the endogenous atoms of q. Queries with a
+/// triad have NP-complete resilience (Theorem 24, generalizing Lemma 6 of
+/// the sj-free case). Callers normally normalize domination first, since
+/// dominated atoms must be exogenous for the theorem to apply.
+std::optional<Triad> FindTriad(const Query& q);
+
+bool HasTriad(const Query& q);
+
+/// Theorem 25: a CQ with no triad has its endogenous atoms connected
+/// linearly ("pseudo-linear"). This predicate is the theorem's
+/// contrapositive gate: triad-free.
+bool IsPseudoLinear(const Query& q);
+
+}  // namespace rescq
+
+#endif  // RESCQ_COMPLEXITY_TRIAD_H_

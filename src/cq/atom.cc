@@ -1,0 +1,28 @@
+#include "cq/atom.h"
+
+#include <algorithm>
+
+namespace rescq {
+
+bool Atom::HasVar(VarId v) const {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+bool Atom::HasRepeatedVar() const {
+  for (size_t i = 0; i < vars.size(); ++i) {
+    for (size_t j = i + 1; j < vars.size(); ++j) {
+      if (vars[i] == vars[j]) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<VarId> Atom::DistinctVars() const {
+  std::vector<VarId> out;
+  for (VarId v : vars) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace rescq

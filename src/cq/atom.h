@@ -1,0 +1,42 @@
+#ifndef RESCQ_CQ_ATOM_H_
+#define RESCQ_CQ_ATOM_H_
+
+#include <string>
+#include <vector>
+
+namespace rescq {
+
+/// Index of a variable within a Query (position in the query's variable
+/// table). Variables are existentially quantified: all queries in this
+/// library are Boolean conjunctive queries.
+using VarId = int;
+
+/// One atom (subgoal) of a conjunctive query: a relation symbol applied to
+/// a tuple of variables. Variables may repeat within an atom (the paper's
+/// "REP" queries, e.g. R(x,x)). `exogenous` marks atoms whose tuples cannot
+/// be deleted (written R^x in the paper); the flag is a property of the
+/// relation, so all atoms of one relation in a query agree on it.
+struct Atom {
+  std::string relation;
+  std::vector<VarId> vars;
+  bool exogenous = false;
+
+  int arity() const { return static_cast<int>(vars.size()); }
+
+  bool HasVar(VarId v) const;
+
+  /// True if some variable occurs at two positions (e.g. R(x,x)).
+  bool HasRepeatedVar() const;
+
+  /// Distinct variables, in order of first occurrence.
+  std::vector<VarId> DistinctVars() const;
+
+  bool operator==(const Atom& other) const {
+    return relation == other.relation && vars == other.vars &&
+           exogenous == other.exogenous;
+  }
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_CQ_ATOM_H_

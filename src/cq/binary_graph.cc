@@ -1,0 +1,47 @@
+#include "cq/binary_graph.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+BinaryGraph::BinaryGraph(const Query& q) : num_vars_(q.num_vars()) {
+  RESCQ_CHECK_MSG(q.IsBinary(), "binary graph requires a binary query");
+  out_.resize(static_cast<size_t>(num_vars_));
+  in_.resize(static_cast<size_t>(num_vars_));
+  for (const Atom& a : q.atoms()) {
+    BinaryEdge e;
+    e.label = a.relation;
+    e.exogenous = a.exogenous;
+    if (a.arity() == 1) {
+      e.from = a.vars[0];
+      e.to = a.vars[0];
+      e.unary = true;
+    } else {
+      e.from = a.vars[0];
+      e.to = a.vars[1];
+      e.unary = false;
+    }
+    int idx = static_cast<int>(edges_.size());
+    edges_.push_back(e);
+    out_[static_cast<size_t>(e.from)].push_back(idx);
+    in_[static_cast<size_t>(e.to)].push_back(idx);
+  }
+}
+
+std::string BinaryGraph::ToDot(const Query& q) const {
+  std::string dot = "digraph binary_graph {\n";
+  for (int v = 0; v < num_vars_; ++v) {
+    dot += StrFormat("  %s;\n", q.var_name(v).c_str());
+  }
+  for (const BinaryEdge& e : edges_) {
+    dot += StrFormat("  %s -> %s [label=\"%s\"%s%s];\n",
+                     q.var_name(e.from).c_str(), q.var_name(e.to).c_str(),
+                     e.label.c_str(), e.exogenous ? ", style=dashed" : "",
+                     e.unary ? ", dir=none" : "");
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace rescq

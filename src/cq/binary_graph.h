@@ -1,0 +1,53 @@
+#ifndef RESCQ_CQ_BINARY_GRAPH_H_
+#define RESCQ_CQ_BINARY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// One labeled edge of a binary graph (Definition 8): a binary atom
+/// A(x,y) yields the directed edge x -> y labeled A; a unary atom A(x)
+/// yields the loop x -> x labeled A.
+struct BinaryEdge {
+  VarId from;
+  VarId to;
+  std::string label;
+  bool exogenous;
+  bool unary;  // loop produced by a unary atom
+};
+
+/// The binary graph of a binary conjunctive query (Definition 8):
+/// vertices are variables, labeled edges are atoms. This representation
+/// captures variable *positions*, which the dual hypergraph does not.
+class BinaryGraph {
+ public:
+  /// Requires q.IsBinary().
+  explicit BinaryGraph(const Query& q);
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<BinaryEdge>& edges() const { return edges_; }
+
+  /// Out-edges / in-edges incident to variable v (edge indices).
+  const std::vector<int>& OutEdges(VarId v) const {
+    return out_[static_cast<size_t>(v)];
+  }
+  const std::vector<int>& InEdges(VarId v) const {
+    return in_[static_cast<size_t>(v)];
+  }
+
+  /// GraphViz DOT rendering (solid = endogenous, dashed = exogenous).
+  std::string ToDot(const Query& q) const;
+
+ private:
+  int num_vars_;
+  std::vector<BinaryEdge> edges_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_CQ_BINARY_GRAPH_H_

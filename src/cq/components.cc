@@ -1,0 +1,31 @@
+#include "cq/components.h"
+
+#include "cq/hypergraph.h"
+
+namespace rescq {
+
+std::vector<Query> SplitIntoComponents(const Query& q) {
+  DualHypergraph h(q);
+  std::vector<int> comp = h.AtomComponents();
+  int num = 0;
+  for (int c : comp) num = std::max(num, c + 1);
+  std::vector<Query> out;
+  for (int c = 0; c < num; ++c) {
+    std::vector<int> remove;
+    for (int i = 0; i < q.num_atoms(); ++i) {
+      if (comp[static_cast<size_t>(i)] != c) remove.push_back(i);
+    }
+    out.push_back(q.WithAtomsRemoved(remove));
+  }
+  return out;
+}
+
+bool IsConnected(const Query& q) {
+  DualHypergraph h(q);
+  for (int c : h.AtomComponents()) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rescq

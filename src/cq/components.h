@@ -1,0 +1,22 @@
+#ifndef RESCQ_CQ_COMPONENTS_H_
+#define RESCQ_CQ_COMPONENTS_H_
+
+#include <vector>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// Splits a query into its connected components (Section 4.2): maximal
+/// subsets of atoms connected via shared existential variables. The
+/// resilience of a disconnected query is the minimum of its components'
+/// resiliences (Lemma 14); its complexity is that of its hardest
+/// component (Lemma 15).
+std::vector<Query> SplitIntoComponents(const Query& q);
+
+/// True if the query has a single connected component.
+bool IsConnected(const Query& q);
+
+}  // namespace rescq
+
+#endif  // RESCQ_CQ_COMPONENTS_H_

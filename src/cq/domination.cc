@@ -1,0 +1,103 @@
+#include "cq/domination.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rescq {
+
+bool AtomDominatesSjFree(const Query& q, int a_idx, int b_idx) {
+  const Atom& a = q.atom(a_idx);
+  const Atom& b = q.atom(b_idx);
+  if (a.exogenous || b.exogenous) return false;
+  std::vector<VarId> va = a.DistinctVars();
+  std::vector<VarId> vb = b.DistinctVars();
+  if (va.size() >= vb.size()) return false;  // must be a proper subset
+  for (VarId v : va) {
+    if (std::find(vb.begin(), vb.end(), v) == vb.end()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Enumerates all functions f : [arity_a] -> [arity_b] as digit vectors.
+bool NextFunction(std::vector<int>& f, int base) {
+  for (size_t i = 0; i < f.size(); ++i) {
+    if (++f[i] < base) return true;
+    f[i] = 0;
+  }
+  return false;
+}
+
+bool MatchesUnderF(const Query& q, const std::vector<int>& a_atoms,
+                   const std::vector<int>& b_atoms,
+                   const std::vector<int>& f) {
+  for (int gb : b_atoms) {
+    const Atom& b_atom = q.atom(gb);
+    bool found = false;
+    for (int ha : a_atoms) {
+      const Atom& a_atom = q.atom(ha);
+      bool all = true;
+      for (size_t i = 0; i < f.size(); ++i) {
+        if (a_atom.vars[i] !=
+            b_atom.vars[static_cast<size_t>(f[i])]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RelationDominates(const Query& q, const std::string& a,
+                       const std::string& b) {
+  if (a == b) return false;
+  if (q.IsRelationExogenous(a) || q.IsRelationExogenous(b)) return false;
+  std::vector<int> a_atoms = q.AtomsOfRelation(a);
+  std::vector<int> b_atoms = q.AtomsOfRelation(b);
+  if (a_atoms.empty() || b_atoms.empty()) return false;
+  int arity_a = q.RelationArity(a);
+  int arity_b = q.RelationArity(b);
+  std::vector<int> f(static_cast<size_t>(arity_a), 0);
+  do {
+    if (MatchesUnderF(q, a_atoms, b_atoms, f)) return true;
+  } while (NextFunction(f, arity_b));
+  return false;
+}
+
+std::vector<std::string> DominatedRelations(const Query& q) {
+  std::vector<std::string> out;
+  std::vector<std::string> rels = q.RelationNames();
+  for (const std::string& b : rels) {
+    for (const std::string& a : rels) {
+      if (RelationDominates(q, a, b)) {
+        out.push_back(b);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Query NormalizeDomination(const Query& q) {
+  Query cur = q;
+  while (true) {
+    // Label one dominated relation exogenous per round, in name order, so
+    // mutual domination (A ≡ B structurally) resolves deterministically.
+    std::vector<std::string> dominated = DominatedRelations(cur);
+    if (dominated.empty()) return cur;
+    std::sort(dominated.begin(), dominated.end());
+    cur = cur.WithRelationExogenous(dominated.front());
+  }
+}
+
+}  // namespace rescq

@@ -1,0 +1,38 @@
+#ifndef RESCQ_CQ_DOMINATION_H_
+#define RESCQ_CQ_DOMINATION_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// Classic sj-free domination (Definition 3): endogenous atom A dominates
+/// endogenous atom B if var(A) is a proper subset of var(B). Only
+/// meaningful for self-join-free queries (Section 3.2 shows it fails with
+/// self-joins).
+bool AtomDominatesSjFree(const Query& q, int a_idx, int b_idx);
+
+/// Self-join domination (Definition 16): endogenous relation A dominates
+/// endogenous relation B (A != B) if some position map
+/// f : [arity(A)] -> [arity(B)] is such that every B-atom g has a matching
+/// A-atom h with pos_h(i) = pos_g(f(i)) for all i. Then every B tuple in a
+/// witness joins with a fixed A tuple, so B can be labeled exogenous
+/// (Proposition 18). Coincides with var(A) ⊆ var(B) when B occurs once.
+bool RelationDominates(const Query& q, const std::string& a,
+                       const std::string& b);
+
+/// Relations of q that are dominated by some other endogenous relation
+/// under Definition 16.
+std::vector<std::string> DominatedRelations(const Query& q);
+
+/// The paper's normal form: repeatedly labels dominated relations
+/// exogenous until a fixpoint (making B exogenous removes it from the set
+/// of candidate dominators). RES(q) ≡ RES(NormalizeDomination(q))
+/// (Propositions 4 and 18).
+Query NormalizeDomination(const Query& q);
+
+}  // namespace rescq
+
+#endif  // RESCQ_CQ_DOMINATION_H_

@@ -1,0 +1,212 @@
+#include "cq/homomorphism.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace rescq {
+
+namespace {
+
+// Backtracking homomorphism search. `h` maps `from` variables to `to`
+// variables (-1 = unassigned). If `injective`, distinct variables must map
+// to distinct variables. If `used` is non-null, each `from` atom must map
+// to a distinct `to` atom and exogenous labels must match (isomorphism
+// mode).
+bool MatchAtoms(const Query& from, const Query& to, size_t atom_idx,
+                std::vector<VarId>& h, bool injective,
+                std::vector<bool>* used) {
+  if (atom_idx == static_cast<size_t>(from.num_atoms())) return true;
+  const Atom& a = from.atom(static_cast<int>(atom_idx));
+  for (int j = 0; j < to.num_atoms(); ++j) {
+    const Atom& b = to.atom(j);
+    if (b.relation != a.relation || b.arity() != a.arity()) continue;
+    if (used != nullptr) {
+      if ((*used)[static_cast<size_t>(j)]) continue;
+      if (b.exogenous != a.exogenous) continue;
+    }
+    // Try to unify a -> b.
+    std::vector<std::pair<VarId, VarId>> bound;  // (from var, to var) set here
+    bool ok = true;
+    for (int p = 0; p < a.arity() && ok; ++p) {
+      VarId u = a.vars[static_cast<size_t>(p)];
+      VarId v = b.vars[static_cast<size_t>(p)];
+      if (h[static_cast<size_t>(u)] == -1) {
+        if (injective) {
+          for (VarId w : h) {
+            if (w == v) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) {
+          h[static_cast<size_t>(u)] = v;
+          bound.emplace_back(u, v);
+        }
+      } else if (h[static_cast<size_t>(u)] != v) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      if (used != nullptr) (*used)[static_cast<size_t>(j)] = true;
+      if (MatchAtoms(from, to, atom_idx + 1, h, injective, used)) return true;
+      if (used != nullptr) (*used)[static_cast<size_t>(j)] = false;
+    }
+    for (const auto& [u, v] : bound) {
+      (void)v;
+      h[static_cast<size_t>(u)] = -1;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<VarId>> FindHomomorphism(const Query& from,
+                                                   const Query& to) {
+  std::vector<VarId> h(static_cast<size_t>(from.num_vars()), -1);
+  if (MatchAtoms(from, to, 0, h, /*injective=*/false, /*used=*/nullptr)) {
+    return h;
+  }
+  return std::nullopt;
+}
+
+bool IsContainedIn(const Query& q1, const Query& q2) {
+  return FindHomomorphism(q2, q1).has_value();
+}
+
+bool AreEquivalent(const Query& q1, const Query& q2) {
+  return IsContainedIn(q1, q2) && IsContainedIn(q2, q1);
+}
+
+bool IsMinimal(const Query& q) {
+  // Removing one atom at a time suffices: a homomorphism into a smaller
+  // subquery restricts to a homomorphism into any single-atom removal.
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    Query smaller = q.WithAtomsRemoved({i});
+    if (FindHomomorphism(q, smaller).has_value()) return false;
+  }
+  return true;
+}
+
+Query Minimize(const Query& q) {
+  Query cur = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < cur.num_atoms(); ++i) {
+      Query smaller = cur.WithAtomsRemoved({i});
+      if (FindHomomorphism(cur, smaller).has_value()) {
+        cur = smaller;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+bool AreIsomorphic(const Query& q1, const Query& q2) {
+  if (q1.num_atoms() != q2.num_atoms() || q1.num_vars() != q2.num_vars()) {
+    return false;
+  }
+  std::vector<VarId> h(static_cast<size_t>(q1.num_vars()), -1);
+  std::vector<bool> used(static_cast<size_t>(q2.num_atoms()), false);
+  return MatchAtoms(q1, q2, 0, h, /*injective=*/true, &used);
+}
+
+namespace {
+
+// Signature used to group relations that may be matched to one another.
+struct RelSignature {
+  int arity;
+  bool exogenous;
+  int atom_count;
+  bool operator<(const RelSignature& o) const {
+    return std::tie(arity, exogenous, atom_count) <
+           std::tie(o.arity, o.exogenous, o.atom_count);
+  }
+  bool operator==(const RelSignature& o) const {
+    return arity == o.arity && exogenous == o.exogenous &&
+           atom_count == o.atom_count;
+  }
+};
+
+RelSignature SignatureOf(const Query& q, const std::string& rel) {
+  return RelSignature{q.RelationArity(rel), q.IsRelationExogenous(rel),
+                      static_cast<int>(q.AtomsOfRelation(rel).size())};
+}
+
+// Applies a relation renaming and a per-relation column swap to q1.
+Query Transform(const Query& q1,
+                const std::map<std::string, std::string>& rename,
+                const std::vector<std::string>& swapped) {
+  std::vector<Atom> atoms;
+  for (const Atom& a : q1.atoms()) {
+    Atom b = a;
+    if (a.arity() == 2 &&
+        std::find(swapped.begin(), swapped.end(), a.relation) !=
+            swapped.end()) {
+      std::swap(b.vars[0], b.vars[1]);
+    }
+    b.relation = rename.at(a.relation);
+    atoms.push_back(std::move(b));
+  }
+  return Query(std::move(atoms), q1.var_names());
+}
+
+bool TryRelationMatchings(const Query& q1, const Query& q2,
+                          const std::vector<std::string>& rels1,
+                          size_t idx, std::map<std::string, std::string>& rename,
+                          std::vector<bool>& taken) {
+  if (idx == rels1.size()) {
+    // Enumerate column swaps over the binary relations of q1.
+    std::vector<std::string> binary;
+    for (const std::string& r : rels1) {
+      if (q1.RelationArity(r) == 2) binary.push_back(r);
+    }
+    RESCQ_CHECK_LE(binary.size(), 20u);
+    uint32_t end = 1u << binary.size();
+    for (uint32_t mask = 0; mask < end; ++mask) {
+      std::vector<std::string> swapped;
+      for (size_t b = 0; b < binary.size(); ++b) {
+        if (mask & (1u << b)) swapped.push_back(binary[b]);
+      }
+      if (AreIsomorphic(Transform(q1, rename, swapped), q2)) return true;
+    }
+    return false;
+  }
+  const std::string& r1 = rels1[idx];
+  RelSignature sig = SignatureOf(q1, r1);
+  std::vector<std::string> rels2 = q2.RelationNames();
+  for (size_t j = 0; j < rels2.size(); ++j) {
+    if (taken[j]) continue;
+    if (!(SignatureOf(q2, rels2[j]) == sig)) continue;
+    taken[j] = true;
+    rename[r1] = rels2[j];
+    if (TryRelationMatchings(q1, q2, rels1, idx + 1, rename, taken)) {
+      return true;
+    }
+    taken[j] = false;
+    rename.erase(r1);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AreIsomorphicModuloRelabeling(const Query& q1, const Query& q2) {
+  if (q1.num_atoms() != q2.num_atoms() || q1.num_vars() != q2.num_vars()) {
+    return false;
+  }
+  std::vector<std::string> rels1 = q1.RelationNames();
+  std::vector<std::string> rels2 = q2.RelationNames();
+  if (rels1.size() != rels2.size()) return false;
+  std::map<std::string, std::string> rename;
+  std::vector<bool> taken(rels2.size(), false);
+  return TryRelationMatchings(q1, q2, rels1, 0, rename, taken);
+}
+
+}  // namespace rescq

@@ -1,0 +1,49 @@
+#ifndef RESCQ_CQ_HOMOMORPHISM_H_
+#define RESCQ_CQ_HOMOMORPHISM_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// Searches for a homomorphism from `from` to `to`: a variable mapping h
+/// such that every atom R(v1..vk) of `from` maps to some atom R(h(v1)..
+/// h(vk)) of `to`. Exogenous labels are ignored (homomorphisms act on the
+/// plain CQ structure). Returns the mapping (indexed by `from` VarId) or
+/// nullopt.
+std::optional<std::vector<VarId>> FindHomomorphism(const Query& from,
+                                                   const Query& to);
+
+/// Query containment q1 ⊆ q2 (answers of q1 always a subset of q2's):
+/// holds iff there is a homomorphism from q2 to q1 (Chandra–Merlin).
+bool IsContainedIn(const Query& q1, const Query& q2);
+
+/// Query equivalence: containment both ways.
+bool AreEquivalent(const Query& q1, const Query& q2);
+
+/// True if the query is minimal: no equivalent query with fewer atoms
+/// (Section 4.1).
+bool IsMinimal(const Query& q);
+
+/// Computes a minimal equivalent query (the core) by repeatedly removing
+/// atoms that admit a retraction. Remaining atoms keep their exogenous
+/// labels.
+Query Minimize(const Query& q);
+
+/// True if q1 and q2 are isomorphic: a bijective variable renaming maps
+/// the atom multiset of q1 onto that of q2, preserving relation names and
+/// exogenous labels.
+bool AreIsomorphic(const Query& q1, const Query& q2);
+
+/// True if q1 and q2 are isomorphic after optionally (a) renaming
+/// relations of q1 via any bijection that preserves arity and exogenous
+/// status, and (b) globally swapping the two columns of any binary
+/// relations of q1. This is the similarity notion used for catalog
+/// matching: the complexity results are invariant under both transforms.
+bool AreIsomorphicModuloRelabeling(const Query& q1, const Query& q2);
+
+}  // namespace rescq
+
+#endif  // RESCQ_CQ_HOMOMORPHISM_H_

@@ -1,0 +1,90 @@
+#include "cq/hypergraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/disjoint_set.h"
+
+namespace rescq {
+
+DualHypergraph::DualHypergraph(const Query& q)
+    : num_atoms_(q.num_atoms()), num_vars_(q.num_vars()) {
+  edges_.resize(static_cast<size_t>(num_vars_));
+  atom_vars_.resize(static_cast<size_t>(num_atoms_));
+  for (int i = 0; i < num_atoms_; ++i) {
+    atom_vars_[static_cast<size_t>(i)] = q.atom(i).DistinctVars();
+    for (VarId v : atom_vars_[static_cast<size_t>(i)]) {
+      edges_[static_cast<size_t>(v)].push_back(i);
+    }
+  }
+}
+
+bool DualHypergraph::PathAvoiding(
+    int from, int to, const std::vector<VarId>& forbidden_vars) const {
+  if (from == to) return true;
+  std::vector<bool> forbidden(static_cast<size_t>(num_vars_), false);
+  for (VarId v : forbidden_vars) forbidden[static_cast<size_t>(v)] = true;
+  std::vector<bool> visited(static_cast<size_t>(num_atoms_), false);
+  std::deque<int> queue = {from};
+  visited[static_cast<size_t>(from)] = true;
+  while (!queue.empty()) {
+    int g = queue.front();
+    queue.pop_front();
+    for (VarId v : atom_vars_[static_cast<size_t>(g)]) {
+      if (forbidden[static_cast<size_t>(v)]) continue;
+      for (int h : edges_[static_cast<size_t>(v)]) {
+        if (visited[static_cast<size_t>(h)]) continue;
+        if (h == to) return true;
+        visited[static_cast<size_t>(h)] = true;
+        queue.push_back(h);
+      }
+    }
+  }
+  return false;
+}
+
+bool DualHypergraph::PathAvoidingAtoms(
+    int from, int to, const std::vector<int>& forbidden_atoms) const {
+  if (from == to) return true;
+  std::vector<bool> blocked(static_cast<size_t>(num_atoms_), false);
+  for (int a : forbidden_atoms) blocked[static_cast<size_t>(a)] = true;
+  blocked[static_cast<size_t>(from)] = false;  // endpoints always allowed
+  blocked[static_cast<size_t>(to)] = false;
+  std::vector<bool> visited(static_cast<size_t>(num_atoms_), false);
+  std::deque<int> queue = {from};
+  visited[static_cast<size_t>(from)] = true;
+  while (!queue.empty()) {
+    int g = queue.front();
+    queue.pop_front();
+    for (VarId v : atom_vars_[static_cast<size_t>(g)]) {
+      for (int h : edges_[static_cast<size_t>(v)]) {
+        if (visited[static_cast<size_t>(h)] || blocked[static_cast<size_t>(h)]) {
+          continue;
+        }
+        if (h == to) return true;
+        visited[static_cast<size_t>(h)] = true;
+        queue.push_back(h);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> DualHypergraph::AtomComponents() const {
+  DisjointSet ds(num_atoms_);
+  for (const std::vector<int>& edge : edges_) {
+    for (size_t i = 1; i < edge.size(); ++i) ds.Union(edge[0], edge[i]);
+  }
+  std::vector<int> comp(static_cast<size_t>(num_atoms_), -1);
+  int next = 0;
+  for (int i = 0; i < num_atoms_; ++i) {
+    int root = ds.Find(i);
+    if (comp[static_cast<size_t>(root)] == -1) {
+      comp[static_cast<size_t>(root)] = next++;
+    }
+    comp[static_cast<size_t>(i)] = comp[static_cast<size_t>(root)];
+  }
+  return comp;
+}
+
+}  // namespace rescq

@@ -1,0 +1,52 @@
+#ifndef RESCQ_CQ_HYPERGRAPH_H_
+#define RESCQ_CQ_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// The dual hypergraph H(q) of a conjunctive query (Section 2 of the
+/// paper): vertices are the atoms of q, and each variable x determines the
+/// hyperedge { atoms containing x }. Paths alternate atoms and variables;
+/// a step from atom g to atom h uses some shared variable.
+class DualHypergraph {
+ public:
+  explicit DualHypergraph(const Query& q);
+
+  int num_atoms() const { return num_atoms_; }
+
+  /// Atoms containing variable v.
+  const std::vector<int>& Hyperedge(VarId v) const {
+    return edges_[static_cast<size_t>(v)];
+  }
+
+  /// True if a path exists from atom `from` to atom `to` whose connecting
+  /// variables all avoid `forbidden_vars` (the triad path condition).
+  /// `from == to` trivially holds.
+  bool PathAvoiding(int from, int to,
+                    const std::vector<VarId>& forbidden_vars) const;
+
+  /// True if a path exists from atom `from` to atom `to` such that no
+  /// *intermediate* atom on the path belongs to `forbidden_atoms`
+  /// (endpoints are allowed). Used for "consecutive" self-join atoms
+  /// (Theorem 28): two R-atoms are consecutive if they are joined by an
+  /// R-free path.
+  bool PathAvoidingAtoms(int from, int to,
+                         const std::vector<int>& forbidden_atoms) const;
+
+  /// Connected components of the atom set under shared variables;
+  /// entry i is the component index of atom i.
+  std::vector<int> AtomComponents() const;
+
+ private:
+  int num_atoms_;
+  int num_vars_;
+  std::vector<std::vector<int>> edges_;       // per variable: atoms
+  std::vector<std::vector<VarId>> atom_vars_;  // per atom: distinct vars
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_CQ_HYPERGRAPH_H_

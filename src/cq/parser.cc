@@ -1,0 +1,160 @@
+#include "cq/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+namespace {
+
+struct Lexer {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  /// Reads an identifier: [A-Za-z_][A-Za-z0-9_']*.
+  std::string Identifier() {
+    SkipSpace();
+    size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_' || text[pos] == '\'')) {
+      ++pos;
+    }
+    return std::string(text.substr(start, pos - start));
+  }
+};
+
+}  // namespace
+
+ParseResult ParseQuery(std::string_view text) {
+  ParseResult result;
+  // Strip an optional "name :-" head.
+  size_t head = text.find(":-");
+  std::string_view body = head == std::string_view::npos
+                              ? text
+                              : text.substr(head + 2);
+  Lexer lex{body};
+
+  std::vector<Atom> atoms;
+  std::vector<std::string> var_names;
+  std::map<std::string, VarId> var_ids;
+  std::map<std::string, int> arities;
+
+  while (!lex.AtEnd()) {
+    std::string rel = lex.Identifier();
+    if (rel.empty()) {
+      result.error = StrFormat("expected relation name at offset %zu", lex.pos);
+      return result;
+    }
+    if (!std::isupper(static_cast<unsigned char>(rel[0]))) {
+      result.error =
+          StrFormat("relation '%s' must start upper-case", rel.c_str());
+      return result;
+    }
+    bool exo = false;
+    if (lex.Peek() == '^') {
+      lex.Consume('^');
+      std::string marker = lex.Identifier();
+      if (marker != "x") {
+        result.error = StrFormat("unknown atom marker '^%s'", marker.c_str());
+        return result;
+      }
+      exo = true;
+    }
+    if (!lex.Consume('(')) {
+      result.error = StrFormat("expected '(' after '%s'", rel.c_str());
+      return result;
+    }
+    Atom atom;
+    atom.relation = rel;
+    atom.exogenous = exo;
+    while (true) {
+      std::string var = lex.Identifier();
+      if (var.empty()) {
+        result.error = StrFormat("expected variable in atom '%s'", rel.c_str());
+        return result;
+      }
+      if (!std::islower(static_cast<unsigned char>(var[0]))) {
+        result.error =
+            StrFormat("variable '%s' must start lower-case", var.c_str());
+        return result;
+      }
+      auto it = var_ids.find(var);
+      VarId id;
+      if (it == var_ids.end()) {
+        id = static_cast<VarId>(var_names.size());
+        var_names.push_back(var);
+        var_ids[var] = id;
+      } else {
+        id = it->second;
+      }
+      atom.vars.push_back(id);
+      if (lex.Consume(',')) continue;
+      if (lex.Consume(')')) break;
+      result.error = StrFormat("expected ',' or ')' in atom '%s'", rel.c_str());
+      return result;
+    }
+    auto ar = arities.find(rel);
+    if (ar == arities.end()) {
+      arities[rel] = atom.arity();
+    } else if (ar->second != atom.arity()) {
+      result.error =
+          StrFormat("relation '%s' used with inconsistent arity", rel.c_str());
+      return result;
+    }
+    atoms.push_back(std::move(atom));
+    if (!lex.Consume(',')) break;
+  }
+  if (!lex.AtEnd()) {
+    result.error = StrFormat("trailing input at offset %zu", lex.pos);
+    return result;
+  }
+  if (atoms.empty()) {
+    result.error = "query has no atoms";
+    return result;
+  }
+  // Make the exogenous flag uniform per relation: any ^x marks the relation.
+  std::map<std::string, bool> exo;
+  for (const Atom& a : atoms) exo[a.relation] = exo[a.relation] || a.exogenous;
+  for (Atom& a : atoms) a.exogenous = exo[a.relation];
+
+  result.ok = true;
+  result.query = Query(std::move(atoms), std::move(var_names));
+  return result;
+}
+
+Query MustParseQuery(std::string_view text) {
+  ParseResult r = ParseQuery(text);
+  RESCQ_CHECK_MSG(r.ok, r.error.c_str());
+  return r.query;
+}
+
+}  // namespace rescq

@@ -1,0 +1,36 @@
+#ifndef RESCQ_CQ_PARSER_H_
+#define RESCQ_CQ_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cq/query.h"
+
+namespace rescq {
+
+/// Result of parsing a query string.
+struct ParseResult {
+  bool ok = false;
+  Query query;
+  std::string error;
+};
+
+/// Parses a Boolean conjunctive query in Datalog-ish syntax:
+///
+///   "q :- R(x,y), R(y,z), A(x)"          (head optional)
+///   "R(x,y), S^x(y,z)"                   (^x marks exogenous relations)
+///
+/// Relation names start with an upper-case letter; variable names with a
+/// lower-case letter. Whitespace is insignificant. All atoms of one
+/// relation must agree on arity; the parser makes the exogenous flag
+/// uniform per relation (an `^x` on any atom marks the whole relation).
+ParseResult ParseQuery(std::string_view text);
+
+/// Convenience wrapper: aborts on parse failure. For literals in tests,
+/// benchmarks, and the query catalog.
+Query MustParseQuery(std::string_view text);
+
+}  // namespace rescq
+
+#endif  // RESCQ_CQ_PARSER_H_

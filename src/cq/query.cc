@@ -1,0 +1,157 @@
+#include "cq/query.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+Query::Query(std::vector<Atom> atoms, std::vector<std::string> var_names)
+    : atoms_(std::move(atoms)), var_names_(std::move(var_names)) {
+  std::map<std::string, int> arity;
+  std::map<std::string, bool> exo;
+  for (const Atom& a : atoms_) {
+    RESCQ_CHECK_GT(a.arity(), 0);
+    for (VarId v : a.vars) {
+      RESCQ_CHECK(v >= 0 && v < num_vars());
+    }
+    auto it = arity.find(a.relation);
+    if (it == arity.end()) {
+      arity[a.relation] = a.arity();
+      exo[a.relation] = a.exogenous;
+    } else {
+      RESCQ_CHECK_MSG(it->second == a.arity(),
+                      "inconsistent relation arity");
+      RESCQ_CHECK_MSG(exo[a.relation] == a.exogenous,
+                      "relation must be uniformly endogenous or exogenous");
+    }
+  }
+}
+
+VarId Query::VarIdOf(const std::string& name) const {
+  for (int v = 0; v < num_vars(); ++v) {
+    if (var_names_[static_cast<size_t>(v)] == name) return v;
+  }
+  return -1;
+}
+
+std::vector<std::string> Query::RelationNames() const {
+  std::vector<std::string> out;
+  for (const Atom& a : atoms_) {
+    if (std::find(out.begin(), out.end(), a.relation) == out.end()) {
+      out.push_back(a.relation);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Query::AtomsOfRelation(const std::string& relation) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_atoms(); ++i) {
+    if (atoms_[static_cast<size_t>(i)].relation == relation) out.push_back(i);
+  }
+  return out;
+}
+
+int Query::RelationArity(const std::string& relation) const {
+  for (const Atom& a : atoms_) {
+    if (a.relation == relation) return a.arity();
+  }
+  RESCQ_CHECK_MSG(false, "relation not in query");
+  return -1;
+}
+
+bool Query::IsRelationExogenous(const std::string& relation) const {
+  for (const Atom& a : atoms_) {
+    if (a.relation == relation) return a.exogenous;
+  }
+  return false;
+}
+
+std::vector<int> Query::EndogenousAtoms() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_atoms(); ++i) {
+    if (!atoms_[static_cast<size_t>(i)].exogenous) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::string> Query::RepeatedRelations() const {
+  std::vector<std::string> out;
+  for (const std::string& r : RelationNames()) {
+    if (AtomsOfRelation(r).size() > 1) out.push_back(r);
+  }
+  return out;
+}
+
+bool Query::IsBinary() const {
+  for (const Atom& a : atoms_) {
+    if (a.arity() > 2) return false;
+  }
+  return true;
+}
+
+std::vector<VarId> Query::VarsOfAtoms(
+    const std::vector<int>& atom_indices) const {
+  std::vector<bool> seen(static_cast<size_t>(num_vars()), false);
+  for (int i : atom_indices) {
+    for (VarId v : atoms_[static_cast<size_t>(i)].vars) {
+      seen[static_cast<size_t>(v)] = true;
+    }
+  }
+  std::vector<VarId> out;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (seen[static_cast<size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+Query Query::WithAtomsRemoved(const std::vector<int>& remove) const {
+  std::vector<bool> drop(static_cast<size_t>(num_atoms()), false);
+  for (int i : remove) drop[static_cast<size_t>(i)] = true;
+  std::vector<Atom> kept;
+  for (int i = 0; i < num_atoms(); ++i) {
+    if (!drop[static_cast<size_t>(i)]) kept.push_back(atoms_[static_cast<size_t>(i)]);
+  }
+  // Re-index variables to drop those no longer used.
+  std::vector<int> remap(static_cast<size_t>(num_vars()), -1);
+  std::vector<std::string> names;
+  for (Atom& a : kept) {
+    for (VarId& v : a.vars) {
+      if (remap[static_cast<size_t>(v)] == -1) {
+        remap[static_cast<size_t>(v)] = static_cast<int>(names.size());
+        names.push_back(var_names_[static_cast<size_t>(v)]);
+      }
+      v = remap[static_cast<size_t>(v)];
+    }
+  }
+  return Query(std::move(kept), std::move(names));
+}
+
+Query Query::WithRelationExogenous(const std::string& relation) const {
+  std::vector<Atom> atoms = atoms_;
+  for (Atom& a : atoms) {
+    if (a.relation == relation) a.exogenous = true;
+  }
+  return Query(std::move(atoms), var_names_);
+}
+
+std::string Query::ToString() const {
+  std::vector<std::string> parts;
+  for (const Atom& a : atoms_) {
+    std::string s = a.relation;
+    if (a.exogenous) s += "^x";
+    s += "(";
+    for (size_t i = 0; i < a.vars.size(); ++i) {
+      if (i > 0) s += ",";
+      s += var_names_[static_cast<size_t>(a.vars[i])];
+    }
+    s += ")";
+    parts.push_back(std::move(s));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace rescq

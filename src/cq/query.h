@@ -1,0 +1,88 @@
+#ifndef RESCQ_CQ_QUERY_H_
+#define RESCQ_CQ_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/atom.h"
+
+namespace rescq {
+
+/// A Boolean conjunctive query: a bag of atoms over named variables.
+///
+/// Queries are immutable after construction; "transforms" (removing atoms,
+/// relabeling relations exogenous) return new queries. Construction
+/// validates that all atoms of one relation agree on arity and on the
+/// exogenous flag.
+class Query {
+ public:
+  Query() = default;
+
+  /// Builds a query. Aborts on inconsistent relation arity or
+  /// mixed endogenous/exogenous use of one relation (programmer error;
+  /// use the parser for untrusted input).
+  Query(std::vector<Atom> atoms, std::vector<std::string> var_names);
+
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+
+  const Atom& atom(int i) const { return atoms_[static_cast<size_t>(i)]; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  const std::string& var_name(VarId v) const {
+    return var_names_[static_cast<size_t>(v)];
+  }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+  /// Index of the named variable, or -1.
+  VarId VarIdOf(const std::string& name) const;
+
+  /// Distinct relation names in order of first occurrence.
+  std::vector<std::string> RelationNames() const;
+
+  /// Indices of the atoms using `relation`.
+  std::vector<int> AtomsOfRelation(const std::string& relation) const;
+
+  /// Arity of `relation` in this query. Aborts if the relation is absent.
+  int RelationArity(const std::string& relation) const;
+
+  bool IsRelationExogenous(const std::string& relation) const;
+
+  /// Indices of endogenous atoms.
+  std::vector<int> EndogenousAtoms() const;
+
+  /// Relation names that occur in more than one atom (the self-join
+  /// relations).
+  std::vector<std::string> RepeatedRelations() const;
+
+  /// True if no relation occurs in two atoms.
+  bool IsSelfJoinFree() const { return RepeatedRelations().empty(); }
+
+  /// True if every relation has arity 1 or 2 (the paper's "binary query").
+  bool IsBinary() const;
+
+  /// Variables occurring in the given atoms, in ascending VarId order.
+  std::vector<VarId> VarsOfAtoms(const std::vector<int>& atom_indices) const;
+
+  /// Returns this query with the atoms whose indices appear in `remove`
+  /// deleted, dropping variables that no longer occur anywhere.
+  Query WithAtomsRemoved(const std::vector<int>& remove) const;
+
+  /// Returns this query with `relation` relabeled exogenous.
+  Query WithRelationExogenous(const std::string& relation) const;
+
+  /// Datalog-style rendering, e.g. "R(x,y), S^x(y,z)".
+  std::string ToString() const;
+
+  bool operator==(const Query& other) const {
+    return atoms_ == other.atoms_ && var_names_ == other.var_names_;
+  }
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_CQ_QUERY_H_

@@ -1,0 +1,140 @@
+#include "db/database.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+Value Database::Intern(const std::string& name) {
+  auto it = value_ids_.find(name);
+  if (it != value_ids_.end()) return it->second;
+  Value v = static_cast<Value>(value_names_.size());
+  value_names_.push_back(name);
+  value_ids_[name] = v;
+  return v;
+}
+
+Value Database::InternIndexed(const std::string& prefix, int i) {
+  return Intern(StrFormat("%s_%d", prefix.c_str(), i));
+}
+
+const std::string& Database::ValueName(Value v) const {
+  return value_names_[static_cast<size_t>(v)];
+}
+
+int Database::AddRelation(const std::string& name, int arity) {
+  auto it = relation_ids_.find(name);
+  if (it != relation_ids_.end()) {
+    RESCQ_CHECK_EQ(relations_[static_cast<size_t>(it->second)].arity, arity);
+    return it->second;
+  }
+  int id = static_cast<int>(relations_.size());
+  RelationData data;
+  data.name = name;
+  data.arity = arity;
+  relations_.push_back(std::move(data));
+  relation_ids_[name] = id;
+  return id;
+}
+
+int Database::RelationId(const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  return it == relation_ids_.end() ? -1 : it->second;
+}
+
+const std::string& Database::relation_name(int rel) const {
+  return relations_[static_cast<size_t>(rel)].name;
+}
+
+int Database::relation_arity(int rel) const {
+  return relations_[static_cast<size_t>(rel)].arity;
+}
+
+std::string Database::KeyOf(const std::vector<Value>& values) {
+  std::string key;
+  key.reserve(values.size() * 5);
+  for (Value v : values) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  return key;
+}
+
+TupleId Database::AddTuple(const std::string& relation,
+                           const std::vector<Value>& values) {
+  int rel = AddRelation(relation, static_cast<int>(values.size()));
+  RelationData& data = relations_[static_cast<size_t>(rel)];
+  std::string key = KeyOf(values);
+  auto it = data.row_index.find(key);
+  if (it != data.row_index.end()) return TupleId{rel, it->second};
+  int row = static_cast<int>(data.rows.size());
+  data.rows.push_back(values);
+  data.active.push_back(true);
+  data.row_index[key] = row;
+  return TupleId{rel, row};
+}
+
+std::optional<TupleId> Database::FindTuple(
+    const std::string& relation, const std::vector<Value>& values) const {
+  int rel = RelationId(relation);
+  if (rel < 0) return std::nullopt;
+  const RelationData& data = relations_[static_cast<size_t>(rel)];
+  auto it = data.row_index.find(KeyOf(values));
+  if (it == data.row_index.end()) return std::nullopt;
+  return TupleId{rel, it->second};
+}
+
+int Database::NumRows(int rel) const {
+  return static_cast<int>(relations_[static_cast<size_t>(rel)].rows.size());
+}
+
+const std::vector<Value>& Database::Row(TupleId id) const {
+  return relations_[static_cast<size_t>(id.relation)]
+      .rows[static_cast<size_t>(id.row)];
+}
+
+bool Database::IsActive(TupleId id) const {
+  return relations_[static_cast<size_t>(id.relation)]
+      .active[static_cast<size_t>(id.row)];
+}
+
+void Database::SetActive(TupleId id, bool active) {
+  relations_[static_cast<size_t>(id.relation)]
+      .active[static_cast<size_t>(id.row)] = active;
+}
+
+void Database::ActivateAll() {
+  for (RelationData& data : relations_) {
+    std::fill(data.active.begin(), data.active.end(), true);
+  }
+}
+
+int Database::NumActiveTuples() const {
+  int n = 0;
+  for (const RelationData& data : relations_) {
+    for (bool a : data.active) n += a ? 1 : 0;
+  }
+  return n;
+}
+
+std::vector<TupleId> Database::ActiveTuples(int rel) const {
+  std::vector<TupleId> out;
+  const RelationData& data = relations_[static_cast<size_t>(rel)];
+  for (int row = 0; row < static_cast<int>(data.rows.size()); ++row) {
+    if (data.active[static_cast<size_t>(row)]) out.push_back(TupleId{rel, row});
+  }
+  return out;
+}
+
+std::string Database::TupleToString(TupleId id) const {
+  const RelationData& data = relations_[static_cast<size_t>(id.relation)];
+  std::string s = data.name + "(";
+  const std::vector<Value>& row = data.rows[static_cast<size_t>(id.row)];
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) s += ",";
+    s += ValueName(row[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace rescq

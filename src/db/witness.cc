@@ -1,0 +1,199 @@
+#include "db/witness.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace rescq {
+
+namespace {
+
+// Per-relation index: for each column, value -> row ids (active rows are
+// not distinguished here; activity is checked at probe time so the index
+// can be built once per enumeration).
+struct ColumnIndex {
+  // maps (column, value) -> rows
+  std::vector<std::unordered_map<Value, std::vector<int>>> by_column;
+};
+
+struct Enumerator {
+  const Query& q;
+  const Database& db;
+  size_t limit;
+  std::vector<Witness>* out;
+
+  std::vector<int> atom_rel;              // db relation id per atom
+  std::vector<int> order;                 // atom visit order
+  std::vector<Value> binding;             // per VarId, -1 if unbound
+  std::vector<TupleId> matched;           // per atom (query order)
+  std::vector<ColumnIndex> indexes;       // per db relation id
+
+  bool Run() {
+    // Resolve relations; a missing relation means no witnesses.
+    atom_rel.resize(static_cast<size_t>(q.num_atoms()));
+    for (int i = 0; i < q.num_atoms(); ++i) {
+      int rel = db.RelationId(q.atom(i).relation);
+      if (rel < 0) return true;
+      if (db.relation_arity(rel) != q.atom(i).arity()) return true;
+      atom_rel[static_cast<size_t>(i)] = rel;
+    }
+    BuildOrder();
+    BuildIndexes();
+    binding.assign(static_cast<size_t>(q.num_vars()), -1);
+    matched.assign(static_cast<size_t>(q.num_atoms()), TupleId{});
+    return Recurse(0);
+  }
+
+  void BuildOrder() {
+    // Greedy: start from the atom with the fewest rows, then repeatedly
+    // take the connected atom with the fewest rows (connected = shares a
+    // variable with an already-ordered atom).
+    int n = q.num_atoms();
+    std::vector<bool> placed(static_cast<size_t>(n), false);
+    std::vector<bool> var_bound(static_cast<size_t>(q.num_vars()), false);
+    for (int step = 0; step < n; ++step) {
+      int best = -1;
+      bool best_connected = false;
+      int best_rows = 0;
+      for (int i = 0; i < n; ++i) {
+        if (placed[static_cast<size_t>(i)]) continue;
+        bool connected = false;
+        for (VarId v : q.atom(i).vars) {
+          if (var_bound[static_cast<size_t>(v)]) connected = true;
+        }
+        int rows = db.NumRows(atom_rel[static_cast<size_t>(i)]);
+        if (best == -1 || (connected && !best_connected) ||
+            (connected == best_connected && rows < best_rows)) {
+          best = i;
+          best_connected = connected;
+          best_rows = rows;
+        }
+      }
+      placed[static_cast<size_t>(best)] = true;
+      for (VarId v : q.atom(best).vars) var_bound[static_cast<size_t>(v)] = true;
+      order.push_back(best);
+    }
+  }
+
+  void BuildIndexes() {
+    indexes.resize(static_cast<size_t>(db.num_relations()));
+    std::set<int> needed(atom_rel.begin(), atom_rel.end());
+    for (int rel : needed) {
+      ColumnIndex& idx = indexes[static_cast<size_t>(rel)];
+      int arity = db.relation_arity(rel);
+      idx.by_column.resize(static_cast<size_t>(arity));
+      for (int row = 0; row < db.NumRows(rel); ++row) {
+        const std::vector<Value>& t = db.Row(TupleId{rel, row});
+        for (int c = 0; c < arity; ++c) {
+          idx.by_column[static_cast<size_t>(c)][t[static_cast<size_t>(c)]]
+              .push_back(row);
+        }
+      }
+    }
+  }
+
+  // Returns false to stop enumeration (limit reached).
+  bool Recurse(size_t depth) {
+    if (depth == order.size()) return Emit();
+    int ai = order[depth];
+    const Atom& atom = q.atom(ai);
+    int rel = atom_rel[static_cast<size_t>(ai)];
+
+    // Pick a bound column to probe the index; otherwise scan all rows.
+    int probe_col = -1;
+    for (int c = 0; c < atom.arity(); ++c) {
+      if (binding[static_cast<size_t>(atom.vars[static_cast<size_t>(c)])] !=
+          -1) {
+        probe_col = c;
+        break;
+      }
+    }
+    const std::vector<int>* rows = nullptr;
+    std::vector<int> all_rows;
+    if (probe_col >= 0) {
+      Value v = binding[static_cast<size_t>(
+          atom.vars[static_cast<size_t>(probe_col)])];
+      const auto& column =
+          indexes[static_cast<size_t>(rel)].by_column[static_cast<size_t>(
+              probe_col)];
+      auto it = column.find(v);
+      if (it == column.end()) return true;
+      rows = &it->second;
+    } else {
+      all_rows.resize(static_cast<size_t>(db.NumRows(rel)));
+      for (int r = 0; r < db.NumRows(rel); ++r) {
+        all_rows[static_cast<size_t>(r)] = r;
+      }
+      rows = &all_rows;
+    }
+
+    for (int row : *rows) {
+      TupleId id{rel, row};
+      if (!db.IsActive(id)) continue;
+      const std::vector<Value>& t = db.Row(id);
+      // Unify.
+      std::vector<VarId> newly_bound;
+      bool ok = true;
+      for (int c = 0; c < atom.arity() && ok; ++c) {
+        VarId v = atom.vars[static_cast<size_t>(c)];
+        Value cur = binding[static_cast<size_t>(v)];
+        if (cur == -1) {
+          binding[static_cast<size_t>(v)] = t[static_cast<size_t>(c)];
+          newly_bound.push_back(v);
+        } else if (cur != t[static_cast<size_t>(c)]) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        matched[static_cast<size_t>(ai)] = id;
+        if (!Recurse(depth + 1)) return false;
+      }
+      for (VarId v : newly_bound) binding[static_cast<size_t>(v)] = -1;
+    }
+    return true;
+  }
+
+  bool Emit() {
+    Witness w;
+    w.assignment = binding;
+    w.atom_tuples = matched;
+    for (int i = 0; i < q.num_atoms(); ++i) {
+      if (!q.atom(i).exogenous) {
+        w.endo_tuples.push_back(matched[static_cast<size_t>(i)]);
+      }
+    }
+    std::sort(w.endo_tuples.begin(), w.endo_tuples.end());
+    w.endo_tuples.erase(
+        std::unique(w.endo_tuples.begin(), w.endo_tuples.end()),
+        w.endo_tuples.end());
+    out->push_back(std::move(w));
+    return out->size() < limit;
+  }
+};
+
+}  // namespace
+
+std::vector<Witness> EnumerateWitnesses(const Query& q, const Database& db,
+                                        size_t limit) {
+  std::vector<Witness> out;
+  if (limit == 0) return out;
+  Enumerator e{q, db, limit, &out, {}, {}, {}, {}, {}};
+  e.Run();
+  return out;
+}
+
+bool QueryHolds(const Query& q, const Database& db) {
+  return !EnumerateWitnesses(q, db, 1).empty();
+}
+
+std::vector<std::vector<TupleId>> WitnessTupleSets(const Query& q,
+                                                   const Database& db) {
+  std::vector<Witness> witnesses = EnumerateWitnesses(q, db);
+  std::set<std::vector<TupleId>> sets;
+  for (Witness& w : witnesses) sets.insert(std::move(w.endo_tuples));
+  return std::vector<std::vector<TupleId>>(sets.begin(), sets.end());
+}
+
+}  // namespace rescq

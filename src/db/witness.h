@@ -1,0 +1,41 @@
+#ifndef RESCQ_DB_WITNESS_H_
+#define RESCQ_DB_WITNESS_H_
+
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+
+namespace rescq {
+
+/// One witness of D |= q: a valuation of all (existential) variables that
+/// makes q true, together with the tuples matched by each atom.
+struct Witness {
+  /// Value per query VarId.
+  std::vector<Value> assignment;
+  /// Matched tuple per atom (atom order of the query). Two atoms of a
+  /// self-join relation may match the same tuple.
+  std::vector<TupleId> atom_tuples;
+  /// The endogenous tuples used, sorted and deduplicated. This is the set
+  /// a contingency set must intersect to kill this witness.
+  std::vector<TupleId> endo_tuples;
+};
+
+/// Enumerates all witnesses of q over the *active* tuples of db.
+/// `limit` caps the number returned (guards against blowup in
+/// exploratory callers); the default is effectively unbounded.
+std::vector<Witness> EnumerateWitnesses(const Query& q, const Database& db,
+                                        size_t limit = ~size_t{0});
+
+/// True if D |= q (early-exits at the first witness).
+bool QueryHolds(const Query& q, const Database& db);
+
+/// The distinct endogenous tuple-sets of all witnesses (deduplicated;
+/// each set sorted). Resilience is the minimum hitting set of this
+/// family; a witness with an empty set makes q unbreakable.
+std::vector<std::vector<TupleId>> WitnessTupleSets(const Query& q,
+                                                   const Database& db);
+
+}  // namespace rescq
+
+#endif  // RESCQ_DB_WITNESS_H_

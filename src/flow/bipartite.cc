@@ -1,0 +1,88 @@
+#include "flow/bipartite.h"
+
+#include "util/check.h"
+
+namespace rescq {
+
+BipartiteCover::BipartiteCover(int num_left, int num_right)
+    : num_left_(num_left),
+      num_right_(num_right),
+      adj_(static_cast<size_t>(num_left)),
+      match_left_(static_cast<size_t>(num_left), -1),
+      match_right_(static_cast<size_t>(num_right), -1) {}
+
+void BipartiteCover::AddEdge(int left, int right) {
+  RESCQ_CHECK(!computed_);
+  RESCQ_CHECK(left >= 0 && left < num_left_);
+  RESCQ_CHECK(right >= 0 && right < num_right_);
+  adj_[static_cast<size_t>(left)].push_back(right);
+}
+
+bool BipartiteCover::TryKuhn(int u, std::vector<bool>& visited) {
+  for (int v : adj_[static_cast<size_t>(u)]) {
+    if (visited[static_cast<size_t>(v)]) continue;
+    visited[static_cast<size_t>(v)] = true;
+    if (match_right_[static_cast<size_t>(v)] == -1 ||
+        TryKuhn(match_right_[static_cast<size_t>(v)], visited)) {
+      match_left_[static_cast<size_t>(u)] = v;
+      match_right_[static_cast<size_t>(v)] = u;
+      return true;
+    }
+  }
+  return false;
+}
+
+void BipartiteCover::MarkAlternating(int u) {
+  if (left_visited_[static_cast<size_t>(u)]) return;
+  left_visited_[static_cast<size_t>(u)] = true;
+  for (int v : adj_[static_cast<size_t>(u)]) {
+    if (right_visited_[static_cast<size_t>(v)]) continue;
+    right_visited_[static_cast<size_t>(v)] = true;
+    if (match_right_[static_cast<size_t>(v)] != -1) {
+      MarkAlternating(match_right_[static_cast<size_t>(v)]);
+    }
+  }
+}
+
+void BipartiteCover::Compute() {
+  RESCQ_CHECK(!computed_);
+  computed_ = true;
+  for (int u = 0; u < num_left_; ++u) {
+    std::vector<bool> visited(static_cast<size_t>(num_right_), false);
+    if (TryKuhn(u, visited)) ++matching_size_;
+  }
+  // König: Z = vertices reachable from unmatched left vertices along
+  // alternating paths; cover = (L \ Z) ∪ (R ∩ Z).
+  left_visited_.assign(static_cast<size_t>(num_left_), false);
+  right_visited_.assign(static_cast<size_t>(num_right_), false);
+  for (int u = 0; u < num_left_; ++u) {
+    if (match_left_[static_cast<size_t>(u)] == -1) MarkAlternating(u);
+  }
+  left_in_cover_.assign(static_cast<size_t>(num_left_), false);
+  right_in_cover_.assign(static_cast<size_t>(num_right_), false);
+  for (int u = 0; u < num_left_; ++u) {
+    left_in_cover_[static_cast<size_t>(u)] =
+        !left_visited_[static_cast<size_t>(u)];
+  }
+  for (int v = 0; v < num_right_; ++v) {
+    right_in_cover_[static_cast<size_t>(v)] =
+        right_visited_[static_cast<size_t>(v)];
+  }
+  // Isolated left vertices are never in Z's complement's useful part:
+  // exclude lefts with no edges from the cover.
+  for (int u = 0; u < num_left_; ++u) {
+    if (adj_[static_cast<size_t>(u)].empty()) {
+      left_in_cover_[static_cast<size_t>(u)] = false;
+    }
+  }
+}
+
+int BipartiteCover::CoverSize() const {
+  RESCQ_CHECK(computed_);
+  int n = 0;
+  for (bool b : left_in_cover_) n += b ? 1 : 0;
+  for (bool b : right_in_cover_) n += b ? 1 : 0;
+  return n;
+}
+
+}  // namespace rescq

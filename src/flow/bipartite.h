@@ -1,0 +1,45 @@
+#ifndef RESCQ_FLOW_BIPARTITE_H_
+#define RESCQ_FLOW_BIPARTITE_H_
+
+#include <vector>
+
+namespace rescq {
+
+/// Minimum vertex cover of a bipartite graph via König's theorem:
+/// compute a maximum matching (Kuhn's algorithm), then take
+/// (left \ Z) ∪ (right ∩ Z) where Z is the set of vertices reachable from
+/// unmatched left vertices by alternating paths.
+class BipartiteCover {
+ public:
+  BipartiteCover(int num_left, int num_right);
+
+  void AddEdge(int left, int right);
+
+  /// Computes a minimum vertex cover; call once.
+  void Compute();
+
+  int CoverSize() const;
+  const std::vector<bool>& left_in_cover() const { return left_in_cover_; }
+  const std::vector<bool>& right_in_cover() const { return right_in_cover_; }
+  int MatchingSize() const { return matching_size_; }
+
+ private:
+  bool TryKuhn(int u, std::vector<bool>& visited);
+  void MarkAlternating(int u);
+
+  int num_left_;
+  int num_right_;
+  std::vector<std::vector<int>> adj_;   // left -> rights
+  std::vector<int> match_left_;         // left -> matched right or -1
+  std::vector<int> match_right_;        // right -> matched left or -1
+  std::vector<bool> left_visited_;
+  std::vector<bool> right_visited_;
+  std::vector<bool> left_in_cover_;
+  std::vector<bool> right_in_cover_;
+  int matching_size_ = 0;
+  bool computed_ = false;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_FLOW_BIPARTITE_H_

@@ -1,0 +1,108 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace rescq {
+
+MaxFlow::MaxFlow(int num_nodes) : adj_(static_cast<size_t>(num_nodes)) {}
+
+int MaxFlow::AddEdge(int u, int v, int64_t capacity, int64_t tag) {
+  RESCQ_CHECK(!computed_);
+  RESCQ_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  int idx = static_cast<int>(edge_locator_.size());
+  adj_[static_cast<size_t>(u)].push_back(
+      Edge{v, capacity, static_cast<int>(adj_[static_cast<size_t>(v)].size()),
+           tag, true});
+  adj_[static_cast<size_t>(v)].push_back(
+      Edge{u, 0,
+           static_cast<int>(adj_[static_cast<size_t>(u)].size()) - 1, tag,
+           false});
+  edge_locator_.emplace_back(
+      u, static_cast<int>(adj_[static_cast<size_t>(u)].size()) - 1);
+  return idx;
+}
+
+int MaxFlow::AddNode() {
+  RESCQ_CHECK(!computed_);
+  adj_.emplace_back();
+  return num_nodes() - 1;
+}
+
+bool MaxFlow::Bfs(int s, int t) {
+  level_.assign(adj_.size(), -1);
+  std::deque<int> queue = {s};
+  level_[static_cast<size_t>(s)] = 0;
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    for (const Edge& e : adj_[static_cast<size_t>(u)]) {
+      if (e.capacity > 0 && level_[static_cast<size_t>(e.to)] < 0) {
+        level_[static_cast<size_t>(e.to)] = level_[static_cast<size_t>(u)] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(t)] >= 0;
+}
+
+int64_t MaxFlow::Dfs(int u, int t, int64_t limit) {
+  if (u == t) return limit;
+  for (size_t& i = iter_[static_cast<size_t>(u)];
+       i < adj_[static_cast<size_t>(u)].size(); ++i) {
+    Edge& e = adj_[static_cast<size_t>(u)][i];
+    if (e.capacity <= 0 ||
+        level_[static_cast<size_t>(e.to)] !=
+            level_[static_cast<size_t>(u)] + 1) {
+      continue;
+    }
+    int64_t pushed = Dfs(e.to, t, std::min(limit, e.capacity));
+    if (pushed > 0) {
+      e.capacity -= pushed;
+      adj_[static_cast<size_t>(e.to)][static_cast<size_t>(e.rev)].capacity +=
+          pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+int64_t MaxFlow::Compute(int s, int t) {
+  RESCQ_CHECK(!computed_);
+  RESCQ_CHECK_NE(s, t);
+  computed_ = true;
+  source_ = s;
+  int64_t flow = 0;
+  while (Bfs(s, t)) {
+    iter_.assign(adj_.size(), 0);
+    while (int64_t pushed = Dfs(s, t, kInfCapacity)) flow += pushed;
+  }
+  return flow;
+}
+
+bool MaxFlow::OnSourceSide(int node) const {
+  RESCQ_CHECK(computed_);
+  return level_[static_cast<size_t>(node)] >= 0;
+}
+
+std::vector<int> MaxFlow::MinCutEdges() const {
+  RESCQ_CHECK(computed_);
+  // After the final (failed) BFS, level_ marks exactly the residual
+  // s-side. Forward edges from the s-side to the t-side form a min cut.
+  std::vector<int> cut;
+  for (int idx = 0; idx < static_cast<int>(edge_locator_.size()); ++idx) {
+    auto [u, slot] = edge_locator_[static_cast<size_t>(idx)];
+    const Edge& e = adj_[static_cast<size_t>(u)][static_cast<size_t>(slot)];
+    if (OnSourceSide(u) && !OnSourceSide(e.to)) cut.push_back(idx);
+  }
+  return cut;
+}
+
+const MaxFlow::Edge& MaxFlow::edge(int idx) const {
+  auto [u, slot] = edge_locator_[static_cast<size_t>(idx)];
+  return adj_[static_cast<size_t>(u)][static_cast<size_t>(slot)];
+}
+
+}  // namespace rescq

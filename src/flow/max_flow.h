@@ -1,0 +1,65 @@
+#ifndef RESCQ_FLOW_MAX_FLOW_H_
+#define RESCQ_FLOW_MAX_FLOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rescq {
+
+/// Capacity value treated as infinite (edges that must never be cut).
+inline constexpr int64_t kInfCapacity = int64_t{1} << 40;
+
+/// Dinic max-flow over an explicit residual graph, with min-cut
+/// extraction. Nodes are dense ints; edges carry a caller-supplied tag so
+/// cut edges can be mapped back to domain objects (tuples).
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds a directed edge u -> v with the given capacity; returns the
+  /// edge's index for later inspection. `tag` is an arbitrary caller id
+  /// (-1 = untagged).
+  int AddEdge(int u, int v, int64_t capacity, int64_t tag = -1);
+
+  /// Adds a fresh node, returning its index.
+  int AddNode();
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+  /// Computes the max flow from s to t. May be called once per instance.
+  int64_t Compute(int s, int t);
+
+  /// After Compute: indices of saturated edges crossing the s-side/t-side
+  /// partition of the residual graph (a minimum cut).
+  std::vector<int> MinCutEdges() const;
+
+  /// After Compute: true if `node` is reachable from s in the residual
+  /// graph.
+  bool OnSourceSide(int node) const;
+
+  struct Edge {
+    int to;
+    int64_t capacity;  // residual capacity
+    int rev;           // index of the reverse edge in adj_[to]
+    int64_t tag;
+    bool forward;      // original (non-residual) edge
+  };
+
+  const Edge& edge(int idx) const;
+
+ private:
+  bool Bfs(int s, int t);
+  int64_t Dfs(int u, int t, int64_t limit);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::pair<int, int>> edge_locator_;  // edge idx -> (node, slot)
+  std::vector<int> level_;
+  std::vector<size_t> iter_;
+  int source_ = -1;
+  bool computed_ = false;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_FLOW_MAX_FLOW_H_

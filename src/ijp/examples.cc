@@ -1,0 +1,89 @@
+#include "ijp/examples.h"
+
+#include "cq/parser.h"
+
+namespace rescq {
+
+namespace {
+
+Value V(Database& db, int i) { return db.InternIndexed("n", i); }
+
+}  // namespace
+
+IjpExample BuildIjpExample58() {
+  IjpExample out;
+  out.query = MustParseQuery("R(x), S(x,y), R(y)");
+  Database& db = out.db;
+  out.endpoint_a = db.AddTuple("R", {V(db, 1)});
+  db.AddTuple("S", {V(db, 1), V(db, 2)});
+  out.endpoint_b = db.AddTuple("R", {V(db, 2)});
+  out.expected_resilience = 1;
+  return out;
+}
+
+IjpExample BuildIjpExample59() {
+  IjpExample out;
+  out.query = MustParseQuery("R(x,y), S(y,z), T(z,x)");
+  Database& db = out.db;
+  out.endpoint_a = db.AddTuple("R", {V(db, 1), V(db, 2)});
+  db.AddTuple("R", {V(db, 4), V(db, 2)});
+  out.endpoint_b = db.AddTuple("R", {V(db, 4), V(db, 5)});
+  db.AddTuple("S", {V(db, 2), V(db, 3)});
+  db.AddTuple("S", {V(db, 5), V(db, 3)});
+  db.AddTuple("T", {V(db, 3), V(db, 1)});
+  db.AddTuple("T", {V(db, 3), V(db, 4)});
+  out.expected_resilience = 2;
+  return out;
+}
+
+namespace {
+
+IjpExample BuildExample60Impl(bool as_printed) {
+  IjpExample out;
+  out.query = MustParseQuery("A(x), R(x,y), R(y,z), R(z,z)");
+  Database& db = out.db;
+  db.AddTuple("A", {V(db, 1)});
+  db.AddTuple("A", {V(db, 4)});
+  db.AddTuple("A", {V(db, 5)});
+  out.endpoint_a = db.AddTuple("A", {V(db, 9)});
+  out.endpoint_b = db.AddTuple("A", {V(db, 13)});
+  const int r_pairs[][2] = {{1, 2},   {2, 2},   {2, 3},   {3, 3},
+                            {4, 1},   {5, 6},   {6, 7},   {7, 7},
+                            {8, 7},   {9, 8},   {1, 10},  {10, 11},
+                            {11, 11}, {12, 11}, {13, 12}};
+  for (auto [a, b] : r_pairs) db.AddTuple("R", {V(db, a), V(db, b)});
+  if (as_printed) {
+    // The paper's attachment of A(5) to the 2-loop; together with
+    // R(2,3), R(3,3) it creates the undrawn witness (5,2,3).
+    db.AddTuple("R", {V(db, 5), V(db, 2)});
+  } else {
+    // Repair: a private hop 5 -> 2c -> 2 keeps witness (5,2c,2) but
+    // cannot continue to the 3-loop.
+    db.AddTuple("R", {V(db, 5), V(db, 20)});
+    db.AddTuple("R", {V(db, 20), V(db, 2)});
+  }
+  out.expected_resilience = 4;
+  return out;
+}
+
+}  // namespace
+
+IjpExample BuildIjpExample60() { return BuildExample60Impl(false); }
+
+IjpExample BuildIjpExample60AsPrinted() { return BuildExample60Impl(true); }
+
+IjpExample BuildIjpExample61() {
+  IjpExample out;
+  out.query = MustParseQuery("A^x(x), R(x), S(x,y), S(z,y), R(z), B^x(z)");
+  Database& db = out.db;
+  out.endpoint_a = db.AddTuple("R", {V(db, 1)});
+  db.AddTuple("A", {V(db, 1)});
+  db.AddTuple("S", {V(db, 1), V(db, 2)});
+  db.AddTuple("S", {V(db, 3), V(db, 2)});
+  out.endpoint_b = db.AddTuple("R", {V(db, 3)});
+  db.AddTuple("B", {V(db, 3)});
+  out.expected_resilience = 1;
+  return out;
+}
+
+}  // namespace rescq

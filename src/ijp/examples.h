@@ -1,0 +1,45 @@
+#ifndef RESCQ_IJP_EXAMPLES_H_
+#define RESCQ_IJP_EXAMPLES_H_
+
+#include "cq/query.h"
+#include "db/database.h"
+
+namespace rescq {
+
+/// The worked IJP examples of Appendix C.1. Each builder returns the
+/// example's database and endpoint tuples for use with CheckIjp.
+struct IjpExample {
+  Query query;
+  Database db;
+  TupleId endpoint_a;
+  TupleId endpoint_b;
+  int expected_resilience;  // the c quoted by the paper
+};
+
+/// Example 58: the 3-tuple IJP for q_vc (c = 1).
+IjpExample BuildIjpExample58();
+
+/// Example 59: the 7-tuple IJP for the triangle query (c = 2).
+IjpExample BuildIjpExample59();
+
+/// Example 60: the IJP for z5 (c = 4), with one repair. As printed, the
+/// paper's 21-tuple database admits a ninth witness (5,2,3) =
+/// {A(5),R(5,2),R(2,3),R(3,3)} that Figure 19 does not draw; it breaks
+/// condition 5 for endpoint A(13) (after removing A(13) the minimum
+/// contingency set has size 4, not c-1 = 3). Rerouting A(5)'s attachment
+/// through a private node — R(5,2c),R(2c,2) instead of R(5,2) — removes
+/// the spurious witness and restores the or-property exactly as the
+/// figure intends. See BuildIjpExample60AsPrinted for the original.
+IjpExample BuildIjpExample60();
+
+/// Example 60 exactly as printed in the paper (21 tuples). CheckIjp
+/// rejects it at condition 5 — the erratum described above.
+IjpExample BuildIjpExample60AsPrinted();
+
+/// Example 61: the *failed* IJP attempt for
+/// A^x(x),R(x),S(x,y),S(z,y),R(z),B^x(z); condition 4 rejects it.
+IjpExample BuildIjpExample61();
+
+}  // namespace rescq
+
+#endif  // RESCQ_IJP_EXAMPLES_H_

@@ -1,0 +1,49 @@
+#ifndef RESCQ_IJP_IJP_SEARCH_H_
+#define RESCQ_IJP_IJP_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "ijp/ijp.h"
+
+namespace rescq {
+
+/// Options for the automated IJP search (Appendix C.2).
+struct IjpSearchOptions {
+  int min_joins = 1;
+  int max_joins = 3;
+  /// Cap on partitions examined per join count (Bell numbers explode).
+  uint64_t max_partitions = 1u << 22;
+  /// Skip partitions that merge two constants of the same join; the
+  /// canonical witnesses stay intact and the search space shrinks
+  /// (Example 62's winning partition has this form).
+  bool prune_within_join = true;
+};
+
+/// Result of an automated IJP search.
+struct IjpSearchResult {
+  bool found = false;
+  int joins = 0;                     // k of the successful round
+  uint64_t partitions_examined = 0;  // across all rounds
+  uint64_t candidates_checked = 0;   // endpoint pairs fully checked
+  Database db;                       // the IJP database (when found)
+  TupleId endpoint_a;
+  TupleId endpoint_b;
+  int resilience = 0;                // base resilience c
+  std::string description;
+};
+
+/// Implements the Appendix C.2 procedure: for k = min_joins..max_joins,
+/// lay out k disjoint canonical databases of q (one witness each, fresh
+/// constants), enumerate set partitions of the constants, merge, and test
+/// every endpoint pair of every endogenous relation with CheckIjp.
+/// Finding an IJP is (conjectured, Conjecture 49) a proof that RES(q) is
+/// NP-complete.
+IjpSearchResult SearchForIjp(const Query& q,
+                             const IjpSearchOptions& options = {});
+
+}  // namespace rescq
+
+#endif  // RESCQ_IJP_IJP_SEARCH_H_

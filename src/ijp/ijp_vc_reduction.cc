@@ -1,0 +1,62 @@
+#include "ijp/ijp_vc_reduction.h"
+
+#include <set>
+
+#include "reductions/vertex_cover.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+std::optional<IjpVcInstance> BuildIjpVcInstance(
+    const Query& q, const Database& ijp_db, TupleId endpoint_a,
+    TupleId endpoint_b, int base_resilience, const Graph& g) {
+  std::set<Value> set_a(ijp_db.Row(endpoint_a).begin(),
+                        ijp_db.Row(endpoint_a).end());
+  std::set<Value> set_b(ijp_db.Row(endpoint_b).begin(),
+                        ijp_db.Row(endpoint_b).end());
+  for (Value v : set_a) {
+    if (set_b.count(v)) return std::nullopt;  // endpoints share constants
+  }
+  // Role consistency: a vertex must not appear on both edge sides.
+  std::set<int> as_a, as_b;
+  for (auto [u, v] : g.edges) {
+    as_a.insert(u);
+    as_b.insert(v);
+  }
+  for (int u : as_a) {
+    if (as_b.count(u)) return std::nullopt;
+  }
+
+  IjpVcInstance out;
+  out.query = q;
+  out.base_resilience = base_resilience;
+  int edge_idx = 0;
+  for (auto [u, v] : g.edges) {
+    // Rename constants: endpoint-a constants -> vertex u, endpoint-b
+    // constants -> vertex v, interior constants -> edge-fresh.
+    auto rename = [&, u = u, v = v](Value orig) {
+      const std::string& name = ijp_db.ValueName(orig);
+      if (set_a.count(orig)) {
+        return out.db.Intern(StrFormat("u%d_%s", u, name.c_str()));
+      }
+      if (set_b.count(orig)) {
+        return out.db.Intern(StrFormat("u%d_%s", v, name.c_str()));
+      }
+      return out.db.Intern(StrFormat("e%d_%s", edge_idx, name.c_str()));
+    };
+    for (int rel = 0; rel < ijp_db.num_relations(); ++rel) {
+      for (TupleId t : ijp_db.ActiveTuples(rel)) {
+        std::vector<Value> row;
+        for (Value val : ijp_db.Row(t)) row.push_back(rename(val));
+        out.db.AddTuple(ijp_db.relation_name(rel), row);
+      }
+    }
+    ++edge_idx;
+  }
+  out.expected_resilience =
+      MinVertexCover(g).size +
+      static_cast<int>(g.edges.size()) * (base_resilience - 1);
+  return out;
+}
+
+}  // namespace rescq

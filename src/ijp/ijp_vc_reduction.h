@@ -1,0 +1,40 @@
+#ifndef RESCQ_IJP_IJP_VC_REDUCTION_H_
+#define RESCQ_IJP_IJP_VC_REDUCTION_H_
+
+#include <optional>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "reductions/graph.h"
+
+namespace rescq {
+
+/// The generalized Vertex-Cover reduction behind Conjecture 49 (Fig. 8):
+/// given an IJP for q with endpoint tuples R(a), R(b) and base resilience
+/// c, every graph edge (u,v) becomes a fresh copy of the IJP database in
+/// which endpoint a's constants are renamed to vertex-u constants and
+/// endpoint b's to vertex-v constants (interior constants are
+/// edge-fresh). A vertex's tuple is shared by all its incident copies.
+/// The or-property then composes:
+///
+///    ρ(q, D_G) = VC(G) + |E(G)| · (c - 1).
+///
+/// Requirements (returns nullopt otherwise):
+///  - the endpoint tuples use disjoint constant sets;
+///  - the orientation is role-consistent: every vertex appears only as
+///    the first component of edges (role a) or only as the second
+///    (role b) — e.g. any bipartite orientation.
+struct IjpVcInstance {
+  Database db;
+  Query query;
+  int base_resilience;       // c
+  int expected_resilience;   // VC(G) + |E|·(c-1), filled by the caller's VC
+};
+
+std::optional<IjpVcInstance> BuildIjpVcInstance(
+    const Query& q, const Database& ijp_db, TupleId endpoint_a,
+    TupleId endpoint_b, int base_resilience, const Graph& oriented_edges);
+
+}  // namespace rescq
+
+#endif  // RESCQ_IJP_IJP_VC_REDUCTION_H_

@@ -1,0 +1,66 @@
+#include "reductions/cnf.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+std::string CnfFormula::ToString() const {
+  std::vector<std::string> parts;
+  for (const Clause& c : clauses) {
+    std::string s = "(";
+    for (size_t i = 0; i < c.literals.size(); ++i) {
+      if (i > 0) s += " | ";
+      if (!c.literals[i].positive) s += "!";
+      s += StrFormat("x%d", c.literals[i].var);
+    }
+    s += ")";
+    parts.push_back(std::move(s));
+  }
+  return Join(parts, " & ");
+}
+
+bool Evaluate(const CnfFormula& f, const std::vector<bool>& assignment) {
+  return CountSatisfied(f, assignment) ==
+         static_cast<int>(f.clauses.size());
+}
+
+int CountSatisfied(const CnfFormula& f, const std::vector<bool>& assignment) {
+  RESCQ_CHECK_EQ(static_cast<int>(assignment.size()), f.num_vars);
+  int count = 0;
+  for (const Clause& c : f.clauses) {
+    for (const Literal& l : c.literals) {
+      if (assignment[static_cast<size_t>(l.var)] == l.positive) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+CnfFormula RandomCnf(int num_vars, int num_clauses, int clause_size,
+                     Rng& rng) {
+  RESCQ_CHECK_LE(clause_size, num_vars);
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<int> vars(static_cast<size_t>(num_vars));
+    for (int v = 0; v < num_vars; ++v) vars[static_cast<size_t>(v)] = v;
+    // Partial Fisher-Yates for `clause_size` distinct variables.
+    Clause clause;
+    for (int i = 0; i < clause_size; ++i) {
+      size_t j = static_cast<size_t>(i) +
+                 rng.Below(static_cast<uint64_t>(num_vars - i));
+      std::swap(vars[static_cast<size_t>(i)], vars[j]);
+      clause.literals.push_back(
+          Literal{vars[static_cast<size_t>(i)], rng.Chance(1, 2)});
+    }
+    f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+}  // namespace rescq

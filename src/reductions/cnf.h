@@ -1,0 +1,42 @@
+#ifndef RESCQ_REDUCTIONS_CNF_H_
+#define RESCQ_REDUCTIONS_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rescq {
+
+/// A literal: variable index (0-based) with a sign.
+struct Literal {
+  int var;
+  bool positive;
+};
+
+struct Clause {
+  std::vector<Literal> literals;
+};
+
+/// A CNF formula over `num_vars` Boolean variables.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  std::string ToString() const;
+};
+
+/// True if `assignment` (one bool per variable) satisfies the formula.
+bool Evaluate(const CnfFormula& f, const std::vector<bool>& assignment);
+
+/// Number of clauses satisfied by `assignment`.
+int CountSatisfied(const CnfFormula& f, const std::vector<bool>& assignment);
+
+/// Random k-CNF: each clause picks `clause_size` distinct variables with
+/// random signs. Requires clause_size <= num_vars.
+CnfFormula RandomCnf(int num_vars, int num_clauses, int clause_size,
+                     Rng& rng);
+
+}  // namespace rescq
+
+#endif  // RESCQ_REDUCTIONS_CNF_H_

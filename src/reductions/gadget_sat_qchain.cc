@@ -1,0 +1,68 @@
+#include "reductions/gadget_sat_qchain.h"
+
+#include "cq/parser.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+SatChainGadget BuildSatQchainGadget(const CnfFormula& f) {
+  RESCQ_CHECK_GT(static_cast<int>(f.clauses.size()), 0);
+  for (const Clause& c : f.clauses) {
+    RESCQ_CHECK_EQ(static_cast<int>(c.literals.size()), 3);
+  }
+  SatChainGadget out;
+  out.query = MustParseQuery("R(x,y), R(y,z)");
+  Database& db = out.db;
+  const int n = f.num_vars;
+  const int m = static_cast<int>(f.clauses.size());
+  out.k = n * m + 5 * m;
+
+  // Variable-gadget node names: pos(v,j) = v^j, neg(v,j) = v̄^j
+  // (segment indices taken mod m).
+  auto pos_node = [&](int v, int j) {
+    return db.Intern(StrFormat("v%d_p%d", v, j % m));
+  };
+  auto neg_node = [&](int v, int j) {
+    return db.Intern(StrFormat("v%d_n%d", v, j % m));
+  };
+  // Variable gadgets: cycles blue_j = (v^j -> v̄^j), red_j = (v̄^j -> v^{j+1}).
+  for (int v = 0; v < n; ++v) {
+    for (int j = 0; j < m; ++j) {
+      db.AddTuple("R", {pos_node(v, j), neg_node(v, j)});      // blue_j
+      db.AddTuple("R", {neg_node(v, j), pos_node(v, j + 1)});  // red_j
+    }
+  }
+  // Clause gadgets.
+  for (int j = 0; j < m; ++j) {
+    Value a = db.Intern(StrFormat("c%d_a", j));
+    Value b = db.Intern(StrFormat("c%d_b", j));
+    Value c = db.Intern(StrFormat("c%d_c", j));
+    Value ap = db.Intern(StrFormat("c%d_a'", j));
+    Value bp = db.Intern(StrFormat("c%d_b'", j));
+    Value cp = db.Intern(StrFormat("c%d_c'", j));
+    // Triangle t1,t2,t3.
+    db.AddTuple("R", {a, b});
+    db.AddTuple("R", {b, c});
+    db.AddTuple("R", {c, a});
+    // Feeders s1,s2,s3.
+    db.AddTuple("R", {ap, a});
+    db.AddTuple("R", {bp, b});
+    db.AddTuple("R", {cp, c});
+    // Connectors u1,u2,u3: from the node where the literal's "false
+    // witness" lives. For a positive literal v the blue edge ends at
+    // v̄^j, so u starts there; for a negative literal the red edge ends
+    // at v^{j+1}.
+    Value primed[3] = {ap, bp, cp};
+    for (int i = 0; i < 3; ++i) {
+      const Literal& lit = f.clauses[static_cast<size_t>(j)]
+                               .literals[static_cast<size_t>(i)];
+      Value from = lit.positive ? neg_node(lit.var, j)
+                                : pos_node(lit.var, j + 1);
+      db.AddTuple("R", {from, primed[i]});
+    }
+  }
+  return out;
+}
+
+}  // namespace rescq

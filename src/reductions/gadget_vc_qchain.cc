@@ -1,0 +1,29 @@
+#include "reductions/gadget_vc_qchain.h"
+
+#include "cq/parser.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+VcChainGadget BuildVcQchainGadget(const Graph& g) {
+  VcChainGadget out;
+  out.query = MustParseQuery("R(x,y), R(y,z)");
+  out.offset = static_cast<int>(g.edges.size());
+  Database& db = out.db;
+  std::vector<Value> vin, vout;
+  for (int v = 0; v < g.num_vertices; ++v) {
+    vin.push_back(db.Intern(StrFormat("u%d_in", v)));
+    vout.push_back(db.Intern(StrFormat("u%d_out", v)));
+    out.vertex_tuples.push_back(db.AddTuple(
+        "R", {vin[static_cast<size_t>(v)], vout[static_cast<size_t>(v)]}));
+  }
+  int edge_idx = 0;
+  for (auto [u, v] : g.edges) {
+    Value w = db.Intern(StrFormat("e%d_mid", edge_idx++));
+    db.AddTuple("R", {vout[static_cast<size_t>(u)], w});  // p1
+    db.AddTuple("R", {w, vin[static_cast<size_t>(v)]});   // p2
+  }
+  return out;
+}
+
+}  // namespace rescq

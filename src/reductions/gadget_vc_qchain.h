@@ -1,0 +1,31 @@
+#ifndef RESCQ_REDUCTIONS_GADGET_VC_QCHAIN_H_
+#define RESCQ_REDUCTIONS_GADGET_VC_QCHAIN_H_
+
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "reductions/graph.h"
+
+namespace rescq {
+
+/// VC ≤ RES(q_chain) via the "or-property" path idea behind Independent
+/// Join Paths (Figure 8): every vertex u becomes an edge
+/// e_u = R(u_in, u_out), and every graph edge {u,v} becomes the 3-arc
+/// path e_u -> p1 -> p2 -> e_v. If at least one endpoint tuple is
+/// deleted, the leftover path is broken with 1 extra tuple; otherwise it
+/// costs 2. Hence
+///
+///    ρ(q_chain, D_G) = VC(G) + |E(G)|.
+struct VcChainGadget {
+  Database db;
+  Query query;
+  int offset;  // |E(G)|: ρ = VC(G) + offset
+  std::vector<TupleId> vertex_tuples;  // e_u per vertex
+};
+
+VcChainGadget BuildVcQchainGadget(const Graph& g);
+
+}  // namespace rescq
+
+#endif  // RESCQ_REDUCTIONS_GADGET_VC_QCHAIN_H_

@@ -1,0 +1,23 @@
+#include "reductions/gadget_vc_qvc.h"
+
+#include "cq/parser.h"
+
+namespace rescq {
+
+VcQvcGadget BuildVcQvcGadget(const Graph& g) {
+  VcQvcGadget out;
+  out.query = MustParseQuery("R(x), S(x,y), R(y)");
+  std::vector<Value> verts;
+  for (int v = 0; v < g.num_vertices; ++v) {
+    Value val = out.db.InternIndexed("v", v);
+    verts.push_back(val);
+    out.db.AddTuple("R", {val});
+  }
+  for (auto [u, v] : g.edges) {
+    out.db.AddTuple("S", {verts[static_cast<size_t>(u)],
+                          verts[static_cast<size_t>(v)]});
+  }
+  return out;
+}
+
+}  // namespace rescq

@@ -1,0 +1,23 @@
+#ifndef RESCQ_REDUCTIONS_GADGET_VC_QVC_H_
+#define RESCQ_REDUCTIONS_GADGET_VC_QVC_H_
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "reductions/graph.h"
+
+namespace rescq {
+
+/// Proposition 9: the reduction VC ≤ RES(q_vc) for
+/// q_vc :- R(x), S(x,y), R(y). Vertices become R-tuples, edges S-tuples;
+/// ρ(q_vc, D_G) equals the minimum vertex cover of G exactly:
+///   (G, k) ∈ VC  ⟺  (D_G, k) ∈ RES(q_vc).
+struct VcQvcGadget {
+  Database db;
+  Query query;
+};
+
+VcQvcGadget BuildVcQvcGadget(const Graph& g);
+
+}  // namespace rescq
+
+#endif  // RESCQ_REDUCTIONS_GADGET_VC_QVC_H_

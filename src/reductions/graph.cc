@@ -1,0 +1,44 @@
+#include "reductions/graph.h"
+
+namespace rescq {
+
+Graph RandomGraph(int n, uint64_t p_num, uint64_t p_den, Rng& rng) {
+  Graph g;
+  g.num_vertices = n;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Chance(p_num, p_den)) g.edges.emplace_back(u, v);
+    }
+  }
+  return g;
+}
+
+Graph CycleGraph(int n) {
+  Graph g;
+  g.num_vertices = n;
+  for (int i = 0; i < n; ++i) {
+    int j = (i + 1) % n;
+    g.edges.emplace_back(std::min(i, j), std::max(i, j));
+  }
+  return g;
+}
+
+Graph CompleteGraph(int n) {
+  Graph g;
+  g.num_vertices = n;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.edges.emplace_back(u, v);
+  }
+  return g;
+}
+
+Graph PetersenGraph() {
+  Graph g;
+  g.num_vertices = 10;
+  g.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4},   // outer cycle
+             {5, 7}, {7, 9}, {6, 9}, {6, 8}, {5, 8},   // inner pentagram
+             {0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}};  // spokes
+  return g;
+}
+
+}  // namespace rescq

@@ -1,0 +1,27 @@
+#ifndef RESCQ_REDUCTIONS_GRAPH_H_
+#define RESCQ_REDUCTIONS_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rescq {
+
+/// A simple undirected graph on vertices 0..num_vertices-1.
+struct Graph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;  // (u,v) with u < v, no dups
+};
+
+/// Erdős–Rényi G(n, p) with p = p_num / p_den.
+Graph RandomGraph(int n, uint64_t p_num, uint64_t p_den, Rng& rng);
+
+/// Named small graphs used in tests/benchmarks.
+Graph CycleGraph(int n);
+Graph CompleteGraph(int n);
+Graph PetersenGraph();
+
+}  // namespace rescq
+
+#endif  // RESCQ_REDUCTIONS_GRAPH_H_

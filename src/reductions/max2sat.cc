@@ -1,0 +1,22 @@
+#include "reductions/max2sat.h"
+
+#include "util/check.h"
+
+namespace rescq {
+
+int MaxSatisfiableBruteForce(const CnfFormula& f) {
+  RESCQ_CHECK_LE(f.num_vars, 24);
+  int best = 0;
+  uint32_t end = 1u << f.num_vars;
+  std::vector<bool> assignment(static_cast<size_t>(f.num_vars), false);
+  for (uint32_t mask = 0; mask < end; ++mask) {
+    for (int v = 0; v < f.num_vars; ++v) {
+      assignment[static_cast<size_t>(v)] = (mask >> v) & 1;
+    }
+    best = std::max(best, CountSatisfied(f, assignment));
+    if (best == static_cast<int>(f.clauses.size())) break;
+  }
+  return best;
+}
+
+}  // namespace rescq

@@ -1,0 +1,16 @@
+#ifndef RESCQ_REDUCTIONS_MAX2SAT_H_
+#define RESCQ_REDUCTIONS_MAX2SAT_H_
+
+#include "reductions/cnf.h"
+
+namespace rescq {
+
+/// Maximum number of simultaneously satisfiable clauses, by exhaustive
+/// search over assignments. Requires f.num_vars <= 24. Ground-truth
+/// substrate for Max-2SAT-based hardness arguments (Propositions 39, 43,
+/// 47 use Max-2SAT reductions).
+int MaxSatisfiableBruteForce(const CnfFormula& f);
+
+}  // namespace rescq
+
+#endif  // RESCQ_REDUCTIONS_MAX2SAT_H_

@@ -1,0 +1,94 @@
+#include "reductions/sat_solver.h"
+
+namespace rescq {
+
+namespace {
+
+enum class Val : char { kUnset, kTrue, kFalse };
+
+struct Dpll {
+  const CnfFormula& f;
+  std::vector<Val> values;
+
+  bool LiteralTrue(const Literal& l) const {
+    Val v = values[static_cast<size_t>(l.var)];
+    return (v == Val::kTrue && l.positive) || (v == Val::kFalse && !l.positive);
+  }
+  bool LiteralFalse(const Literal& l) const {
+    Val v = values[static_cast<size_t>(l.var)];
+    return (v == Val::kFalse && l.positive) || (v == Val::kTrue && !l.positive);
+  }
+
+  // Returns false on conflict; fills `unit` with a forced literal if any.
+  bool FindUnit(const Literal** unit) const {
+    *unit = nullptr;
+    for (const Clause& c : f.clauses) {
+      int unset = 0;
+      const Literal* last_unset = nullptr;
+      bool satisfied = false;
+      for (const Literal& l : c.literals) {
+        if (LiteralTrue(l)) {
+          satisfied = true;
+          break;
+        }
+        if (!LiteralFalse(l)) {
+          ++unset;
+          last_unset = &l;
+        }
+      }
+      if (satisfied) continue;
+      if (unset == 0) return false;  // conflict
+      if (unset == 1 && *unit == nullptr) *unit = last_unset;
+    }
+    return true;
+  }
+
+  bool Solve() {
+    // Unit propagation to fixpoint.
+    std::vector<std::pair<int, Val>> trail;
+    while (true) {
+      const Literal* unit = nullptr;
+      if (!FindUnit(&unit)) {
+        for (auto& [var, old] : trail) values[static_cast<size_t>(var)] = old;
+        return false;
+      }
+      if (unit == nullptr) break;
+      trail.emplace_back(unit->var, values[static_cast<size_t>(unit->var)]);
+      values[static_cast<size_t>(unit->var)] =
+          unit->positive ? Val::kTrue : Val::kFalse;
+    }
+    int branch = -1;
+    for (int v = 0; v < f.num_vars; ++v) {
+      if (values[static_cast<size_t>(v)] == Val::kUnset) {
+        branch = v;
+        break;
+      }
+    }
+    if (branch == -1) return true;  // all assigned, no conflict
+    for (Val choice : {Val::kTrue, Val::kFalse}) {
+      values[static_cast<size_t>(branch)] = choice;
+      if (Solve()) return true;
+    }
+    values[static_cast<size_t>(branch)] = Val::kUnset;
+    for (auto& [var, old] : trail) values[static_cast<size_t>(var)] = old;
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<bool>> SolveSat(const CnfFormula& f) {
+  Dpll dpll{f, std::vector<Val>(static_cast<size_t>(f.num_vars),
+                                Val::kUnset)};
+  if (!dpll.Solve()) return std::nullopt;
+  std::vector<bool> assignment(static_cast<size_t>(f.num_vars), false);
+  for (int v = 0; v < f.num_vars; ++v) {
+    assignment[static_cast<size_t>(v)] =
+        dpll.values[static_cast<size_t>(v)] == Val::kTrue;
+  }
+  return assignment;
+}
+
+bool IsSatisfiable(const CnfFormula& f) { return SolveSat(f).has_value(); }
+
+}  // namespace rescq

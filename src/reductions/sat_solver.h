@@ -1,0 +1,21 @@
+#ifndef RESCQ_REDUCTIONS_SAT_SOLVER_H_
+#define RESCQ_REDUCTIONS_SAT_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "reductions/cnf.h"
+
+namespace rescq {
+
+/// DPLL SAT solver (unit propagation + first-unassigned branching).
+/// Built as the ground-truth substrate for validating the 3SAT hardness
+/// gadgets; formulas there are tiny, so no watched literals or learning.
+/// Returns a satisfying assignment, or nullopt if unsatisfiable.
+std::optional<std::vector<bool>> SolveSat(const CnfFormula& f);
+
+bool IsSatisfiable(const CnfFormula& f);
+
+}  // namespace rescq
+
+#endif  // RESCQ_REDUCTIONS_SAT_SOLVER_H_

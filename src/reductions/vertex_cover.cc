@@ -1,0 +1,18 @@
+#include "reductions/vertex_cover.h"
+
+#include "resilience/exact_solver.h"
+
+namespace rescq {
+
+VertexCoverResult MinVertexCover(const Graph& g) {
+  VertexCoverResult result;
+  if (g.edges.empty()) return result;
+  std::vector<std::vector<int>> sets;
+  for (auto [u, v] : g.edges) sets.push_back({u, v});
+  HittingSetResult hs = SolveMinHittingSet(sets);
+  result.size = hs.size;
+  result.cover = hs.chosen;
+  return result;
+}
+
+}  // namespace rescq

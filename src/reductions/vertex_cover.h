@@ -1,0 +1,22 @@
+#ifndef RESCQ_REDUCTIONS_VERTEX_COVER_H_
+#define RESCQ_REDUCTIONS_VERTEX_COVER_H_
+
+#include <vector>
+
+#include "reductions/graph.h"
+
+namespace rescq {
+
+/// Exact minimum vertex cover (branch and bound via the hitting-set
+/// solver; graph edges are 2-element sets). Ground truth for the
+/// VC-based hardness reductions.
+struct VertexCoverResult {
+  int size = 0;
+  std::vector<int> cover;
+};
+
+VertexCoverResult MinVertexCover(const Graph& g);
+
+}  // namespace rescq
+
+#endif  // RESCQ_REDUCTIONS_VERTEX_COVER_H_

@@ -1,0 +1,45 @@
+#include "resilience/conf3_solver.h"
+
+#include <algorithm>
+#include <set>
+
+#include "db/witness.h"
+#include "resilience/linear_flow_solver.h"
+#include "util/check.h"
+
+namespace rescq {
+
+std::optional<ResilienceResult> SolveForcedThenFlow(const Query& q,
+                                                    const Database& db) {
+  ResilienceResult result;
+  result.solver = SolverKind::kConf3Forced;
+
+  std::vector<std::vector<TupleId>> sets = WitnessTupleSets(q, db);
+  if (sets.empty()) return result;
+  std::set<TupleId> forced;
+  for (const std::vector<TupleId>& s : sets) {
+    if (s.empty()) {
+      result.unbreakable = true;
+      return result;
+    }
+    if (s.size() == 1) forced.insert(s.front());
+  }
+
+  // Delete the forced tuples, flow on the rest, then restore.
+  Database& mutable_db = const_cast<Database&>(db);
+  for (TupleId t : forced) mutable_db.SetActive(t, false);
+  std::optional<ResilienceResult> flow = SolveLinearFlow(q, mutable_db);
+  for (TupleId t : forced) mutable_db.SetActive(t, true);
+  if (!flow.has_value()) return std::nullopt;
+  RESCQ_CHECK(!flow->unbreakable);
+
+  result.resilience = static_cast<int>(forced.size()) + flow->resilience;
+  result.contingency.assign(forced.begin(), forced.end());
+  result.contingency.insert(result.contingency.end(),
+                            flow->contingency.begin(),
+                            flow->contingency.end());
+  std::sort(result.contingency.begin(), result.contingency.end());
+  return result;
+}
+
+}  // namespace rescq

@@ -1,0 +1,355 @@
+#include "resilience/exact_solver.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace rescq {
+
+namespace {
+
+// State for the branch-and-bound search. Sets are stored once; "open"
+// sets are those not yet hit by the current partial choice.
+struct Solver {
+  std::vector<std::vector<int>> sets;
+  std::vector<std::vector<int>> element_sets;  // element -> set ids
+  int num_elements = 0;
+
+  std::vector<int> hit_count;    // per set: #chosen elements in it
+  std::vector<bool> chosen;      // per element
+  std::vector<int> current;      // chosen stack
+  std::vector<int> best;
+  int best_size = 0;
+
+  void Init(const std::vector<std::vector<int>>& input) {
+    // Deduplicate and discard supersets: hitting a subset hits all of its
+    // supersets.
+    std::vector<std::vector<int>> uniq;
+    {
+      std::set<std::vector<int>> seen;
+      for (const std::vector<int>& s : input) {
+        RESCQ_CHECK(!s.empty());
+        std::vector<int> sorted = s;
+        std::sort(sorted.begin(), sorted.end());
+        sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+        if (seen.insert(sorted).second) uniq.push_back(std::move(sorted));
+      }
+    }
+    std::sort(uniq.begin(), uniq.end(),
+              [](const std::vector<int>& a, const std::vector<int>& b) {
+                return a.size() < b.size();
+              });
+    for (const std::vector<int>& s : uniq) {
+      bool has_subset = false;
+      for (const std::vector<int>& t : sets) {
+        if (t.size() >= s.size()) continue;
+        if (std::includes(s.begin(), s.end(), t.begin(), t.end())) {
+          has_subset = true;
+          break;
+        }
+      }
+      if (!has_subset) sets.push_back(s);
+    }
+    for (const std::vector<int>& s : sets) {
+      for (int e : s) num_elements = std::max(num_elements, e + 1);
+    }
+    element_sets.resize(static_cast<size_t>(num_elements));
+    for (size_t i = 0; i < sets.size(); ++i) {
+      for (int e : sets[i]) {
+        element_sets[static_cast<size_t>(e)].push_back(static_cast<int>(i));
+      }
+    }
+    hit_count.assign(sets.size(), 0);
+    chosen.assign(static_cast<size_t>(num_elements), false);
+  }
+
+  void Choose(int e) {
+    chosen[static_cast<size_t>(e)] = true;
+    current.push_back(e);
+    for (int s : element_sets[static_cast<size_t>(e)]) {
+      ++hit_count[static_cast<size_t>(s)];
+    }
+  }
+
+  void Unchoose(int e) {
+    chosen[static_cast<size_t>(e)] = false;
+    current.pop_back();
+    for (int s : element_sets[static_cast<size_t>(e)]) {
+      --hit_count[static_cast<size_t>(s)];
+    }
+  }
+
+  // Greedy upper bound: repeatedly pick the element hitting the most open
+  // sets. Also used to initialize `best`.
+  void GreedyUpperBound() {
+    std::vector<bool> open(sets.size(), true);
+    size_t open_count = 0;
+    for (size_t i = 0; i < sets.size(); ++i) {
+      open[i] = hit_count[i] == 0;
+      open_count += open[i] ? 1 : 0;
+    }
+    std::vector<int> greedy = current;
+    std::vector<int> freq(static_cast<size_t>(num_elements), 0);
+    while (open_count > 0) {
+      std::fill(freq.begin(), freq.end(), 0);
+      for (size_t i = 0; i < sets.size(); ++i) {
+        if (!open[i]) continue;
+        for (int e : sets[i]) ++freq[static_cast<size_t>(e)];
+      }
+      int best_e = 0;
+      for (int e = 1; e < num_elements; ++e) {
+        if (freq[static_cast<size_t>(e)] > freq[static_cast<size_t>(best_e)]) {
+          best_e = e;
+        }
+      }
+      greedy.push_back(best_e);
+      for (int s : element_sets[static_cast<size_t>(best_e)]) {
+        if (open[static_cast<size_t>(s)]) {
+          open[static_cast<size_t>(s)] = false;
+          --open_count;
+        }
+      }
+    }
+    if (best.empty() || static_cast<int>(greedy.size()) < best_size) {
+      best = greedy;
+      best_size = static_cast<int>(greedy.size());
+    }
+  }
+
+  // Lower bound on additional elements: greedily pack pairwise
+  // element-disjoint open sets; each needs a distinct element.
+  int PackingLowerBound() {
+    int packed = 0;
+    std::vector<bool> used(static_cast<size_t>(num_elements), false);
+    // Smaller sets first makes the packing larger on average; sets are
+    // globally sorted by size already (Init sorts before superset
+    // removal; removal preserves order).
+    for (const std::vector<int>& s : sets) {
+      bool open = true;
+      bool disjoint = true;
+      for (int e : s) {
+        if (chosen[static_cast<size_t>(e)]) {
+          open = false;
+          break;
+        }
+        if (used[static_cast<size_t>(e)]) disjoint = false;
+      }
+      if (!open || !disjoint) continue;
+      ++packed;
+      for (int e : s) used[static_cast<size_t>(e)] = true;
+    }
+    return packed;
+  }
+
+  // Finds the open set with the fewest elements; -1 if none.
+  int PickBranchSet() {
+    int best_set = -1;
+    size_t best_sz = ~size_t{0};
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (hit_count[i] > 0) continue;
+      if (sets[i].size() < best_sz) {
+        best_sz = sets[i].size();
+        best_set = static_cast<int>(i);
+        if (best_sz == 1) break;
+      }
+    }
+    return best_set;
+  }
+
+  void Search() {
+    int branch_set = PickBranchSet();
+    if (branch_set < 0) {
+      if (static_cast<int>(current.size()) < best_size) {
+        best = current;
+        best_size = static_cast<int>(current.size());
+      }
+      return;
+    }
+    int lb = PackingLowerBound();
+    if (static_cast<int>(current.size()) + lb >= best_size) return;
+
+    // Branch over the elements of the smallest open set, most-frequent
+    // first.
+    std::vector<int> elems = sets[static_cast<size_t>(branch_set)];
+    std::sort(elems.begin(), elems.end(), [&](int a, int b) {
+      return element_sets[static_cast<size_t>(a)].size() >
+             element_sets[static_cast<size_t>(b)].size();
+    });
+    for (int e : elems) {
+      Choose(e);
+      Search();
+      Unchoose(e);
+    }
+  }
+};
+
+// Specialized exact vertex cover for the all-sets-size-<=2 case (graph
+// instances; the hardness gadgets produce exactly these). Classic branch
+// and bound: eager degree-0/1 reductions, branching "v in cover" vs
+// "N(v) in cover" on a maximum-degree vertex, greedy-matching lower
+// bound. Cycles and trees collapse under the reductions, which is what
+// the paper's variable gadgets are made of.
+struct VcSolver {
+  std::vector<std::set<int>> adj;
+  std::vector<int> cover;   // current partial cover
+  std::vector<int> best;
+  size_t best_size = ~size_t{0};
+
+  void TakeVertex(int v) {
+    cover.push_back(v);
+    std::set<int> neighbors = adj[static_cast<size_t>(v)];
+    for (int u : neighbors) {
+      adj[static_cast<size_t>(u)].erase(v);
+    }
+    adj[static_cast<size_t>(v)].clear();
+  }
+
+  void Reduce() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t v = 0; v < adj.size(); ++v) {
+        if (adj[v].size() == 1) {
+          TakeVertex(*adj[v].begin());
+          changed = true;
+        }
+      }
+    }
+  }
+
+  size_t MatchingLowerBound() const {
+    std::vector<bool> used(adj.size(), false);
+    size_t matching = 0;
+    for (size_t v = 0; v < adj.size(); ++v) {
+      if (used[v]) continue;
+      for (int u : adj[v]) {
+        if (!used[static_cast<size_t>(u)]) {
+          used[v] = true;
+          used[static_cast<size_t>(u)] = true;
+          ++matching;
+          break;
+        }
+      }
+    }
+    return matching;
+  }
+
+  void Search() {
+    Reduce();
+    int branch = -1;
+    size_t max_deg = 0;
+    for (size_t v = 0; v < adj.size(); ++v) {
+      if (adj[v].size() > max_deg) {
+        max_deg = adj[v].size();
+        branch = static_cast<int>(v);
+      }
+    }
+    if (branch < 0) {
+      if (cover.size() < best_size) {
+        best = cover;
+        best_size = cover.size();
+      }
+      return;
+    }
+    if (cover.size() + MatchingLowerBound() >= best_size) return;
+
+    std::vector<std::set<int>> saved_adj = adj;
+    size_t saved_cover = cover.size();
+    // Branch 1: v in the cover.
+    TakeVertex(branch);
+    Search();
+    adj = saved_adj;
+    cover.resize(saved_cover);
+    // Branch 2: all neighbors of v in the cover.
+    std::set<int> neighbors = adj[static_cast<size_t>(branch)];
+    for (int u : neighbors) TakeVertex(u);
+    Search();
+    adj = saved_adj;
+    cover.resize(saved_cover);
+  }
+};
+
+// Solves the hitting-set instance as vertex cover; `sets` must all have
+// size 1 or 2 (after Init's dedup). Singleton sets are forced.
+HittingSetResult SolveAsVertexCover(const std::vector<std::vector<int>>& sets,
+                                    int num_elements) {
+  std::vector<bool> forced(static_cast<size_t>(num_elements), false);
+  for (const std::vector<int>& s : sets) {
+    if (s.size() == 1) forced[static_cast<size_t>(s[0])] = true;
+  }
+  VcSolver vc;
+  vc.adj.resize(static_cast<size_t>(num_elements));
+  for (const std::vector<int>& s : sets) {
+    if (s.size() != 2) continue;
+    if (forced[static_cast<size_t>(s[0])] || forced[static_cast<size_t>(s[1])]) {
+      continue;  // already hit
+    }
+    vc.adj[static_cast<size_t>(s[0])].insert(s[1]);
+    vc.adj[static_cast<size_t>(s[1])].insert(s[0]);
+  }
+  vc.Search();
+  HittingSetResult result;
+  result.chosen = vc.best;
+  for (int e = 0; e < num_elements; ++e) {
+    if (forced[static_cast<size_t>(e)]) result.chosen.push_back(e);
+  }
+  std::sort(result.chosen.begin(), result.chosen.end());
+  result.size = static_cast<int>(result.chosen.size());
+  return result;
+}
+
+}  // namespace
+
+HittingSetResult SolveMinHittingSet(
+    const std::vector<std::vector<int>>& sets) {
+  HittingSetResult result;
+  if (sets.empty()) return result;
+  Solver solver;
+  solver.Init(sets);
+  bool all_small = true;
+  for (const std::vector<int>& s : solver.sets) {
+    all_small = all_small && s.size() <= 2;
+  }
+  if (all_small) return SolveAsVertexCover(solver.sets, solver.num_elements);
+  solver.best_size = 1 << 30;
+  solver.GreedyUpperBound();
+  solver.Search();
+  result.size = solver.best_size;
+  result.chosen = solver.best;
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+ResilienceResult ComputeResilienceExact(const Query& q, const Database& db) {
+  ResilienceResult result;
+  result.solver = SolverKind::kExact;
+  std::vector<std::vector<TupleId>> witness_sets = WitnessTupleSets(q, db);
+  if (witness_sets.empty()) return result;  // D does not satisfy q
+
+  // Map tuples to dense element ids.
+  std::map<TupleId, int> ids;
+  std::vector<TupleId> tuples;
+  std::vector<std::vector<int>> sets;
+  for (const std::vector<TupleId>& w : witness_sets) {
+    if (w.empty()) {
+      result.unbreakable = true;
+      return result;
+    }
+    std::vector<int> s;
+    for (TupleId t : w) {
+      auto [it, inserted] = ids.emplace(t, static_cast<int>(tuples.size()));
+      if (inserted) tuples.push_back(t);
+      s.push_back(it->second);
+    }
+    sets.push_back(std::move(s));
+  }
+  HittingSetResult hs = SolveMinHittingSet(sets);
+  result.resilience = hs.size;
+  for (int e : hs.chosen) result.contingency.push_back(tuples[static_cast<size_t>(e)]);
+  std::sort(result.contingency.begin(), result.contingency.end());
+  return result;
+}
+
+}  // namespace rescq

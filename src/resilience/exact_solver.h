@@ -1,0 +1,35 @@
+#ifndef RESCQ_RESILIENCE_EXACT_SOLVER_H_
+#define RESCQ_RESILIENCE_EXACT_SOLVER_H_
+
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "db/witness.h"
+#include "resilience/result.h"
+
+namespace rescq {
+
+/// Result of a minimum hitting set computation.
+struct HittingSetResult {
+  int size = 0;
+  std::vector<int> chosen;  // element ids
+};
+
+/// Exact minimum hitting set via branch and bound:
+///  - supersets of other sets are discarded,
+///  - singleton sets force their element,
+///  - branching picks the smallest open set and tries each element,
+///  - lower bound: greedy packing of pairwise-disjoint open sets,
+///  - upper bound: greedy max-frequency hitting.
+/// `sets` must be non-empty sets of non-negative element ids.
+HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets);
+
+/// Exact resilience of q over the active tuples of db: enumerate
+/// witnesses, then solve minimum hitting set over their endogenous
+/// tuple-sets. Works for every conjunctive query; exponential worst case.
+ResilienceResult ComputeResilienceExact(const Query& q, const Database& db);
+
+}  // namespace rescq
+
+#endif  // RESCQ_RESILIENCE_EXACT_SOLVER_H_

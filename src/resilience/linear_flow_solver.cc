@@ -1,0 +1,96 @@
+#include "resilience/linear_flow_solver.h"
+
+#include <algorithm>
+#include <map>
+
+#include "complexity/linearity.h"
+#include "db/witness.h"
+#include "flow/max_flow.h"
+#include "util/check.h"
+
+namespace rescq {
+
+std::optional<ResilienceResult> SolveLinearFlow(
+    const Query& q, const Database& db,
+    const TupleOverride& force_undeletable) {
+  std::optional<std::vector<int>> order_opt = FindLinearOrder(q);
+  if (!order_opt.has_value()) return std::nullopt;
+  const std::vector<int>& order = *order_opt;
+  const int m = q.num_atoms();
+  std::vector<std::vector<VarId>> interfaces = LinearInterfaces(q, order);
+
+  std::vector<Witness> witnesses = EnumerateWitnesses(q, db);
+  ResilienceResult result;
+  result.solver = SolverKind::kLinearFlow;
+  if (witnesses.empty()) return result;
+
+  MaxFlow flow(2);  // s = 0, t = 1
+  const int s = 0;
+  const int t = 1;
+  // Interface nodes: (boundary index, interface values) -> node.
+  std::map<std::pair<int, std::vector<Value>>, int> nodes;
+  auto boundary_node = [&](int boundary, const std::vector<Value>& key) {
+    if (boundary == 0) return s;
+    if (boundary == m) return t;
+    auto [it, inserted] = nodes.try_emplace({boundary, key}, -1);
+    if (inserted) it->second = flow.AddNode();
+    return it->second;
+  };
+  // Edges: (position, tuple) -> edge index; edge tag indexes edge_tuples.
+  std::map<std::pair<int, TupleId>, int> edges;
+  std::vector<TupleId> edge_tuples;
+  std::vector<bool> edge_deletable;
+
+  for (const Witness& w : witnesses) {
+    for (int pos = 0; pos < m; ++pos) {
+      int atom_idx = order[static_cast<size_t>(pos)];
+      TupleId tuple = w.atom_tuples[static_cast<size_t>(atom_idx)];
+      auto key = std::make_pair(pos, tuple);
+      if (edges.count(key)) continue;
+
+      std::vector<Value> left_key, right_key;
+      if (pos > 0) {
+        for (VarId v : interfaces[static_cast<size_t>(pos - 1)]) {
+          left_key.push_back(w.assignment[static_cast<size_t>(v)]);
+        }
+      }
+      if (pos < m - 1) {
+        for (VarId v : interfaces[static_cast<size_t>(pos)]) {
+          right_key.push_back(w.assignment[static_cast<size_t>(v)]);
+        }
+      }
+      int from = boundary_node(pos, left_key);
+      int to = boundary_node(pos + 1, right_key);
+      bool deletable = !q.atom(atom_idx).exogenous &&
+                       !(force_undeletable && force_undeletable(db, tuple));
+      int64_t cap = deletable ? 1 : kInfCapacity;
+      int tag = static_cast<int>(edge_tuples.size());
+      edge_tuples.push_back(tuple);
+      edge_deletable.push_back(deletable);
+      edges[key] = flow.AddEdge(from, to, cap, tag);
+    }
+  }
+
+  int64_t value = flow.Compute(s, t);
+  if (value >= kInfCapacity) {
+    result.unbreakable = true;
+    return result;
+  }
+  std::vector<TupleId> cut_tuples;
+  for (int e : flow.MinCutEdges()) {
+    int64_t tag = flow.edge(e).tag;
+    RESCQ_CHECK(edge_deletable[static_cast<size_t>(tag)]);
+    cut_tuples.push_back(edge_tuples[static_cast<size_t>(tag)]);
+  }
+  std::sort(cut_tuples.begin(), cut_tuples.end());
+  cut_tuples.erase(std::unique(cut_tuples.begin(), cut_tuples.end()),
+                   cut_tuples.end());
+  // Lemma 55: a (cardinality-)minimal cut never takes two copies of one
+  // tuple, so the cut value equals the number of distinct tuples.
+  RESCQ_CHECK_EQ(static_cast<int64_t>(cut_tuples.size()), value);
+  result.resilience = static_cast<int>(value);
+  result.contingency = std::move(cut_tuples);
+  return result;
+}
+
+}  // namespace rescq

@@ -1,0 +1,39 @@
+#ifndef RESCQ_RESILIENCE_PERM3_SOLVER_H_
+#define RESCQ_RESILIENCE_PERM3_SOLVER_H_
+
+#include <optional>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "resilience/result.h"
+
+namespace rescq {
+
+/// Flow algorithm for the "permutation plus R" PTIME queries
+///
+///   q_A3perm-R  :- A(x),   R(x,y), R(y,z), R(z,y)   (Proposition 13)
+///   q_Swx3perm-R:- S(w,x), R(x,y), R(y,z), R(z,y)   (Proposition 44)
+///
+/// recognized up to variable renaming, relation renaming, and a global
+/// column swap of R. The flow graph follows the paper's proofs:
+///
+///   s --cap1 per L-tuple--> v_a
+///   v_a --inf--> pair{u,v}            if a ∈ {u,v}
+///   v_a --R(a,b)--> u_b --inf--> pair{u,v} containing b,
+///       where the R(a,b) edge is a *1-way* tuple (no inverse), with
+///       capacity ∞ when L is unary (A(a) dominates it) and capacity 1
+///       when L is binary (Prop 44: S(e,a) does not dominate R(a,b))
+///   pair{u,v} --cap1--> t             one per 2-way pair (incl. loops)
+///
+/// A minimum cut maps to a minimum contingency set: cut L-edges and
+/// (binary case) cut 1-way R-edges are taken verbatim; for a cut pair
+/// {a,b} the proofs' side rule picks R(a,b) when a's side is still alive
+/// and b's is not, and symmetrically.
+///
+/// Returns nullopt if q does not match either shape.
+std::optional<ResilienceResult> SolvePerm3Flow(const Query& q,
+                                               const Database& db);
+
+}  // namespace rescq
+
+#endif  // RESCQ_RESILIENCE_PERM3_SOLVER_H_

@@ -1,0 +1,38 @@
+#ifndef RESCQ_RESILIENCE_PERM_SOLVER_H_
+#define RESCQ_RESILIENCE_PERM_SOLVER_H_
+
+#include <optional>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "resilience/result.h"
+
+namespace rescq {
+
+/// Proposition 33 (q_perm): when the permutation pair R(x,y),R(y,x) are
+/// the only endogenous atoms, each tuple belongs to exactly one witness
+/// tuple-set, so resilience equals the number of distinct witness
+/// tuple-sets. Requires q's endogenous atoms to be exactly one
+/// permutation pair; returns nullopt otherwise.
+std::optional<ResilienceResult> SolvePermutationCount(const Query& q,
+                                                      const Database& db);
+
+/// Proposition 33 (q_Aperm): with one more endogenous atom L bound to the
+/// permutation's x side, resilience reduces to minimum vertex cover in
+/// the bipartite graph (L-tuples) x (2-way pairs), solved via König.
+/// Requires: endogenous atoms = {L, R-pair}, L contains x but not y.
+/// Returns nullopt if the shape does not match.
+std::optional<ResilienceResult> SolvePermutationBipartite(const Query& q,
+                                                          const Database& db);
+
+/// Proposition 35, case 1 (unbound permutations): q = q_l(x), G(x,y) where
+/// q_l has exactly one endogenous atom. Network flow with a capacity-1
+/// pair edge per 2-way pair. This is König generalized to weighted L
+/// sides; implemented via max-flow so exogenous decorations of G are
+/// handled uniformly. Returns nullopt if the shape does not match.
+std::optional<ResilienceResult> SolveUnboundPermutationFlow(
+    const Query& q, const Database& db);
+
+}  // namespace rescq
+
+#endif  // RESCQ_RESILIENCE_PERM_SOLVER_H_

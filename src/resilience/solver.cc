@@ -1,0 +1,155 @@
+#include "resilience/solver.h"
+
+#include <algorithm>
+
+#include "complexity/patterns.h"
+#include "cq/components.h"
+#include "cq/domination.h"
+#include "cq/homomorphism.h"
+#include "db/witness.h"
+#include "resilience/conf3_solver.h"
+#include "resilience/exact_solver.h"
+#include "resilience/linear_flow_solver.h"
+#include "resilience/perm3_solver.h"
+#include "resilience/perm_solver.h"
+#include "resilience/rep_solver.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+const char* SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kExact:
+      return "exact";
+    case SolverKind::kLinearFlow:
+      return "linear-flow";
+    case SolverKind::kPermCount:
+      return "perm-count";
+    case SolverKind::kPermBipartite:
+      return "perm-bipartite";
+    case SolverKind::kUnboundPermFlow:
+      return "unbound-perm-flow";
+    case SolverKind::kPerm3Flow:
+      return "perm3-flow";
+    case SolverKind::kRepFlow:
+      return "rep-flow";
+    case SolverKind::kConf3Forced:
+      return "conf3-forced";
+    case SolverKind::kExactFallback:
+      return "exact-fallback";
+  }
+  return "?";
+}
+
+namespace {
+
+ResilienceResult ExactFallback(const Query& q, const Database& db) {
+  ResilienceResult r = ComputeResilienceExact(q, db);
+  r.solver = SolverKind::kExactFallback;
+  return r;
+}
+
+// Solves a connected, minimized, domination-normalized query.
+ResilienceResult SolveConnected(const Query& n, const Database& db) {
+  ResilienceResult zero;
+  if (!QueryHolds(n, db)) return zero;
+
+  if (n.EndogenousAtoms().empty()) {
+    ResilienceResult r;
+    r.unbreakable = true;
+    return r;
+  }
+
+  Classification c = ClassifyResilience(n);
+  if (c.complexity != Complexity::kPTime) {
+    return ComputeResilienceExact(n, db);
+  }
+
+  if (c.pattern == "sj-free-triad-free" || c.pattern == "confluence") {
+    std::optional<ResilienceResult> r = SolveLinearFlow(n, db);
+    if (r.has_value()) return *r;
+    return ExactFallback(n, db);
+  }
+  if (c.pattern == "rep") {
+    std::optional<ResilienceResult> r = SolveRepFlow(n, db);
+    if (r.has_value()) return *r;
+    return ExactFallback(n, db);
+  }
+  if (c.pattern == "unbound-permutation") {
+    if (std::optional<ResilienceResult> r = SolvePermutationCount(n, db)) {
+      return *r;
+    }
+    // Prefer the paper's König reduction for the q_Aperm shape (unary L);
+    // the Prop 35 pair flow covers the rest.
+    if (AreIsomorphicModuloRelabeling(
+            NormalizeDomination(Minimize(n)),
+            NormalizeDomination(Minimize(CatalogQuery("q_Aperm"))))) {
+      if (std::optional<ResilienceResult> r =
+              SolvePermutationBipartite(n, db)) {
+        return *r;
+      }
+    }
+    if (std::optional<ResilienceResult> r =
+            SolveUnboundPermutationFlow(n, db)) {
+      return *r;
+    }
+    return ExactFallback(n, db);
+  }
+  if (c.pattern == "catalog:q_TS3conf") {
+    std::optional<ResilienceResult> r = SolveForcedThenFlow(n, db);
+    if (r.has_value()) return *r;
+    return ExactFallback(n, db);
+  }
+  if (c.pattern == "catalog:q_A3perm_R" ||
+      c.pattern == "catalog:q_Swx3perm_R") {
+    std::optional<ResilienceResult> r = SolvePerm3Flow(n, db);
+    if (r.has_value()) return *r;
+    return ExactFallback(n, db);
+  }
+  return ExactFallback(n, db);
+}
+
+}  // namespace
+
+ResilienceResult ComputeResilience(const Query& q, const Database& db) {
+  // Minimization and domination preserve both satisfaction and the
+  // optimum contingency size (Section 4.1, Proposition 18).
+  Query n = NormalizeDomination(Minimize(q));
+  std::vector<Query> components = SplitIntoComponents(n);
+  if (components.size() == 1) return SolveConnected(n, db);
+
+  // Lemma 14: the query is false as soon as one component is false, so
+  // ρ(q, D) = min_i ρ(q_i, D).
+  ResilienceResult zero;
+  for (const Query& comp : components) {
+    if (!QueryHolds(comp, db)) return zero;
+  }
+  ResilienceResult best;
+  best.unbreakable = true;
+  for (const Query& comp : components) {
+    ResilienceResult r = SolveConnected(comp, db);
+    if (r.unbreakable) continue;
+    if (best.unbreakable || r.resilience < best.resilience) best = r;
+  }
+  return best;
+}
+
+ResilienceResult ComputeResilienceReference(const Query& q,
+                                            const Database& db) {
+  return ComputeResilienceExact(q, db);
+}
+
+bool VerifyContingency(const Query& q, Database& db,
+                       const std::vector<TupleId>& tuples) {
+  std::vector<std::pair<TupleId, bool>> saved;
+  for (TupleId t : tuples) {
+    saved.emplace_back(t, db.IsActive(t));
+    db.SetActive(t, false);
+  }
+  bool broken = !QueryHolds(q, db);
+  for (auto& [t, was_active] : saved) db.SetActive(t, was_active);
+  return broken;
+}
+
+}  // namespace rescq

@@ -1,0 +1,40 @@
+#ifndef RESCQ_RESILIENCE_SOLVER_H_
+#define RESCQ_RESILIENCE_SOLVER_H_
+
+#include <vector>
+
+#include "complexity/classifier.h"
+#include "cq/query.h"
+#include "db/database.h"
+#include "resilience/result.h"
+
+namespace rescq {
+
+/// Computes the resilience ρ(q, D) with the best available algorithm.
+///
+/// The dispatcher follows the paper's pipeline: minimize the query
+/// (Section 4.1), normalize domination (Proposition 18), split into
+/// components (Lemma 14: the minimum over components), classify
+/// (Theorem 37 / Section 8), and then:
+///
+///  - PTIME-classified queries run the matching published construction
+///    (linear flow, permutation count / König / pair flow, REP flow,
+///    forced-tuples + flow, the Prop 13/44 pair-node flow);
+///  - PTIME queries whose construction is not implemented fall back to
+///    the exact solver (`kExactFallback`);
+///  - NP-complete / open / out-of-scope queries use the exact
+///    branch-and-bound solver (`kExact`), which is correct for every CQ.
+ResilienceResult ComputeResilience(const Query& q, const Database& db);
+
+/// Like ComputeResilience but forces the exact solver (reference oracle).
+ResilienceResult ComputeResilienceReference(const Query& q,
+                                            const Database& db);
+
+/// True if deactivating `tuples` makes q false over db (db is restored
+/// before returning).
+bool VerifyContingency(const Query& q, Database& db,
+                       const std::vector<TupleId>& tuples);
+
+}  // namespace rescq
+
+#endif  // RESCQ_RESILIENCE_SOLVER_H_

@@ -1,0 +1,36 @@
+#ifndef RESCQ_UTIL_CHECK_H_
+#define RESCQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking for programmer errors. The library does not use
+// exceptions (data errors are reported through optional/expected-style
+// returns); a failed RESCQ_CHECK indicates a bug and aborts with a message.
+
+#define RESCQ_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RESCQ_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define RESCQ_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RESCQ_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define RESCQ_CHECK_EQ(a, b) RESCQ_CHECK((a) == (b))
+#define RESCQ_CHECK_NE(a, b) RESCQ_CHECK((a) != (b))
+#define RESCQ_CHECK_LT(a, b) RESCQ_CHECK((a) < (b))
+#define RESCQ_CHECK_LE(a, b) RESCQ_CHECK((a) <= (b))
+#define RESCQ_CHECK_GT(a, b) RESCQ_CHECK((a) > (b))
+#define RESCQ_CHECK_GE(a, b) RESCQ_CHECK((a) >= (b))
+
+#endif  // RESCQ_UTIL_CHECK_H_

@@ -1,0 +1,93 @@
+#include "util/combinatorics.h"
+
+#include "util/check.h"
+
+namespace rescq {
+
+uint64_t BellNumber(int n) {
+  RESCQ_CHECK(n >= 0 && n <= 25);
+  // Bell triangle.
+  std::vector<std::vector<uint64_t>> tri(static_cast<size_t>(n) + 1);
+  tri[0] = {1};
+  for (int i = 1; i <= n; ++i) {
+    tri[i].resize(static_cast<size_t>(i) + 1);
+    tri[i][0] = tri[i - 1].back();
+    for (int j = 1; j <= i; ++j) {
+      tri[i][j] = tri[i][j - 1] + tri[i - 1][j - 1];
+    }
+  }
+  return tri[n][0];
+}
+
+namespace {
+
+bool PartitionRec(int n, int i, int max_block, std::vector<int>& rgs,
+                  const std::function<bool(const std::vector<int>&)>& visit) {
+  if (i == n) return visit(rgs);
+  for (int b = 0; b <= max_block + 1; ++b) {
+    rgs[i] = b;
+    int next_max = b > max_block ? b : max_block;
+    if (!PartitionRec(n, i + 1, next_max, rgs, visit)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ForEachSetPartition(
+    int n,
+    const std::function<bool(const std::vector<int>&)>& visit) {
+  RESCQ_CHECK_GT(n, 0);
+  std::vector<int> rgs(static_cast<size_t>(n), 0);
+  PartitionRec(n, 1, 0, rgs, visit);
+}
+
+int NumBlocks(const std::vector<int>& rgs) {
+  int mx = -1;
+  for (int b : rgs) mx = b > mx ? b : mx;
+  return mx + 1;
+}
+
+void ForEachSubset(int n, const std::function<bool(uint32_t)>& visit) {
+  RESCQ_CHECK(n >= 0 && n <= 30);
+  uint32_t end = 1u << n;
+  for (uint32_t mask = 0; mask < end; ++mask) {
+    if (!visit(mask)) return;
+  }
+}
+
+void ForEachCombination(
+    int n, int k,
+    const std::function<bool(const std::vector<int>&)>& visit) {
+  RESCQ_CHECK(k >= 0 && k <= n);
+  std::vector<int> idx(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = i;
+  if (k == 0) {
+    visit(idx);
+    return;
+  }
+  while (true) {
+    if (!visit(idx)) return;
+    int i = k - 1;
+    while (i >= 0 && idx[static_cast<size_t>(i)] == n - k + i) --i;
+    if (i < 0) return;
+    ++idx[static_cast<size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      idx[static_cast<size_t>(j)] = idx[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+void ForEachIndexVector(
+    int n, const std::function<bool(const std::vector<int>&)>& visit) {
+  for (int k = 1; k <= n; ++k) {
+    bool keep_going = true;
+    ForEachCombination(n, k, [&](const std::vector<int>& idx) {
+      keep_going = visit(idx);
+      return keep_going;
+    });
+    if (!keep_going) return;
+  }
+}
+
+}  // namespace rescq

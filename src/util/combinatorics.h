@@ -1,0 +1,48 @@
+#ifndef RESCQ_UTIL_COMBINATORICS_H_
+#define RESCQ_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rescq {
+
+/// Bell number B(n): the number of set partitions of an n-element set.
+/// Valid for n <= 25 (fits in uint64_t).
+uint64_t BellNumber(int n);
+
+/// Enumerates all set partitions of {0,...,n-1} as restricted growth
+/// strings: rgs[i] is the block index of element i, rgs[0] == 0, and
+/// rgs[i] <= 1 + max(rgs[0..i-1]). Invokes `visit` once per partition;
+/// if `visit` returns false, enumeration stops early.
+///
+/// The enumeration order is lexicographic on the growth string, so the
+/// all-singletons partition (0,1,2,...) is visited last and the
+/// single-block partition (0,0,...,0) first.
+void ForEachSetPartition(int n,
+                         const std::function<bool(const std::vector<int>&)>&
+                             visit);
+
+/// Number of blocks in a restricted growth string.
+int NumBlocks(const std::vector<int>& rgs);
+
+/// Enumerates all subsets of {0,...,n-1} as bitmasks, in increasing mask
+/// order. If `visit` returns false, enumeration stops. Requires n <= 30.
+void ForEachSubset(int n,
+                   const std::function<bool(uint32_t)>& visit);
+
+/// Enumerates all k-subsets of {0,...,n-1} in lexicographic order,
+/// passing the chosen indices. If `visit` returns false, stops.
+void ForEachCombination(
+    int n, int k,
+    const std::function<bool(const std::vector<int>&)>& visit);
+
+/// Enumerates strictly increasing index vectors of each length 1..n over
+/// {0,...,n-1} (i.e. all non-empty subsets in index-vector form). Used for
+/// sub-vector projections (IJP condition 4).
+void ForEachIndexVector(
+    int n, const std::function<bool(const std::vector<int>&)>& visit);
+
+}  // namespace rescq
+
+#endif  // RESCQ_UTIL_COMBINATORICS_H_

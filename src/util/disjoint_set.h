@@ -1,0 +1,50 @@
+#ifndef RESCQ_UTIL_DISJOINT_SET_H_
+#define RESCQ_UTIL_DISJOINT_SET_H_
+
+#include <numeric>
+#include <vector>
+
+namespace rescq {
+
+/// Union-find with path halving and union by size.
+class DisjointSet {
+ public:
+  explicit DisjointSet(int n)
+      : parent_(static_cast<size_t>(n)), size_(static_cast<size_t>(n), 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  /// Returns true if the two elements were in different sets.
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[static_cast<size_t>(a)] < size_[static_cast<size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<size_t>(b)] = a;
+    size_[static_cast<size_t>(a)] += size_[static_cast<size_t>(b)];
+    return true;
+  }
+
+  bool Same(int a, int b) { return Find(a) == Find(b); }
+
+  int NumElements() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_UTIL_DISJOINT_SET_H_

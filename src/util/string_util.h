@@ -1,0 +1,29 @@
+#ifndef RESCQ_UTIL_STRING_UTIL_H_
+#define RESCQ_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rescq {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace rescq
+
+#endif  // RESCQ_UTIL_STRING_UTIL_H_

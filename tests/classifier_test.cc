@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "complexity/classifier.h"
+#include "cq/parser.h"
+
+namespace rescq {
+namespace {
+
+// --- The big sweep: every named query in the paper classifies as published.
+
+class CatalogClassification : public ::testing::TestWithParam<CatalogEntry> {};
+
+TEST_P(CatalogClassification, MatchesPaperVerdict) {
+  const CatalogEntry& entry = GetParam();
+  Query q = MustParseQuery(entry.text);
+  Classification c = ClassifyResilience(q);
+  EXPECT_EQ(c.complexity, entry.expected)
+      << entry.name << " (" << entry.reference << "): got pattern '"
+      << c.pattern << "', reason: " << c.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, CatalogClassification, ::testing::ValuesIn(PaperCatalog()),
+    [](const ::testing::TestParamInfo<CatalogEntry>& info) {
+      return info.param.name;
+    });
+
+// The complexity of RES(q) is invariant under globally swapping the
+// columns of any binary relation (it is a relabeling of the stored
+// tuples). The classifier must agree with itself across that symmetry
+// for every named query.
+TEST_P(CatalogClassification, InvariantUnderColumnSwap) {
+  const CatalogEntry& entry = GetParam();
+  Query q = MustParseQuery(entry.text);
+  Complexity base = ClassifyResilience(q).complexity;
+  for (const std::string& rel : q.RelationNames()) {
+    if (q.RelationArity(rel) != 2) continue;
+    std::vector<Atom> atoms = q.atoms();
+    for (Atom& a : atoms) {
+      if (a.relation == rel) std::swap(a.vars[0], a.vars[1]);
+    }
+    Query swapped(std::move(atoms), q.var_names());
+    EXPECT_EQ(static_cast<int>(ClassifyResilience(swapped).complexity),
+              static_cast<int>(base))
+        << entry.name << " with " << rel << " swapped";
+  }
+}
+
+// ... and under renaming every relation (prefixing preserves structure).
+TEST_P(CatalogClassification, InvariantUnderRelationRenaming) {
+  const CatalogEntry& entry = GetParam();
+  Query q = MustParseQuery(entry.text);
+  std::vector<Atom> atoms = q.atoms();
+  for (Atom& a : atoms) a.relation = "Q" + a.relation;
+  Query renamed(std::move(atoms), q.var_names());
+  EXPECT_EQ(static_cast<int>(ClassifyResilience(renamed).complexity),
+            static_cast<int>(ClassifyResilience(q).complexity))
+      << entry.name;
+}
+
+// --- Decisive patterns for the flagship queries --------------------------------
+
+TEST(Classifier, TrianglePattern) {
+  Classification c = ClassifyResilience(MustParseQuery("R(x,y), S(y,z), T(z,x)"));
+  EXPECT_EQ(c.complexity, Complexity::kNpComplete);
+  EXPECT_EQ(c.pattern, "triad");
+}
+
+TEST(Classifier, QvcPattern) {
+  Classification c = ClassifyResilience(MustParseQuery("R(x), S(x,y), R(y)"));
+  EXPECT_EQ(c.pattern, "unary-path");
+}
+
+TEST(Classifier, QchainPattern) {
+  Classification c = ClassifyResilience(MustParseQuery("R(x,y), R(y,z)"));
+  EXPECT_EQ(c.pattern, "chain");
+}
+
+TEST(Classifier, ABpermPattern) {
+  Classification c =
+      ClassifyResilience(MustParseQuery("A(x), R(x,y), R(y,x), B(y)"));
+  EXPECT_EQ(c.pattern, "bound-permutation");
+}
+
+TEST(Classifier, ApermPattern) {
+  Classification c = ClassifyResilience(MustParseQuery("A(x), R(x,y), R(y,x)"));
+  EXPECT_EQ(c.pattern, "unbound-permutation");
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+}
+
+TEST(Classifier, CfpPattern) {
+  Classification c =
+      ClassifyResilience(MustParseQuery("R(x,y), H^x(x,z), R(z,y)"));
+  EXPECT_EQ(c.pattern, "confluence-exogenous-path");
+}
+
+TEST(Classifier, RatsIsEasyViaDomination) {
+  Classification c =
+      ClassifyResilience(MustParseQuery("R(x,y), A(x), T(z,x), S(y,z)"));
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+  EXPECT_TRUE(c.normalized.IsRelationExogenous("R"));
+  EXPECT_TRUE(c.normalized.IsRelationExogenous("T"));
+}
+
+// --- Structural generalizations beyond the named queries -----------------------
+
+TEST(Classifier, ChainExpansionWithBinaryRelationIsHard) {
+  // Prop 30: any query whose only self-join is a 2-chain is hard; here the
+  // chain is embedded among fresh binary relations.
+  Classification c = ClassifyResilience(
+      MustParseQuery("U(v,x), R(x,y), R(y,z), V(z,w)"));
+  EXPECT_EQ(c.complexity, Complexity::kNpComplete);
+  EXPECT_EQ(c.pattern, "chain");
+}
+
+TEST(Classifier, FourChainIsHard) {
+  Classification c = ClassifyResilience(
+      MustParseQuery("R(x,y), R(y,z), R(z,w), R(w,v)"));
+  EXPECT_EQ(c.complexity, Complexity::kNpComplete);
+  EXPECT_EQ(c.pattern, "k-chain");
+}
+
+TEST(Classifier, AC3confUnaryVariationIsHard) {
+  // Prop 40: adding unary relations to q_AC3conf keeps it hard.
+  Classification c = ClassifyResilience(MustParseQuery(
+      "A(x), P(x), R(x,y), B(y), R(z,y), R(z,w), C(w), D(w)"));
+  EXPECT_EQ(c.complexity, Complexity::kNpComplete);
+}
+
+TEST(Classifier, BinaryPathEmbedded) {
+  Classification c = ClassifyResilience(
+      MustParseQuery("A(x), R(x,y), S(y,z), R(z,w), B(w)"));
+  EXPECT_EQ(c.complexity, Complexity::kNpComplete);
+  EXPECT_EQ(c.pattern, "binary-path");
+}
+
+TEST(Classifier, UnaryPathEmbedded) {
+  Classification c =
+      ClassifyResilience(MustParseQuery("R(x), S(x,y), T(y,z), R(z)"));
+  EXPECT_EQ(c.complexity, Complexity::kNpComplete);
+  EXPECT_EQ(c.pattern, "unary-path");
+}
+
+// --- Normalization interplay ---------------------------------------------------
+
+TEST(Classifier, NonMinimalSelfJoinVariationBecomesTrivial) {
+  // Example 22: R(x,y),R(z,y),R(z,w),R(x,w) minimizes to R(x,y): PTIME.
+  Classification c =
+      ClassifyResilience(MustParseQuery("R(x,y), R(z,y), R(z,w), R(x,w)"));
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+  EXPECT_EQ(c.minimized.num_atoms(), 1);
+}
+
+TEST(Classifier, DominatedSelfJoinBecomesSjFree) {
+  // Example 17 q2: A dominates R (and S); the endogenous part is a single
+  // atom, so PTIME.
+  Classification c = ClassifyResilience(
+      MustParseQuery("R(x,y), A(y), R(z,y), S(y,z)"));
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+  EXPECT_EQ(c.pattern, "sj-free-triad-free");
+}
+
+TEST(Classifier, AllExogenousIsTrivial) {
+  Classification c = ClassifyResilience(MustParseQuery("R^x(x,y), R^x(y,z)"));
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+  EXPECT_EQ(c.pattern, "all-exogenous");
+}
+
+// --- Components -----------------------------------------------------------------
+
+TEST(Classifier, DisconnectedTakesHardestComponent) {
+  // One component is a chain (hard), the other is a single atom (easy).
+  Classification c =
+      ClassifyResilience(MustParseQuery("R(x,y), R(y,z), B(w), S(w,v)"));
+  EXPECT_EQ(c.complexity, Complexity::kNpComplete);
+}
+
+TEST(Classifier, DisconnectedAllEasy) {
+  Classification c = ClassifyResilience(MustParseQuery("A(x), B(y)"));
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+}
+
+// --- Scope boundaries -------------------------------------------------------------
+
+TEST(Classifier, TwoRepeatedRelationsOutOfScopeUnlessHardByTriadOrPath) {
+  // Two repeated relations, no triad/path: out of scope.
+  Classification c = ClassifyResilience(
+      MustParseQuery("R(x,y), R(y,x), S(x,u), S(u,x)"));
+  EXPECT_EQ(c.complexity, Complexity::kOutOfScope);
+}
+
+TEST(Classifier, TriadTrumpsScope) {
+  // Triangle with two repeated relations: still NP-complete via triad.
+  Classification c = ClassifyResilience(
+      MustParseQuery("R(x,y), R(y,z), S(z,u), S(u,x)"));
+  EXPECT_EQ(c.complexity, Complexity::kNpComplete);
+  EXPECT_EQ(c.pattern, "triad");
+}
+
+TEST(Classifier, TernarySelfJoinOutOfScope) {
+  Classification c = ClassifyResilience(
+      MustParseQuery("W(x,y,z), W(y,z,u), A(x), B(u)"));
+  EXPECT_EQ(c.complexity, Complexity::kOutOfScope);
+}
+
+TEST(Classifier, OpenThreeAtomCaseBeyondCatalog) {
+  // A 3-R-atom pseudo-linear query not in the catalog: reported open.
+  Classification c = ClassifyResilience(
+      MustParseQuery("D(v,x), R(x,y), R(y,z), R(z,y), E(v,w)"));
+  EXPECT_TRUE(c.complexity == Complexity::kOpen ||
+              c.complexity == Complexity::kNpComplete);
+}
+
+}  // namespace
+}  // namespace rescq

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "complexity/catalog.h"
+#include "complexity/linearity.h"
+#include "complexity/patterns.h"
+#include "complexity/triad.h"
+#include "cq/domination.h"
+#include "cq/homomorphism.h"
+#include "cq/parser.h"
+
+namespace rescq {
+namespace {
+
+// --- Triads ---------------------------------------------------------------
+
+TEST(Triad, TriangleHasTriad) {
+  EXPECT_TRUE(HasTriad(MustParseQuery("R(x,y), S(y,z), T(z,x)")));
+}
+
+TEST(Triad, TripodHasTriadAfterDomination) {
+  Query qT = MustParseQuery("A(x), B(y), C(z), W(x,y,z)");
+  // Raw: W is endogenous; domination makes it exogenous, and {A,B,C}
+  // connect through W's variables.
+  Query n = NormalizeDomination(qT);
+  std::optional<Triad> t = FindTriad(n);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(n.atom(t->atoms[0]).relation, "A");
+  EXPECT_EQ(n.atom(t->atoms[1]).relation, "B");
+  EXPECT_EQ(n.atom(t->atoms[2]).relation, "C");
+}
+
+TEST(Triad, RatsHasNoTriadAfterDomination) {
+  Query q = NormalizeDomination(CatalogQuery("q_rats"));
+  EXPECT_FALSE(HasTriad(q));
+  EXPECT_TRUE(IsPseudoLinear(q));
+}
+
+TEST(Triad, SelfJoinTriangleVariationsHaveTriads) {
+  for (const char* name :
+       {"q_sj1_triangle", "q_sj2_triangle", "q_sj3_triangle", "q_sj1rats",
+        "q_sj2rats", "q_sj1brats"}) {
+    Query q = NormalizeDomination(CatalogQuery(name));
+    EXPECT_TRUE(HasTriad(q)) << name;
+  }
+}
+
+TEST(Triad, TwoAtomQueriesHaveNoTriad) {
+  EXPECT_FALSE(HasTriad(MustParseQuery("R(x,y), R(y,z)")));
+  EXPECT_FALSE(HasTriad(MustParseQuery("R(x,y), R(y,x)")));
+}
+
+TEST(Triad, QvcHasNoTriad) {
+  // R(x), S(x,y), R(y): R(x)-R(y) cannot avoid var(S) = {x,y}.
+  EXPECT_FALSE(HasTriad(CatalogQuery("q_vc")));
+}
+
+TEST(Triad, ExogenousAtomsExcluded) {
+  Query q = MustParseQuery("R(x,y), S(y,z), T^x(z,x)");
+  EXPECT_FALSE(HasTriad(q));
+}
+
+TEST(Triad, ThreeConfluenceQueriesHaveNoTriad) {
+  for (const char* name : {"q_AC3conf", "q_TS3conf", "q_AS3conf"}) {
+    EXPECT_FALSE(HasTriad(NormalizeDomination(CatalogQuery(name)))) << name;
+  }
+}
+
+// --- Linearity --------------------------------------------------------------
+
+TEST(Linearity, LinearQueries) {
+  EXPECT_TRUE(IsLinear(MustParseQuery("A(x), R(x,y,z), S(y,z)")));
+  EXPECT_TRUE(IsLinear(MustParseQuery("A(x), R(x,y), S(y,z), C(z)")));
+  EXPECT_TRUE(IsLinear(MustParseQuery("R(x,y), R(y,z)")));
+  EXPECT_TRUE(IsLinear(MustParseQuery("A(x), R(x,y), R(z,y), C(z)")));
+}
+
+TEST(Linearity, TriangleIsNotLinear) {
+  EXPECT_FALSE(IsLinear(MustParseQuery("R(x,y), S(y,z), T(z,x)")));
+}
+
+TEST(Linearity, TripodIsNotLinear) {
+  EXPECT_FALSE(IsLinear(MustParseQuery("A(x), B(y), C(z), W(x,y,z)")));
+}
+
+TEST(Linearity, OrderHasContiguousVariables) {
+  Query q = MustParseQuery("C(z), A(x), S(y,z), R(x,y)");
+  std::optional<std::vector<int>> order = FindLinearOrder(q);
+  ASSERT_TRUE(order.has_value());
+  // Each variable occupies a contiguous run.
+  for (int v = 0; v < q.num_vars(); ++v) {
+    int first = -1, last = -1;
+    for (size_t i = 0; i < order->size(); ++i) {
+      if (q.atom((*order)[i]).HasVar(v)) {
+        if (first < 0) first = static_cast<int>(i);
+        last = static_cast<int>(i);
+      }
+    }
+    for (int i = first; i <= last; ++i) {
+      EXPECT_TRUE(q.atom((*order)[static_cast<size_t>(i)]).HasVar(v));
+    }
+  }
+}
+
+TEST(Linearity, Interfaces) {
+  Query q = MustParseQuery("A(x), R(x,y), S(y,z)");
+  std::vector<int> order = {0, 1, 2};
+  std::vector<std::vector<VarId>> ifs = LinearInterfaces(q, order);
+  ASSERT_EQ(ifs.size(), 2u);
+  EXPECT_EQ(ifs[0], (std::vector<VarId>{q.VarIdOf("x")}));
+  EXPECT_EQ(ifs[1], (std::vector<VarId>{q.VarIdOf("y")}));
+}
+
+// --- Self-join info -----------------------------------------------------------
+
+TEST(Patterns, SingleSelfJoin) {
+  std::optional<SelfJoinInfo> sj =
+      GetSingleSelfJoin(MustParseQuery("A(x), R(x,y), R(y,z)"));
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_EQ(sj->relation, "R");
+  EXPECT_EQ(sj->atoms, (std::vector<int>{1, 2}));
+}
+
+TEST(Patterns, NoSelfJoin) {
+  EXPECT_FALSE(GetSingleSelfJoin(MustParseQuery("R(x,y), S(y,z)")).has_value());
+}
+
+TEST(Patterns, TwoRepeatedRelationsRejected) {
+  EXPECT_FALSE(GetSingleSelfJoin(
+                   MustParseQuery("R(x), S(x,y), R(y), S(y,z)"))
+                   .has_value());
+}
+
+TEST(Patterns, ExogenousRepetitionIgnored) {
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(
+      MustParseQuery("R^x(x,y), R^x(y,z), A(x), B(y)"));
+  EXPECT_FALSE(sj.has_value());
+}
+
+// --- Paths --------------------------------------------------------------------
+
+TEST(Patterns, QvcIsUnaryPath) {
+  Query q = CatalogQuery("q_vc");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_TRUE(HasUnaryPath(q, *sj));
+}
+
+TEST(Patterns, BinaryPathDetected) {
+  // R(x,y), S(y,z), R(z,w): variable-disjoint R-atoms joined R-free.
+  Query q = MustParseQuery("R(x,y), S(y,z), R(z,w)");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_TRUE(HasBinaryPath(q, *sj));
+}
+
+TEST(Patterns, ChainIsNotBinaryPath) {
+  Query q = CatalogQuery("q_chain");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_FALSE(HasBinaryPath(q, *sj));
+}
+
+TEST(Patterns, ThreeChainOuterAtomsAreNotAPath) {
+  // In R(x,y),R(y,z),R(z,w) the outer atoms are disjoint but every
+  // connecting path passes through the middle R-atom.
+  Query q = CatalogQuery("q_3chain");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_FALSE(HasBinaryPath(q, *sj));
+}
+
+TEST(Patterns, Z1Z4AreBinaryPaths) {
+  for (const char* name : {"z1", "z4"}) {
+    Query q = CatalogQuery(name);
+    std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+    ASSERT_TRUE(sj.has_value()) << name;
+    EXPECT_TRUE(HasBinaryPath(q, *sj)) << name;
+  }
+}
+
+// --- Pair patterns ---------------------------------------------------------------
+
+TEST(Patterns, PairClassification) {
+  Query chain = CatalogQuery("q_chain");
+  EXPECT_EQ(ClassifyPair(chain, 0, 1), PairPattern::kChain);
+
+  Query conf = MustParseQuery("R(x,y), R(z,y)");
+  EXPECT_EQ(ClassifyPair(conf, 0, 1), PairPattern::kConfluence);
+
+  Query divergence = MustParseQuery("R(x,y), R(x,z)");
+  EXPECT_EQ(ClassifyPair(divergence, 0, 1), PairPattern::kConfluence);
+
+  Query perm = CatalogQuery("q_perm");
+  EXPECT_EQ(ClassifyPair(perm, 0, 1), PairPattern::kPermutation);
+
+  Query rep = MustParseQuery("R(x,x), R(x,y)");
+  EXPECT_EQ(ClassifyPair(rep, 0, 1), PairPattern::kRep);
+
+  Query disj = MustParseQuery("R(x,y), R(z,w)");
+  EXPECT_EQ(ClassifyPair(disj, 0, 1), PairPattern::kDisjoint);
+
+  // R(x,y), R(z,x): shares x in different positions -> chain.
+  Query chain2 = MustParseQuery("R(x,y), R(z,x)");
+  EXPECT_EQ(ClassifyPair(chain2, 0, 1), PairPattern::kChain);
+}
+
+// --- Permutation bounds -------------------------------------------------------------
+
+TEST(Patterns, ABpermIsBound) {
+  Query q = CatalogQuery("q_ABperm");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_TRUE(PermutationIsBound(q, sj->atoms[0], sj->atoms[1]));
+}
+
+TEST(Patterns, ApermIsUnbound) {
+  Query q = CatalogQuery("q_Aperm");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_FALSE(PermutationIsBound(q, sj->atoms[0], sj->atoms[1]));
+}
+
+TEST(Patterns, ExogenousBoundDoesNotCount) {
+  Query q = MustParseQuery("A(x), R(x,y), R(y,x), B^x(y)");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_FALSE(PermutationIsBound(q, sj->atoms[0], sj->atoms[1]));
+}
+
+// --- Confluence exogenous path -----------------------------------------------------
+
+TEST(Patterns, CfpHasExogenousPath) {
+  Query q = CatalogQuery("cf_p");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_TRUE(ConfluenceHasExogenousPath(q, sj->atoms[0], sj->atoms[1]));
+}
+
+TEST(Patterns, ACconfHasNoExogenousPath) {
+  Query q = CatalogQuery("q_ACconf");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_FALSE(ConfluenceHasExogenousPath(q, sj->atoms[0], sj->atoms[1]));
+}
+
+TEST(Patterns, MultiHopExogenousPath) {
+  Query q = MustParseQuery("R(x,y), G^x(x,u), H^x(u,z), R(z,y)");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_TRUE(ConfluenceHasExogenousPath(q, sj->atoms[0], sj->atoms[1]));
+}
+
+TEST(Patterns, PathThroughSharedVarDoesNotCount) {
+  // Connector G(x,y) touches the shared variable y: not an x-z path
+  // avoiding y.
+  Query q = MustParseQuery("R(x,y), G^x(x,y), R(z,y), A(x), C(z)");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_FALSE(ConfluenceHasExogenousPath(q, sj->atoms[0], sj->atoms[1]));
+}
+
+// --- k-chains and 3-confluences -----------------------------------------------------
+
+TEST(Patterns, ThreeChainDetected) {
+  Query q = CatalogQuery("q_3chain");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_TRUE(RAtomsFormChain(q, *sj));
+}
+
+TEST(Patterns, FourChainDetected) {
+  Query q = MustParseQuery("R(x,y), R(y,z), R(z,w), R(w,v)");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_TRUE(RAtomsFormChain(q, *sj));
+}
+
+TEST(Patterns, ChainDetectionHandlesColumnSwap) {
+  // Globally swapped 3-chain: R(y,x), R(z,y), R(w,z).
+  Query q = MustParseQuery("R(y,x), R(z,y), R(w,z)");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_TRUE(RAtomsFormChain(q, *sj));
+}
+
+TEST(Patterns, ThreeConfluenceIsNotAChain) {
+  Query q = MustParseQuery("R(x,y), R(z,y), R(z,w)");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_FALSE(RAtomsFormChain(q, *sj));
+  std::optional<ThreeConfluence> conf = FindThreeConfluence(q, *sj);
+  ASSERT_TRUE(conf.has_value());
+  EXPECT_EQ(conf->end_x, q.VarIdOf("x"));
+  EXPECT_EQ(conf->end_w, q.VarIdOf("w"));
+}
+
+TEST(Patterns, ChainConfluenceMixIsNeither) {
+  // q_C3cc core: R(x,y), R(y,z), R(w,z).
+  Query q = MustParseQuery("R(x,y), R(y,z), R(w,z), C(w)");
+  std::optional<SelfJoinInfo> sj = GetSingleSelfJoin(q);
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_FALSE(RAtomsFormChain(q, *sj));
+  EXPECT_FALSE(FindThreeConfluence(q, *sj).has_value());
+}
+
+// --- Catalog sanity -----------------------------------------------------------------
+
+TEST(Catalog, AllEntriesParseAndAreMinimalAfterMinimize) {
+  for (const CatalogEntry& e : PaperCatalog()) {
+    ParseResult r = ParseQuery(e.text);
+    ASSERT_TRUE(r.ok) << e.name << ": " << r.error;
+    Query m = Minimize(r.query);
+    EXPECT_TRUE(IsMinimal(m)) << e.name;
+  }
+}
+
+TEST(Catalog, EntriesWithDifferentComplexityAreDistinct) {
+  const std::vector<CatalogEntry>& cat = PaperCatalog();
+  for (size_t i = 0; i < cat.size(); ++i) {
+    Query qi = NormalizeDomination(Minimize(MustParseQuery(cat[i].text)));
+    for (size_t j = i + 1; j < cat.size(); ++j) {
+      if (cat[i].expected == cat[j].expected) continue;
+      Query qj = NormalizeDomination(Minimize(MustParseQuery(cat[j].text)));
+      EXPECT_FALSE(AreIsomorphicModuloRelabeling(qi, qj))
+          << cat[i].name << " vs " << cat[j].name;
+    }
+  }
+}
+
+TEST(Catalog, LookupByName) {
+  EXPECT_TRUE(FindCatalogEntry("q_chain").has_value());
+  EXPECT_FALSE(FindCatalogEntry("no_such_query").has_value());
+  EXPECT_EQ(CatalogQuery("q_chain").num_atoms(), 2);
+}
+
+}  // namespace
+}  // namespace rescq

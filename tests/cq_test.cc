@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "cq/binary_graph.h"
+#include "cq/components.h"
+#include "cq/domination.h"
+#include "cq/homomorphism.h"
+#include "cq/hypergraph.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+
+namespace rescq {
+namespace {
+
+// --- Parser -----------------------------------------------------------------
+
+TEST(Parser, BasicQuery) {
+  Query q = MustParseQuery("q :- R(x,y), R(y,z)");
+  EXPECT_EQ(q.num_atoms(), 2);
+  EXPECT_EQ(q.num_vars(), 3);
+  EXPECT_EQ(q.atom(0).relation, "R");
+  EXPECT_EQ(q.atom(1).vars, (std::vector<VarId>{1, 2}));
+  EXPECT_EQ(q.ToString(), "R(x,y), R(y,z)");
+}
+
+TEST(Parser, HeadIsOptional) {
+  Query a = MustParseQuery("q :- R(x,y)");
+  Query b = MustParseQuery("R(x,y)");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Parser, ExogenousMarker) {
+  Query q = MustParseQuery("R(x,y), S^x(y,z)");
+  EXPECT_FALSE(q.IsRelationExogenous("R"));
+  EXPECT_TRUE(q.IsRelationExogenous("S"));
+  EXPECT_EQ(q.ToString(), "R(x,y), S^x(y,z)");
+}
+
+TEST(Parser, ExogenousUniformPerRelation) {
+  // A ^x on one atom marks the whole relation.
+  Query q = MustParseQuery("R^x(x,y), R(y,z)");
+  EXPECT_TRUE(q.atom(0).exogenous);
+  EXPECT_TRUE(q.atom(1).exogenous);
+}
+
+TEST(Parser, RepeatedVariableAtom) {
+  Query q = MustParseQuery("R(x,x), R(x,y)");
+  EXPECT_TRUE(q.atom(0).HasRepeatedVar());
+  EXPECT_FALSE(q.atom(1).HasRepeatedVar());
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok);
+  EXPECT_FALSE(ParseQuery("r(x)").ok);          // lower-case relation
+  EXPECT_FALSE(ParseQuery("R(X)").ok);          // upper-case variable
+  EXPECT_FALSE(ParseQuery("R(x,y), R(x)").ok);  // inconsistent arity
+  EXPECT_FALSE(ParseQuery("R(x").ok);           // unterminated
+  EXPECT_FALSE(ParseQuery("R(x) S(x)").ok);     // missing comma
+  EXPECT_FALSE(ParseQuery("R^y(x)").ok);        // unknown marker
+}
+
+TEST(Parser, PrimedVariables) {
+  Query q = MustParseQuery("R(x,x'), S(x',y)");
+  EXPECT_EQ(q.num_vars(), 3);
+  EXPECT_EQ(q.var_name(1), "x'");
+}
+
+// --- Query accessors ----------------------------------------------------------
+
+TEST(Query, RepeatedRelations) {
+  Query q = MustParseQuery("R(x,y), R(y,z), A(x)");
+  EXPECT_EQ(q.RepeatedRelations(), (std::vector<std::string>{"R"}));
+  EXPECT_FALSE(q.IsSelfJoinFree());
+  EXPECT_TRUE(MustParseQuery("R(x,y), S(y,z)").IsSelfJoinFree());
+}
+
+TEST(Query, IsBinary) {
+  EXPECT_TRUE(MustParseQuery("R(x,y), A(x)").IsBinary());
+  EXPECT_FALSE(MustParseQuery("W(x,y,z), A(x)").IsBinary());
+}
+
+TEST(Query, EndogenousAtoms) {
+  Query q = MustParseQuery("R(x,y), S^x(y,z), T(z,w)");
+  EXPECT_EQ(q.EndogenousAtoms(), (std::vector<int>{0, 2}));
+}
+
+TEST(Query, WithAtomsRemovedReindexesVars) {
+  Query q = MustParseQuery("R(x,y), S(y,z), T(z,w)");
+  Query r = q.WithAtomsRemoved({0});
+  EXPECT_EQ(r.num_atoms(), 2);
+  EXPECT_EQ(r.num_vars(), 3);  // x dropped
+  EXPECT_EQ(r.ToString(), "S(y,z), T(z,w)");
+}
+
+TEST(Query, VarsOfAtoms) {
+  Query q = MustParseQuery("R(x,y), S(y,z)");
+  EXPECT_EQ(q.VarsOfAtoms({0}), (std::vector<VarId>{0, 1}));
+  EXPECT_EQ(q.VarsOfAtoms({0, 1}), (std::vector<VarId>{0, 1, 2}));
+}
+
+// --- Dual hypergraph ----------------------------------------------------------
+
+TEST(Hypergraph, TriadPathsInTriangle) {
+  // q△: R(x,y), S(y,z), T(z,x). R–S connect via y which is not in T.
+  Query q = MustParseQuery("R(x,y), S(y,z), T(z,x)");
+  DualHypergraph h(q);
+  VarId x = q.VarIdOf("x"), y = q.VarIdOf("y"), z = q.VarIdOf("z");
+  EXPECT_TRUE(h.PathAvoiding(0, 1, {z, x}));   // avoid var(T)
+  EXPECT_TRUE(h.PathAvoiding(1, 2, {x, y}));   // avoid var(R)
+  EXPECT_TRUE(h.PathAvoiding(2, 0, {y, z}));   // avoid var(S)
+  EXPECT_FALSE(h.PathAvoiding(0, 1, {y, z}));  // y and z both forbidden
+}
+
+TEST(Hypergraph, PathAvoidingAtoms) {
+  // 3-chain: R(x,y), R(y,z), R(z,w). The outer atoms connect only through
+  // the middle R-atom.
+  Query q = MustParseQuery("R(x,y), R(y,z), R(z,w)");
+  DualHypergraph h(q);
+  EXPECT_TRUE(h.PathAvoidingAtoms(0, 2, {}));
+  EXPECT_FALSE(h.PathAvoidingAtoms(0, 2, {1}));
+}
+
+TEST(Hypergraph, AtomComponents) {
+  Query q = MustParseQuery("A(x), R(x,y), R(z,w), B(w)");
+  DualHypergraph h(q);
+  std::vector<int> comp = h.AtomComponents();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+// --- Binary graph -------------------------------------------------------------
+
+TEST(BinaryGraph, EdgesAndLoops) {
+  Query q = MustParseQuery("A(x), R(x,y)");
+  BinaryGraph g(q);
+  ASSERT_EQ(g.edges().size(), 2u);
+  EXPECT_TRUE(g.edges()[0].unary);
+  EXPECT_EQ(g.edges()[0].from, g.edges()[0].to);
+  EXPECT_FALSE(g.edges()[1].unary);
+  EXPECT_EQ(g.OutEdges(q.VarIdOf("x")).size(), 2u);
+  EXPECT_EQ(g.InEdges(q.VarIdOf("y")).size(), 1u);
+}
+
+TEST(BinaryGraph, DotOutput) {
+  Query q = MustParseQuery("R(x,y), S^x(y,z)");
+  BinaryGraph g(q);
+  std::string dot = g.ToDot(q);
+  EXPECT_NE(dot.find("x -> y [label=\"R\"]"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+// --- Homomorphisms, containment, minimization ---------------------------------
+
+TEST(Homomorphism, SimpleExists) {
+  // chain maps into a loop: x,y,z all -> u with R(u,u).
+  Query chain = MustParseQuery("R(x,y), R(y,z)");
+  Query loop = MustParseQuery("R(u,u)");
+  EXPECT_TRUE(FindHomomorphism(chain, loop).has_value());
+  EXPECT_FALSE(FindHomomorphism(loop, chain).has_value());
+}
+
+TEST(Homomorphism, Containment) {
+  // Adding atoms makes a query more restrictive: q1 ⊆ q2 when q2's atoms
+  // are a subset of q1's.
+  Query q1 = MustParseQuery("R(x,y), S(y,z)");
+  Query q2 = MustParseQuery("R(x,y)");
+  EXPECT_TRUE(IsContainedIn(q1, q2));
+  EXPECT_FALSE(IsContainedIn(q2, q1));
+}
+
+TEST(Homomorphism, Example22NonMinimalSelfJoinVariation) {
+  // q^sj :- R(x,y), R(z,y), R(z,w), R(x,w) is equivalent to R(x,y)
+  // (Example 22 in the paper).
+  Query qsj = MustParseQuery("R(x,y), R(z,y), R(z,w), R(x,w)");
+  Query single = MustParseQuery("R(x,y)");
+  EXPECT_FALSE(IsMinimal(qsj));
+  EXPECT_TRUE(AreEquivalent(qsj, single));
+  Query core = Minimize(qsj);
+  EXPECT_EQ(core.num_atoms(), 1);
+  EXPECT_TRUE(AreEquivalent(core, single));
+}
+
+TEST(Homomorphism, MinimalQueriesStayFixed) {
+  for (const char* text :
+       {"R(x,y), R(y,z)", "R(x), S(x,y), R(y)", "R(x,y), S(y,z), T(z,x)",
+        "A(x), R(x,y), R(y,x), B(y)", "A(x), R(x,y), R(z,y), C(z)"}) {
+    Query q = MustParseQuery(text);
+    EXPECT_TRUE(IsMinimal(q)) << text;
+    EXPECT_EQ(Minimize(q).num_atoms(), q.num_atoms()) << text;
+  }
+}
+
+TEST(Homomorphism, ChainOfThreeIsMinimal) {
+  EXPECT_TRUE(IsMinimal(MustParseQuery("R(x,y), R(y,z), R(z,w)")));
+}
+
+TEST(Homomorphism, RepeatedVarCollapse) {
+  // R(x,y), R(y,y) maps into R(y,y): not minimal.
+  Query q = MustParseQuery("R(x,y), R(y,y)");
+  EXPECT_FALSE(IsMinimal(q));
+  EXPECT_EQ(Minimize(q).num_atoms(), 1);
+  // ...but an A(x) pins x: minimal.
+  Query pinned = MustParseQuery("A(x), R(x,y), R(y,y)");
+  EXPECT_TRUE(IsMinimal(pinned));
+}
+
+TEST(Isomorphism, Basic) {
+  Query a = MustParseQuery("R(x,y), R(y,z)");
+  Query b = MustParseQuery("R(u,v), R(v,w)");
+  Query c = MustParseQuery("R(x,y), R(z,y)");
+  EXPECT_TRUE(AreIsomorphic(a, b));
+  EXPECT_FALSE(AreIsomorphic(a, c));
+}
+
+TEST(Isomorphism, RespectsExogenousLabels) {
+  Query a = MustParseQuery("R(x,y), S^x(y,z)");
+  Query b = MustParseQuery("R(x,y), S(y,z)");
+  EXPECT_FALSE(AreIsomorphic(a, b));
+}
+
+TEST(Isomorphism, ModuloRelabeling) {
+  // Column-swapping R turns a confluence R(x,y),R(z,y) into a
+  // "divergence" R(y,x),R(y,z); these are the same problem.
+  Query conf = MustParseQuery("A(x), R(x,y), R(z,y), C(z)");
+  Query divg = MustParseQuery("A(x), R(y,x), R(y,z), C(z)");
+  EXPECT_FALSE(AreIsomorphic(conf, divg));
+  EXPECT_TRUE(AreIsomorphicModuloRelabeling(conf, divg));
+  // Relation renaming: A<->C.
+  Query renamed = MustParseQuery("C(x), R(x,y), R(z,y), A(z)");
+  EXPECT_TRUE(AreIsomorphicModuloRelabeling(conf, renamed));
+  // A genuinely different query stays different.
+  Query chain = MustParseQuery("A(x), R(x,y), R(y,z), C(z)");
+  EXPECT_FALSE(AreIsomorphicModuloRelabeling(conf, chain));
+}
+
+// --- Components ---------------------------------------------------------------
+
+TEST(Components, PaperExample) {
+  // q_comp :- A(x), R(x,y), R(z,w), B(w) has two components (§4.2).
+  Query q = MustParseQuery("A(x), R(x,y), R(z,w), B(w)");
+  EXPECT_FALSE(IsConnected(q));
+  std::vector<Query> comps = SplitIntoComponents(q);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].ToString(), "A(x), R(x,y)");
+  EXPECT_EQ(comps[1].ToString(), "R(z,w), B(w)");
+}
+
+TEST(Components, ConnectedQuery) {
+  Query q = MustParseQuery("R(x,y), R(y,z)");
+  EXPECT_TRUE(IsConnected(q));
+  EXPECT_EQ(SplitIntoComponents(q).size(), 1u);
+}
+
+// --- Domination ---------------------------------------------------------------
+
+TEST(Domination, TripodSjFree) {
+  // In qT :- A(x),B(y),C(z),W(x,y,z), A dominates W (Def 3 and Def 16).
+  Query qT = MustParseQuery("A(x), B(y), C(z), W(x,y,z)");
+  EXPECT_TRUE(AtomDominatesSjFree(qT, 0, 3));
+  EXPECT_FALSE(AtomDominatesSjFree(qT, 3, 0));
+  EXPECT_TRUE(RelationDominates(qT, "A", "W"));
+  EXPECT_FALSE(RelationDominates(qT, "W", "A"));
+  Query norm = NormalizeDomination(qT);
+  EXPECT_TRUE(norm.IsRelationExogenous("W"));
+  EXPECT_FALSE(norm.IsRelationExogenous("A"));
+}
+
+TEST(Domination, RatsDisarmsTriad) {
+  // In q_rats, A dominates R and T; both become exogenous (§2.2).
+  Query q = MustParseQuery("R(x,y), A(x), T(z,x), S(y,z)");
+  Query norm = NormalizeDomination(q);
+  EXPECT_TRUE(norm.IsRelationExogenous("R"));
+  EXPECT_TRUE(norm.IsRelationExogenous("T"));
+  EXPECT_FALSE(norm.IsRelationExogenous("A"));
+  EXPECT_FALSE(norm.IsRelationExogenous("S"));
+}
+
+TEST(Domination, Example17) {
+  // q1 :- R(x,y),A(y),R(y,z),S(y,z): A does NOT dominate R; S dominated.
+  Query q1 = MustParseQuery("R(x,y), A(y), R(y,z), S(y,z)");
+  EXPECT_FALSE(RelationDominates(q1, "A", "R"));
+  EXPECT_TRUE(RelationDominates(q1, "A", "S"));
+  // q2 :- R(x,y),A(y),R(z,y),S(y,z): A dominates R and S.
+  Query q2 = MustParseQuery("R(x,y), A(y), R(z,y), S(y,z)");
+  EXPECT_TRUE(RelationDominates(q2, "A", "R"));
+  EXPECT_TRUE(RelationDominates(q2, "A", "S"));
+}
+
+TEST(Domination, Example11SelfJoinRatsNotDominated) {
+  // q^sj1_rats :- A(x),R(x,y),R(y,z),R(z,x): A does not dominate R under
+  // Definition 16, even though var(A) ⊆ var(R(x,y)) (Section 3.2).
+  Query q = MustParseQuery("A(x), R(x,y), R(y,z), R(z,x)");
+  EXPECT_FALSE(RelationDominates(q, "A", "R"));
+  Query norm = NormalizeDomination(q);
+  EXPECT_FALSE(norm.IsRelationExogenous("R"));
+}
+
+TEST(Domination, ExogenousRelationsCannotDominate) {
+  Query q = MustParseQuery("A^x(x), R(x,y)");
+  EXPECT_FALSE(RelationDominates(q, "A", "R"));
+}
+
+TEST(Domination, MutualDominationResolvesDeterministically) {
+  Query q = MustParseQuery("A(x,y), B(x,y)");
+  EXPECT_TRUE(RelationDominates(q, "A", "B"));
+  EXPECT_TRUE(RelationDominates(q, "B", "A"));
+  Query norm = NormalizeDomination(q);
+  // Exactly one becomes exogenous (name order: A is dominated first).
+  EXPECT_TRUE(norm.IsRelationExogenous("A"));
+  EXPECT_FALSE(norm.IsRelationExogenous("B"));
+}
+
+}  // namespace
+}  // namespace rescq

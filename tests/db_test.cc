@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cq/parser.h"
+#include "db/database.h"
+#include "db/witness.h"
+
+namespace rescq {
+namespace {
+
+TEST(Database, InternIsIdempotent) {
+  Database db;
+  Value a = db.Intern("a");
+  EXPECT_EQ(db.Intern("a"), a);
+  EXPECT_NE(db.Intern("b"), a);
+  EXPECT_EQ(db.ValueName(a), "a");
+  EXPECT_EQ(db.domain_size(), 2);
+}
+
+TEST(Database, AddTupleDedups) {
+  Database db;
+  Value a = db.Intern("a"), b = db.Intern("b");
+  TupleId t1 = db.AddTuple("R", {a, b});
+  TupleId t2 = db.AddTuple("R", {a, b});
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(db.NumRows(t1.relation), 1);
+  EXPECT_EQ(db.TupleToString(t1), "R(a,b)");
+}
+
+TEST(Database, ActiveFlags) {
+  Database db;
+  Value a = db.Intern("a");
+  TupleId t = db.AddTuple("R", {a});
+  EXPECT_TRUE(db.IsActive(t));
+  db.SetActive(t, false);
+  EXPECT_FALSE(db.IsActive(t));
+  EXPECT_EQ(db.NumActiveTuples(), 0);
+  db.ActivateAll();
+  EXPECT_TRUE(db.IsActive(t));
+}
+
+TEST(Database, FindTuple) {
+  Database db;
+  Value a = db.Intern("a"), b = db.Intern("b");
+  db.AddTuple("R", {a, b});
+  EXPECT_TRUE(db.FindTuple("R", {a, b}).has_value());
+  EXPECT_FALSE(db.FindTuple("R", {b, a}).has_value());
+  EXPECT_FALSE(db.FindTuple("S", {a}).has_value());
+}
+
+// Builds the Section 2 example: qchain over
+// D = {t1: R(1,2), t2: R(2,3), t3: R(3,3)}.
+Database ChainExample(TupleId* t1, TupleId* t2, TupleId* t3) {
+  Database db;
+  Value v1 = db.Intern("1"), v2 = db.Intern("2"), v3 = db.Intern("3");
+  *t1 = db.AddTuple("R", {v1, v2});
+  *t2 = db.AddTuple("R", {v2, v3});
+  *t3 = db.AddTuple("R", {v3, v3});
+  return db;
+}
+
+TEST(Witness, PaperChainExample) {
+  // witnesses(D, qchain) = {(1,2,3), (2,3,3), (3,3,3)} with tuple sets
+  // {t1,t2}, {t2,t3}, {t3} (Section 2).
+  TupleId t1, t2, t3;
+  Database db = ChainExample(&t1, &t2, &t3);
+  Query q = MustParseQuery("R(x,y), R(y,z)");
+  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  ASSERT_EQ(ws.size(), 3u);
+
+  std::set<std::vector<std::string>> assignments;
+  for (const Witness& w : ws) {
+    std::vector<std::string> names;
+    for (Value v : w.assignment) names.push_back(db.ValueName(v));
+    assignments.insert(names);
+  }
+  EXPECT_TRUE(assignments.count({"1", "2", "3"}));
+  EXPECT_TRUE(assignments.count({"2", "3", "3"}));
+  EXPECT_TRUE(assignments.count({"3", "3", "3"}));
+
+  std::vector<std::vector<TupleId>> sets = WitnessTupleSets(q, db);
+  std::set<std::vector<TupleId>> expect = {{t1, t2}, {t2, t3}, {t3}};
+  EXPECT_EQ(std::set<std::vector<TupleId>>(sets.begin(), sets.end()), expect);
+}
+
+TEST(Witness, QueryHolds) {
+  TupleId t1, t2, t3;
+  Database db = ChainExample(&t1, &t2, &t3);
+  Query q = MustParseQuery("R(x,y), R(y,z)");
+  EXPECT_TRUE(QueryHolds(q, db));
+  // Deleting t2 and t3 leaves only R(1,2): no chain.
+  db.SetActive(t2, false);
+  db.SetActive(t3, false);
+  EXPECT_FALSE(QueryHolds(q, db));
+}
+
+TEST(Witness, DeactivationShrinksWitnesses) {
+  TupleId t1, t2, t3;
+  Database db = ChainExample(&t1, &t2, &t3);
+  Query q = MustParseQuery("R(x,y), R(y,z)");
+  db.SetActive(t3, false);
+  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  ASSERT_EQ(ws.size(), 1u);  // only (1,2,3)
+  EXPECT_EQ(ws[0].endo_tuples, (std::vector<TupleId>{t1, t2}));
+}
+
+TEST(Witness, ExogenousAtomsExcludedFromTupleSets) {
+  Database db;
+  Value a = db.Intern("a"), b = db.Intern("b");
+  TupleId r = db.AddTuple("R", {a, b});
+  db.AddTuple("S", {b});
+  Query q = MustParseQuery("R(x,y), S^x(y)");
+  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0].endo_tuples, (std::vector<TupleId>{r}));
+  EXPECT_EQ(ws[0].atom_tuples.size(), 2u);
+}
+
+TEST(Witness, AllExogenousGivesEmptyTupleSet) {
+  Database db;
+  Value a = db.Intern("a");
+  db.AddTuple("R", {a, a});
+  Query q = MustParseQuery("R^x(x,y)");
+  std::vector<std::vector<TupleId>> sets = WitnessTupleSets(q, db);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_TRUE(sets[0].empty());
+}
+
+TEST(Witness, SelfJoinSharedTupleDeduplicated) {
+  // R(a,a) matches both atoms of the chain: one endogenous tuple.
+  Database db;
+  Value a = db.Intern("a");
+  TupleId t = db.AddTuple("R", {a, a});
+  Query q = MustParseQuery("R(x,y), R(y,z)");
+  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0].endo_tuples, (std::vector<TupleId>{t}));
+}
+
+TEST(Witness, RepeatedVariableAtomRequiresEqualColumns) {
+  Database db;
+  Value a = db.Intern("a"), b = db.Intern("b");
+  db.AddTuple("R", {a, a});
+  db.AddTuple("R", {a, b});
+  Query q = MustParseQuery("R(x,x)");
+  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(db.ValueName(ws[0].assignment[0]), "a");
+}
+
+TEST(Witness, MissingRelationMeansNoWitnesses) {
+  Database db;
+  db.AddTuple("R", {db.Intern("a")});
+  Query q = MustParseQuery("R(x), S(x,y)");
+  EXPECT_TRUE(EnumerateWitnesses(q, db).empty());
+}
+
+TEST(Witness, ArityMismatchMeansNoWitnesses) {
+  Database db;
+  db.AddTuple("R", {db.Intern("a")});
+  Query q = MustParseQuery("R(x,y)");
+  EXPECT_TRUE(EnumerateWitnesses(q, db).empty());
+}
+
+TEST(Witness, LimitCapsEnumeration) {
+  Database db;
+  for (int i = 0; i < 10; ++i) {
+    db.AddTuple("R", {db.InternIndexed("a", i)});
+  }
+  Query q = MustParseQuery("R(x)");
+  EXPECT_EQ(EnumerateWitnesses(q, db, 3).size(), 3u);
+}
+
+TEST(Witness, CrossProductDisconnectedQuery) {
+  Database db;
+  Value a1 = db.Intern("a1"), a2 = db.Intern("a2");
+  Value b1 = db.Intern("b1");
+  db.AddTuple("A", {a1});
+  db.AddTuple("A", {a2});
+  db.AddTuple("B", {b1});
+  Query q = MustParseQuery("A(x), B(y)");
+  EXPECT_EQ(EnumerateWitnesses(q, db).size(), 2u);
+}
+
+TEST(Witness, TriangleQuery) {
+  Database db;
+  Value v1 = db.Intern("1"), v2 = db.Intern("2"), v3 = db.Intern("3");
+  db.AddTuple("R", {v1, v2});
+  db.AddTuple("S", {v2, v3});
+  db.AddTuple("T", {v3, v1});
+  db.AddTuple("R", {v2, v3});  // irrelevant extra
+  Query q = MustParseQuery("R(x,y), S(y,z), T(z,x)");
+  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0].endo_tuples.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rescq

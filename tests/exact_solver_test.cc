@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "db/database.h"
+#include "resilience/exact_solver.h"
+#include "util/rng.h"
+
+namespace rescq {
+namespace {
+
+TEST(HittingSet, EmptyFamily) {
+  EXPECT_EQ(SolveMinHittingSet({}).size, 0);
+}
+
+TEST(HittingSet, SingletonsForced) {
+  HittingSetResult r = SolveMinHittingSet({{3}, {5}, {3, 5, 7}});
+  EXPECT_EQ(r.size, 2);
+  EXPECT_EQ(r.chosen, (std::vector<int>{3, 5}));
+}
+
+TEST(HittingSet, DisjointSetsNeedOneEach) {
+  HittingSetResult r = SolveMinHittingSet({{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_EQ(r.size, 3);
+}
+
+TEST(HittingSet, SharedElementCoversAll) {
+  HittingSetResult r = SolveMinHittingSet({{0, 9}, {1, 9}, {2, 9}});
+  EXPECT_EQ(r.size, 1);
+  EXPECT_EQ(r.chosen, (std::vector<int>{9}));
+}
+
+TEST(HittingSet, SupersetsIgnored) {
+  HittingSetResult r = SolveMinHittingSet({{0, 1}, {0, 1, 2, 3}});
+  EXPECT_EQ(r.size, 1);
+}
+
+TEST(HittingSet, TriangleVertexCover) {
+  // Sets = edges of a triangle: minimum VC is 2.
+  HittingSetResult r = SolveMinHittingSet({{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(r.size, 2);
+}
+
+TEST(HittingSet, C5VertexCover) {
+  // 5-cycle: VC = 3.
+  HittingSetResult r =
+      SolveMinHittingSet({{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  EXPECT_EQ(r.size, 3);
+}
+
+TEST(HittingSet, PetersenGraphVertexCover) {
+  // The Petersen graph has vertex cover number 6.
+  std::vector<std::vector<int>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},   // outer cycle
+      {5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},   // inner pentagram
+      {0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}};  // spokes
+  EXPECT_EQ(SolveMinHittingSet(edges).size, 6);
+}
+
+TEST(HittingSet, ChosenElementsHitEverySet) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::vector<int>> sets;
+    int universe = 12;
+    for (int s = 0; s < 15; ++s) {
+      std::vector<int> set;
+      int size = static_cast<int>(rng.Range(1, 4));
+      for (int i = 0; i < size; ++i) {
+        set.push_back(static_cast<int>(rng.Below(static_cast<uint64_t>(universe))));
+      }
+      sets.push_back(set);
+    }
+    HittingSetResult r = SolveMinHittingSet(sets);
+    for (const std::vector<int>& s : sets) {
+      bool hit = false;
+      for (int e : s) {
+        for (int c : r.chosen) hit = hit || (c == e);
+      }
+      EXPECT_TRUE(hit);
+    }
+  }
+}
+
+TEST(HittingSet, MatchesBruteForceOnRandomInstances) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    int universe = 10;
+    std::vector<std::vector<int>> sets;
+    for (int s = 0; s < 8; ++s) {
+      std::vector<int> set;
+      int size = static_cast<int>(rng.Range(1, 3));
+      for (int i = 0; i < size; ++i) {
+        set.push_back(static_cast<int>(rng.Below(static_cast<uint64_t>(universe))));
+      }
+      sets.push_back(set);
+    }
+    // Brute force over all subsets of the universe.
+    int best = universe;
+    for (uint32_t mask = 0; mask < (1u << universe); ++mask) {
+      bool all_hit = true;
+      for (const std::vector<int>& s : sets) {
+        bool hit = false;
+        for (int e : s) hit = hit || ((mask >> e) & 1);
+        all_hit = all_hit && hit;
+      }
+      if (all_hit) best = std::min(best, __builtin_popcount(mask));
+    }
+    EXPECT_EQ(SolveMinHittingSet(sets).size, best) << "trial " << trial;
+  }
+}
+
+// --- Resilience via the exact solver -----------------------------------------
+
+TEST(ExactResilience, QueryFalseIsZero) {
+  Database db;
+  db.AddTuple("R", {db.Intern("a"), db.Intern("b")});
+  Query q = MustParseQuery("R(x,y), R(y,z)");  // no chain in db... a->b only
+  ResilienceResult r = ComputeResilienceExact(q, db);
+  EXPECT_FALSE(r.unbreakable);
+  EXPECT_EQ(r.resilience, 0);
+}
+
+TEST(ExactResilience, PaperChainExample) {
+  // Section 2 example: witnesses {t1,t2}, {t2,t3}, {t3}. t3 is forced;
+  // then t1 or t2 kills the rest: resilience 2.
+  Database db;
+  Value v1 = db.Intern("1"), v2 = db.Intern("2"), v3 = db.Intern("3");
+  db.AddTuple("R", {v1, v2});
+  db.AddTuple("R", {v2, v3});
+  TupleId t3 = db.AddTuple("R", {v3, v3});
+  Query q = MustParseQuery("R(x,y), R(y,z)");
+  ResilienceResult r = ComputeResilienceExact(q, db);
+  EXPECT_EQ(r.resilience, 2);
+  EXPECT_TRUE(std::find(r.contingency.begin(), r.contingency.end(), t3) !=
+              r.contingency.end());
+}
+
+TEST(ExactResilience, Example11DominationFails) {
+  // Section 3.2, Example 11: q^sj1_rats over
+  // D = {A(1),A(5),R(1,2),R(2,3),R(3,1),R(5,1),R(2,5)} has resilience 1
+  // via R(1,2), showing dominated R must stay endogenous.
+  Database db;
+  auto val = [&](const char* s) { return db.Intern(s); };
+  db.AddTuple("A", {val("1")});
+  db.AddTuple("A", {val("5")});
+  TupleId r12 = db.AddTuple("R", {val("1"), val("2")});
+  db.AddTuple("R", {val("2"), val("3")});
+  db.AddTuple("R", {val("3"), val("1")});
+  db.AddTuple("R", {val("5"), val("1")});
+  db.AddTuple("R", {val("2"), val("5")});
+  Query q = MustParseQuery("A(x), R(x,y), R(y,z), R(z,x)");
+  ResilienceResult r = ComputeResilienceExact(q, db);
+  EXPECT_EQ(r.resilience, 1);
+  EXPECT_EQ(r.contingency, (std::vector<TupleId>{r12}));
+
+  // With R exogenous, the only contingency set is {A(1), A(5)}: size 2.
+  Query q_exo = q.WithRelationExogenous("R");
+  ResilienceResult r2 = ComputeResilienceExact(q_exo, db);
+  EXPECT_EQ(r2.resilience, 2);
+}
+
+TEST(ExactResilience, UnbreakableWhenAllExogenous) {
+  Database db;
+  db.AddTuple("R", {db.Intern("a"), db.Intern("a")});
+  Query q = MustParseQuery("R^x(x,y)");
+  ResilienceResult r = ComputeResilienceExact(q, db);
+  EXPECT_TRUE(r.unbreakable);
+}
+
+TEST(ExactResilience, VertexCoverQuery) {
+  // q_vc over the complete graph K4 (as a digraph both ways): every edge
+  // is a witness; resilience = VC(K4) = 3.
+  Database db;
+  std::vector<Value> v;
+  for (int i = 0; i < 4; ++i) v.push_back(db.InternIndexed("v", i));
+  for (int i = 0; i < 4; ++i) db.AddTuple("R", {v[static_cast<size_t>(i)]});
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) {
+        db.AddTuple("S", {v[static_cast<size_t>(i)], v[static_cast<size_t>(j)]});
+      }
+    }
+  }
+  Query q = MustParseQuery("R(x), S(x,y), R(y)");
+  EXPECT_EQ(ComputeResilienceExact(q, db).resilience, 3);
+}
+
+TEST(ExactResilience, PermutationPairsAreIndependent) {
+  // q_perm: witnesses are the 2-cycles; each needs one deletion (Prop 33).
+  Database db;
+  auto val = [&](const char* s) { return db.Intern(s); };
+  db.AddTuple("R", {val("a"), val("b")});
+  db.AddTuple("R", {val("b"), val("a")});
+  db.AddTuple("R", {val("c"), val("d")});
+  db.AddTuple("R", {val("d"), val("c")});
+  db.AddTuple("R", {val("a"), val("c")});  // no inverse: not a witness
+  Query q = MustParseQuery("R(x,y), R(y,x)");
+  EXPECT_EQ(ComputeResilienceExact(q, db).resilience, 2);
+}
+
+TEST(ExactResilience, ContingencySetActuallyBreaksQuery) {
+  Rng rng(5);
+  Query q = MustParseQuery("R(x,y), R(y,z)");
+  for (int trial = 0; trial < 10; ++trial) {
+    Database db;
+    for (int e = 0; e < 15; ++e) {
+      Value a = db.InternIndexed("n", static_cast<int>(rng.Below(6)));
+      Value b = db.InternIndexed("n", static_cast<int>(rng.Below(6)));
+      db.AddTuple("R", {a, b});
+    }
+    ResilienceResult r = ComputeResilienceExact(q, db);
+    ASSERT_FALSE(r.unbreakable);
+    for (TupleId t : r.contingency) db.SetActive(t, false);
+    EXPECT_FALSE(QueryHolds(q, db));
+    db.ActivateAll();
+  }
+}
+
+}  // namespace
+}  // namespace rescq

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flow/bipartite.h"
+#include "flow/max_flow.h"
+
+namespace rescq {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow f(2);
+  f.AddEdge(0, 1, 5);
+  EXPECT_EQ(f.Compute(0, 1), 5);
+}
+
+TEST(MaxFlow, ParallelAndSeries) {
+  // s -(3)-> a -(2)-> t  and s -(1)-> t.
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 3);
+  f.AddEdge(1, 2, 2);
+  f.AddEdge(0, 2, 1);
+  EXPECT_EQ(f.Compute(0, 2), 3);
+}
+
+TEST(MaxFlow, ClassicDiamond) {
+  // Classic 4-node example with a cross edge; max flow 2000 + ... known.
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 100);
+  f.AddEdge(0, 2, 100);
+  f.AddEdge(1, 3, 100);
+  f.AddEdge(2, 3, 100);
+  f.AddEdge(1, 2, 1);
+  EXPECT_EQ(f.Compute(0, 3), 200);
+}
+
+TEST(MaxFlow, MinCutEdgesFormACut) {
+  MaxFlow f(4);
+  int e0 = f.AddEdge(0, 1, 1, /*tag=*/10);
+  int e1 = f.AddEdge(0, 2, 1, /*tag=*/11);
+  f.AddEdge(1, 3, 5);
+  f.AddEdge(2, 3, 5);
+  EXPECT_EQ(f.Compute(0, 3), 2);
+  std::vector<int> cut = f.MinCutEdges();
+  std::set<int> cut_set(cut.begin(), cut.end());
+  EXPECT_EQ(cut_set, (std::set<int>{e0, e1}));
+  EXPECT_EQ(f.edge(e0).tag, 10);
+  EXPECT_EQ(f.edge(e1).tag, 11);
+}
+
+TEST(MaxFlow, InfiniteEdgesNeverInCut) {
+  // s -∞-> a -1-> b -∞-> t : cut must be the middle edge.
+  MaxFlow f(4);
+  f.AddEdge(0, 1, kInfCapacity);
+  int mid = f.AddEdge(1, 2, 1);
+  f.AddEdge(2, 3, kInfCapacity);
+  EXPECT_EQ(f.Compute(0, 3), 1);
+  std::vector<int> cut = f.MinCutEdges();
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_EQ(cut[0], mid);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 7);
+  f.AddEdge(2, 3, 7);
+  EXPECT_EQ(f.Compute(0, 3), 0);
+  EXPECT_TRUE(f.OnSourceSide(1));
+  EXPECT_FALSE(f.OnSourceSide(3));
+}
+
+TEST(MaxFlow, LayeredGraphValue) {
+  // 3 layers of 3 nodes, unit capacities, complete between layers:
+  // value = 3.
+  MaxFlow f(11);  // s=0, t=10, layers 1-3, 4-6, 7-9
+  for (int i = 1; i <= 3; ++i) f.AddEdge(0, i, 1);
+  for (int i = 1; i <= 3; ++i) {
+    for (int j = 4; j <= 6; ++j) f.AddEdge(i, j, 1);
+  }
+  for (int j = 4; j <= 6; ++j) {
+    for (int k = 7; k <= 9; ++k) f.AddEdge(j, k, 1);
+  }
+  for (int k = 7; k <= 9; ++k) f.AddEdge(k, 10, 1);
+  EXPECT_EQ(f.Compute(0, 10), 3);
+}
+
+TEST(MaxFlow, AddNode) {
+  MaxFlow f(2);
+  int mid = f.AddNode();
+  f.AddEdge(0, mid, 2);
+  f.AddEdge(mid, 1, 1);
+  EXPECT_EQ(f.Compute(0, 1), 1);
+}
+
+TEST(Bipartite, PerfectMatchingSquare) {
+  // K2,2: cover size 2.
+  BipartiteCover c(2, 2);
+  c.AddEdge(0, 0);
+  c.AddEdge(0, 1);
+  c.AddEdge(1, 0);
+  c.AddEdge(1, 1);
+  c.Compute();
+  EXPECT_EQ(c.MatchingSize(), 2);
+  EXPECT_EQ(c.CoverSize(), 2);
+}
+
+TEST(Bipartite, StarNeedsOneVertex) {
+  // One left vertex connected to 4 rights: cover = {left}.
+  BipartiteCover c(1, 4);
+  for (int r = 0; r < 4; ++r) c.AddEdge(0, r);
+  c.Compute();
+  EXPECT_EQ(c.CoverSize(), 1);
+  EXPECT_TRUE(c.left_in_cover()[0]);
+}
+
+TEST(Bipartite, CoverEqualsMatchingByKonig) {
+  // Path: L0-R0, L1-R0, L1-R1, L2-R1. Max matching 2, cover 2.
+  BipartiteCover c(3, 2);
+  c.AddEdge(0, 0);
+  c.AddEdge(1, 0);
+  c.AddEdge(1, 1);
+  c.AddEdge(2, 1);
+  c.Compute();
+  EXPECT_EQ(c.MatchingSize(), 2);
+  EXPECT_EQ(c.CoverSize(), 2);
+}
+
+TEST(Bipartite, CoverIsActuallyACover) {
+  BipartiteCover c(4, 4);
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {0, 2}, {1, 0}, {2, 3},
+                                            {3, 3}, {1, 2}, {2, 0}};
+  for (auto [l, r] : edges) c.AddEdge(l, r);
+  c.Compute();
+  for (auto [l, r] : edges) {
+    EXPECT_TRUE(c.left_in_cover()[static_cast<size_t>(l)] ||
+                c.right_in_cover()[static_cast<size_t>(r)])
+        << l << "-" << r;
+  }
+  EXPECT_EQ(c.CoverSize(), c.MatchingSize());
+}
+
+TEST(Bipartite, EmptyGraph) {
+  BipartiteCover c(3, 3);
+  c.Compute();
+  EXPECT_EQ(c.CoverSize(), 0);
+  EXPECT_EQ(c.MatchingSize(), 0);
+}
+
+}  // namespace
+}  // namespace rescq

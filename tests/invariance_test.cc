@@ -1,0 +1,171 @@
+// Property tests for the paper's query-transformation equivalences:
+//  - minimization preserves resilience exactly (Section 4.1: q ≡ q'),
+//  - domination normalization preserves resilience exactly (Prop 4 / 18),
+//  - component decomposition: rho(q) = min over components (Lemma 14),
+//  - self-join variations relate to their sj-free counterparts (Lemma 21
+//    direction: the variation is at least as hard on mapped instances).
+
+#include <gtest/gtest.h>
+
+#include "complexity/catalog.h"
+#include "cq/components.h"
+#include "cq/domination.h"
+#include "cq/homomorphism.h"
+#include "cq/parser.h"
+#include "db/witness.h"
+#include "resilience/exact_solver.h"
+#include "util/rng.h"
+
+namespace rescq {
+namespace {
+
+Database RandomDatabase(const Query& q, int domain, int tuples, Rng& rng) {
+  Database db;
+  std::vector<Value> dom;
+  for (int i = 0; i < domain; ++i) dom.push_back(db.InternIndexed("c", i));
+  for (const std::string& rel : q.RelationNames()) {
+    int arity = q.RelationArity(rel);
+    for (int t = 0; t < tuples; ++t) {
+      std::vector<Value> row;
+      for (int c = 0; c < arity; ++c) {
+        row.push_back(dom[rng.Below(static_cast<uint64_t>(domain))]);
+      }
+      db.AddTuple(rel, row);
+    }
+  }
+  return db;
+}
+
+class TransformInvariance : public ::testing::TestWithParam<CatalogEntry> {};
+
+TEST_P(TransformInvariance, MinimizationPreservesResilience) {
+  Query q = MustParseQuery(GetParam().text);
+  Query m = Minimize(q);
+  Rng rng(0xAA ^ std::hash<std::string>()(GetParam().name));
+  for (int trial = 0; trial < 8; ++trial) {
+    Database db = RandomDatabase(q, 4, 8, rng);
+    ResilienceResult a = ComputeResilienceExact(q, db);
+    ResilienceResult b = ComputeResilienceExact(m, db);
+    ASSERT_EQ(a.unbreakable, b.unbreakable) << GetParam().name;
+    if (!a.unbreakable) {
+      EXPECT_EQ(a.resilience, b.resilience)
+          << GetParam().name << " trial " << trial;
+    }
+  }
+}
+
+TEST_P(TransformInvariance, DominationPreservesResilience) {
+  Query q = MustParseQuery(GetParam().text);
+  Query n = NormalizeDomination(Minimize(q));
+  Rng rng(0xBB ^ std::hash<std::string>()(GetParam().name));
+  for (int trial = 0; trial < 8; ++trial) {
+    Database db = RandomDatabase(q, 4, 8, rng);
+    ResilienceResult a = ComputeResilienceExact(q, db);
+    ResilienceResult b = ComputeResilienceExact(n, db);
+    // Normalization can only *shrink* the deletable tuple space, so
+    // unbreakable may flip from false to true only if a was unbreakable
+    // too; resilience values must match when both finite (Prop 18).
+    if (!a.unbreakable && !b.unbreakable) {
+      EXPECT_EQ(a.resilience, b.resilience)
+          << GetParam().name << " trial " << trial;
+    } else {
+      EXPECT_EQ(a.unbreakable, b.unbreakable) << GetParam().name;
+    }
+  }
+}
+
+std::vector<CatalogEntry> SmallCatalogEntries() {
+  // All catalog entries with at most 5 atoms (keeps the exact oracle
+  // cheap on 8 random databases each).
+  std::vector<CatalogEntry> out;
+  for (const CatalogEntry& e : PaperCatalog()) {
+    if (MustParseQuery(e.text).num_atoms() <= 5) out.push_back(e);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, TransformInvariance, ::testing::ValuesIn(SmallCatalogEntries()),
+    [](const ::testing::TestParamInfo<CatalogEntry>& info) {
+      return info.param.name;
+    });
+
+TEST(Components, ResilienceIsMinimumOverComponents) {
+  // Lemma 14 on a two-component query.
+  Query q = MustParseQuery("A(x), R(x,y), B(w), S(w,v)");
+  std::vector<Query> comps = SplitIntoComponents(Minimize(q));
+  ASSERT_EQ(comps.size(), 2u);
+  Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    Database db = RandomDatabase(q, 4, 6, rng);
+    ResilienceResult whole = ComputeResilienceExact(q, db);
+    if (whole.unbreakable) continue;
+    bool all_hold = true;
+    int min_comp = 1 << 30;
+    for (const Query& comp : comps) {
+      if (!QueryHolds(comp, db)) {
+        all_hold = false;
+        break;
+      }
+      ResilienceResult r = ComputeResilienceExact(comp, db);
+      if (!r.unbreakable) min_comp = std::min(min_comp, r.resilience);
+    }
+    if (!all_hold) {
+      EXPECT_EQ(whole.resilience, 0) << "trial " << trial;
+    } else {
+      EXPECT_EQ(whole.resilience, min_comp) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SelfJoinVariation, Lemma21MappedInstancesPreserveResilience) {
+  // Lemma 21's construction: marking tuples by the variables they bind
+  // turns an instance of the sj-free query into one of the self-join
+  // variation with equal resilience. We spot-check the q_triangle ->
+  // q_sj1_triangle direction: take D for the triangle, build D' for
+  // R(x,y),R(y,z),R(z,x) by tagging values with their variable role.
+  Query q_free = MustParseQuery("R(x,y), S(y,z), T(z,x)");
+  Query q_sj = MustParseQuery("R(x,y), R(y,z), R(z,x)");
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Database d = RandomDatabase(q_free, 4, 7, rng);
+    // Build D': every witness (a,b,c) contributes R(a_x,b_y), R(b_y,c_z),
+    // R(c_z,a_x).
+    Database d2;
+    std::vector<Witness> ws = EnumerateWitnesses(q_free, d);
+    for (const Witness& w : ws) {
+      std::string a = d.ValueName(w.assignment[0]) + "_x";
+      std::string b = d.ValueName(w.assignment[1]) + "_y";
+      std::string c = d.ValueName(w.assignment[2]) + "_z";
+      d2.AddTuple("R", {d2.Intern(a), d2.Intern(b)});
+      d2.AddTuple("R", {d2.Intern(b), d2.Intern(c)});
+      d2.AddTuple("R", {d2.Intern(c), d2.Intern(a)});
+    }
+    ResilienceResult r_free = ComputeResilienceExact(q_free, d);
+    ResilienceResult r_sj = ComputeResilienceExact(q_sj, d2);
+    EXPECT_EQ(r_free.resilience, r_sj.resilience) << "trial " << trial;
+  }
+}
+
+TEST(ExogenousRelabeling, MakingRelationsExogenousNeverLowersResilience) {
+  // Deleting from a smaller allowed set can only need more deletions (or
+  // become impossible).
+  Rng rng(31);
+  for (const char* text : {"R(x,y), R(y,z)", "A(x), R(x,y), R(y,x), B(y)",
+                           "R(x), S(x,y), R(y)"}) {
+    Query q = MustParseQuery(text);
+    for (const std::string& rel : q.RelationNames()) {
+      Query q_exo = q.WithRelationExogenous(rel);
+      Database db = RandomDatabase(q, 4, 8, rng);
+      ResilienceResult a = ComputeResilienceExact(q, db);
+      ResilienceResult b = ComputeResilienceExact(q_exo, db);
+      if (a.unbreakable) continue;
+      if (!b.unbreakable) {
+        EXPECT_GE(b.resilience, a.resilience) << text << " exo " << rel;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rescq

@@ -1,0 +1,142 @@
+// Dedicated tests for the linear-query flow solver: agreement with the
+// exact oracle across a family of linear queries (sj-free, confluence,
+// REP), exogenous handling, and the Lemma 55 no-duplicate-cut property
+// that makes the confluence case sound.
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "db/witness.h"
+#include "resilience/exact_solver.h"
+#include "resilience/linear_flow_solver.h"
+#include "resilience/rep_solver.h"
+#include "resilience/solver.h"
+#include "util/rng.h"
+
+namespace rescq {
+namespace {
+
+Database RandomDatabase(const Query& q, int domain, int tuples, Rng& rng) {
+  Database db;
+  std::vector<Value> dom;
+  for (int i = 0; i < domain; ++i) dom.push_back(db.InternIndexed("c", i));
+  for (const std::string& rel : q.RelationNames()) {
+    int arity = q.RelationArity(rel);
+    for (int t = 0; t < tuples; ++t) {
+      std::vector<Value> row;
+      for (int c = 0; c < arity; ++c) {
+        row.push_back(dom[rng.Below(static_cast<uint64_t>(domain))]);
+      }
+      db.AddTuple(rel, row);
+    }
+  }
+  return db;
+}
+
+// Linear queries the flow solver must handle exactly. Mixed arities,
+// exogenous atoms in every position, and the confluence pattern.
+class LinearFlowAgreement : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LinearFlowAgreement, MatchesExactOracle) {
+  Query q = MustParseQuery(GetParam());
+  Rng rng(std::hash<std::string>()(GetParam()) ^ 0x11);
+  for (int trial = 0; trial < 25; ++trial) {
+    Database db = RandomDatabase(q, 3 + static_cast<int>(rng.Below(4)),
+                                 4 + static_cast<int>(rng.Below(12)), rng);
+    std::optional<ResilienceResult> flow = SolveLinearFlow(q, db);
+    ASSERT_TRUE(flow.has_value()) << "query should be linear";
+    ResilienceResult exact = ComputeResilienceExact(q, db);
+    ASSERT_EQ(flow->unbreakable, exact.unbreakable) << "trial " << trial;
+    if (exact.unbreakable) continue;
+    EXPECT_EQ(flow->resilience, exact.resilience) << "trial " << trial;
+    EXPECT_TRUE(VerifyContingency(q, db, flow->contingency))
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, LinearFlowAgreement,
+    ::testing::Values(
+        // sj-free linear chains of various lengths and arities
+        "A(x), R(x,y), B(y)",                       //
+        "A(x), R(x,y), S(y,z), C(z)",               //
+        "A(x), R(x,y), S(y,z), T(z,w), D(w)",       //
+        "A(x), W(x,y,z), S(y,z)",                   // ternary middle
+        "R(x,y), S(y,z)",                           // no unary anchors
+        // exogenous atoms at the ends and in the middle
+        "A^x(x), R(x,y), B(y)",                     //
+        "A(x), R^x(x,y), B(y)",                     //
+        "A(x), R(x,y), S^x(y,z), T(z,w)",           //
+        // the confluence family (Propositions 12 and 31)
+        "A(x), R(x,y), R(z,y), C(z)",               //
+        "A(x), R(x,y), R(z,y)",                     //
+        "U(v,x), R(x,y), R(z,y), C(z)",             // binary left anchor
+        "A(x), R(x,y), R(z,y), G^x(z,w), C(w)"),    // exo tail
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return "q" + std::to_string(info.index);
+    });
+
+TEST(LinearFlow, RepOverrideAgreesOnZ3Family) {
+  for (const char* text :
+       {"R(x,x), R(x,y), A(y)", "B(x), R(x,x), R(x,y), A(y)"}) {
+    Query q = MustParseQuery(text);
+    Rng rng(std::hash<std::string>()(text));
+    for (int trial = 0; trial < 20; ++trial) {
+      Database db = RandomDatabase(q, 4, 9, rng);
+      std::optional<ResilienceResult> rep = SolveRepFlow(q, db);
+      ASSERT_TRUE(rep.has_value()) << text;
+      ResilienceResult exact = ComputeResilienceExact(q, db);
+      ASSERT_EQ(rep->unbreakable, exact.unbreakable);
+      if (!exact.unbreakable) {
+        EXPECT_EQ(rep->resilience, exact.resilience)
+            << text << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(LinearFlow, CutNeverContainsExogenousTuples) {
+  Query q = MustParseQuery("A(x), R^x(x,y), B(y)");
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    Database db = RandomDatabase(q, 4, 8, rng);
+    std::optional<ResilienceResult> r = SolveLinearFlow(q, db);
+    ASSERT_TRUE(r.has_value());
+    if (r->unbreakable) continue;
+    int r_rel = db.RelationId("R");
+    for (TupleId t : r->contingency) EXPECT_NE(t.relation, r_rel);
+  }
+}
+
+TEST(LinearFlow, SharedMiddleValueForcesBottleneckCut) {
+  // All chains pass through R(m, m'); the min cut is that single tuple.
+  Database db;
+  Value m = db.Intern("m"), m2 = db.Intern("m'");
+  for (int i = 0; i < 4; ++i) {
+    db.AddTuple("A", {db.InternIndexed("a", i)});
+    db.AddTuple("L", {db.InternIndexed("a", i), m});
+    db.AddTuple("B", {db.InternIndexed("b", i)});
+    db.AddTuple("T", {m2, db.InternIndexed("b", i)});
+  }
+  TupleId mid = db.AddTuple("R", {m, m2});
+  Query q = MustParseQuery("A(x), L(x,u), R(u,v), T(v,y), B(y)");
+  std::optional<ResilienceResult> r = SolveLinearFlow(q, db);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->resilience, 1);
+  EXPECT_EQ(r->contingency, (std::vector<TupleId>{mid}));
+}
+
+TEST(LinearFlow, DispatchedSolverHandlesLargeInstancesFast) {
+  // 2000 tuples per relation: far beyond the exact oracle's comfort zone.
+  Query q = MustParseQuery("A(x), R(x,y), R(z,y), C(z)");
+  Rng rng(1234);
+  Database db = RandomDatabase(q, 60, 2000, rng);
+  ResilienceResult r = ComputeResilience(q, db);
+  EXPECT_FALSE(r.unbreakable);
+  EXPECT_TRUE(VerifyContingency(q, db, r.contingency));
+  EXPECT_EQ(SolverKindName(r.solver),
+            SolverKindName(SolverKind::kLinearFlow));
+}
+
+}  // namespace
+}  // namespace rescq

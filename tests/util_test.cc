@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/combinatorics.h"
+#include "util/disjoint_set.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace rescq {
+namespace {
+
+TEST(BellNumber, SmallValues) {
+  EXPECT_EQ(BellNumber(0), 1u);
+  EXPECT_EQ(BellNumber(1), 1u);
+  EXPECT_EQ(BellNumber(2), 2u);
+  EXPECT_EQ(BellNumber(3), 5u);
+  EXPECT_EQ(BellNumber(4), 15u);
+  EXPECT_EQ(BellNumber(5), 52u);
+  EXPECT_EQ(BellNumber(9), 21147u);  // Example 62 in the paper
+  EXPECT_EQ(BellNumber(10), 115975u);
+}
+
+TEST(SetPartitions, CountMatchesBellNumber) {
+  for (int n = 1; n <= 8; ++n) {
+    uint64_t count = 0;
+    ForEachSetPartition(n, [&](const std::vector<int>&) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, BellNumber(n)) << "n=" << n;
+  }
+}
+
+TEST(SetPartitions, GrowthStringsAreRestricted) {
+  ForEachSetPartition(5, [&](const std::vector<int>& rgs) {
+    EXPECT_EQ(rgs[0], 0);
+    int max_seen = 0;
+    for (size_t i = 1; i < rgs.size(); ++i) {
+      EXPECT_LE(rgs[i], max_seen + 1);
+      max_seen = std::max(max_seen, rgs[i]);
+    }
+    return true;
+  });
+}
+
+TEST(SetPartitions, AllDistinct) {
+  std::set<std::vector<int>> seen;
+  ForEachSetPartition(6, [&](const std::vector<int>& rgs) {
+    EXPECT_TRUE(seen.insert(rgs).second);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), BellNumber(6));
+}
+
+TEST(SetPartitions, EarlyStop) {
+  int count = 0;
+  ForEachSetPartition(6, [&](const std::vector<int>&) {
+    return ++count < 10;
+  });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(NumBlocks, Works) {
+  EXPECT_EQ(NumBlocks({0, 0, 0}), 1);
+  EXPECT_EQ(NumBlocks({0, 1, 2}), 3);
+  EXPECT_EQ(NumBlocks({0, 1, 0, 1}), 2);
+}
+
+TEST(Combinations, CountIsBinomial) {
+  int count = 0;
+  ForEachCombination(6, 3, [&](const std::vector<int>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 20);
+}
+
+TEST(Combinations, Lexicographic) {
+  std::vector<std::vector<int>> all;
+  ForEachCombination(4, 2, [&](const std::vector<int>& idx) {
+    all.push_back(idx);
+    return true;
+  });
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all.front(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(all.back(), (std::vector<int>{2, 3}));
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(IndexVectors, CountsAllNonEmptySubsets) {
+  int count = 0;
+  ForEachIndexVector(5, [&](const std::vector<int>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 31);  // 2^5 - 1
+}
+
+TEST(Subsets, Count) {
+  int count = 0;
+  ForEachSubset(5, [&](uint32_t) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 32);
+}
+
+TEST(DisjointSet, UnionFind) {
+  DisjointSet ds(6);
+  EXPECT_TRUE(ds.Union(0, 1));
+  EXPECT_TRUE(ds.Union(1, 2));
+  EXPECT_FALSE(ds.Union(0, 2));
+  EXPECT_TRUE(ds.Same(0, 2));
+  EXPECT_FALSE(ds.Same(0, 3));
+  EXPECT_TRUE(ds.Union(3, 4));
+  EXPECT_TRUE(ds.Union(2, 4));
+  EXPECT_TRUE(ds.Same(0, 3));
+  EXPECT_FALSE(ds.Same(0, 5));
+}
+
+TEST(StringUtil, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtil, TrimAndJoin) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "el"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace rescq
