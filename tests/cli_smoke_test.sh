@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the rescq CLI, run by CTest.
+#
+# Usage: cli_smoke_test.sh <path-to-rescq-binary> <repo-source-dir>
+#
+# Covers every subcommand: classify on one PTIME and one NP-complete
+# catalog query, the full catalog self-check, and a resilience
+# computation over the Section 2 example database.
+set -u
+
+RESCQ="${1:?usage: cli_smoke_test.sh <rescq-binary> <source-dir>}"
+SRC="${2:?usage: cli_smoke_test.sh <rescq-binary> <source-dir>}"
+
+failures=0
+
+# expect <description> <needle> <argv...>: the command must exit 0 and
+# print a line containing the needle.
+expect() {
+  local desc="$1" needle="$2"
+  shift 2
+  local out
+  if ! out="$("$RESCQ" "$@" 2>&1)"; then
+    echo "FAIL: $desc: '$RESCQ $*' exited non-zero"
+    echo "$out" | sed 's/^/    /'
+    failures=$((failures + 1))
+    return
+  fi
+  if ! grep -qF "$needle" <<<"$out"; then
+    echo "FAIL: $desc: output of '$RESCQ $*' lacks '$needle'"
+    echo "$out" | sed 's/^/    /'
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok: $desc"
+}
+
+# classify: a PTIME catalog query (q_ACconf, Proposition 12) ...
+expect "classify PTIME query" "RES(q) is PTIME" \
+    classify "A(x), R(x,y), R(z,y), C(z)"
+
+# ... and an NP-complete one (q_chain, Proposition 10).
+expect "classify NP-complete query" "RES(q) is NP-complete" \
+    classify "R(x,y), R(y,z)"
+
+# classify by catalog name, including the triangle triad of the issue.
+expect "classify triad by text" "triad" classify "R(x,y), S(y,z), T(z,x)"
+expect "classify by --name" "RES(q) is PTIME" classify --name q_perm
+
+# catalog: exits 0 only if the classifier matches every published verdict.
+expect "catalog self-check" "classifier agrees on" catalog
+expect "catalog detail view" "Proposition 39" catalog q_AC3conf
+
+# resilience: Section 2 running example, rho(q_chain, D) = 2, and the
+# CLI verifies the contingency set before reporting success.
+expect "resilience of Section 2 example" "rho(q, D) = 2" \
+    resilience "R(x,y), R(y,z)" "$SRC/data/section2_chain.tuples"
+expect "contingency verification" "query is false" \
+    resilience "R(x,y), R(y,z)" "$SRC/data/section2_chain.tuples"
+expect "exact reference solver" "rho(q, D) = 1" \
+    resilience --name q_vc "$SRC/data/vc_path.tuples" --exact
+
+# error handling: bad input must fail with the documented usage-error
+# exit code 2 — any other status (including a crash) is a failure.
+expect_usage_error() {
+  local desc="$1"
+  shift
+  "$RESCQ" "$@" >/dev/null 2>&1
+  local status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: $desc: expected exit 2, got $status"
+    failures=$((failures + 1))
+  else
+    echo "ok: $desc"
+  fi
+}
+
+expect_usage_error "malformed query rejected" classify "lower(x)"
+expect_usage_error "missing tuple file rejected" \
+    resilience "R(x,y)" /nonexistent.tuples
+tmpfile="$(mktemp)"
+printf 'R(1)\nR(1,2)\n' > "$tmpfile"
+expect_usage_error "arity-inconsistent tuple file rejected" \
+    resilience "R(x,y)" "$tmpfile"
+printf 'R(a,b) R(c,d)\n' > "$tmpfile"
+expect_usage_error "two facts on one line rejected" \
+    resilience "R(x,y)" "$tmpfile"
+rm -f "$tmpfile"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures smoke-test failure(s)"
+  exit 1
+fi
+echo "all CLI smoke tests passed"

@@ -1,0 +1,302 @@
+// rescq — command-line driver for the resilience library.
+//
+// The first end-to-end scenario a user can run without writing C++:
+// parse a Boolean conjunctive query, decide the complexity of RES(q)
+// following the paper's dichotomy, and (given a tuple file) compute the
+// resilience with the matching solver.
+//
+//   rescq classify "R(x,y), S(y,z), T(z,x)"
+//   rescq classify --name q_chain
+//   rescq resilience "R(x,y), R(y,z)" data/section2_chain.tuples
+//   rescq catalog
+//   rescq catalog q_AC3conf
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "complexity/catalog.h"
+#include "complexity/classifier.h"
+#include "cq/parser.h"
+#include "db/database.h"
+#include "db/witness.h"
+#include "resilience/result.h"
+#include "resilience/solver.h"
+#include "util/string_util.h"
+
+namespace rescq {
+namespace {
+
+int Usage(std::FILE* out) {
+  std::fprintf(out,
+               "rescq — resilience of binary conjunctive queries with "
+               "self-joins (PODS 2020)\n"
+               "\n"
+               "usage:\n"
+               "  rescq classify (<query> | --name <catalog-name>)\n"
+               "      Decide the complexity of RES(q) and cite the paper "
+               "pattern.\n"
+               "  rescq resilience (<query> | --name <catalog-name>) "
+               "<tuples-file> [--exact]\n"
+               "      Compute rho(q, D) over the tuple file; --exact forces "
+               "the reference solver.\n"
+               "  rescq catalog [<name>]\n"
+               "      List every named query of the paper with its published\n"
+               "      verdict and the classifier's verdict (or detail one).\n"
+               "  rescq help\n"
+               "\n"
+               "query syntax:   \"q :- R(x,y), S^x(y,z), A(x)\"   (head "
+               "optional; ^x = exogenous)\n"
+               "tuple file:     one fact per line, e.g. \"R(a,b)\"; '#' "
+               "starts a comment\n");
+  return out == stdout ? 0 : 2;
+}
+
+/// Resolves the query argument: either a literal query string or, after
+/// `--name`, a PaperCatalog() entry. Returns nullopt (with a message
+/// printed) on failure.
+std::optional<Query> ResolveQuery(const std::vector<std::string>& args,
+                                  size_t* consumed) {
+  if (args.empty()) {
+    std::fprintf(stderr, "error: missing query argument\n");
+    return std::nullopt;
+  }
+  if (args[0] == "--name") {
+    if (args.size() < 2) {
+      std::fprintf(stderr, "error: --name needs a catalog query name\n");
+      return std::nullopt;
+    }
+    std::optional<CatalogEntry> entry = FindCatalogEntry(args[1]);
+    if (!entry) {
+      std::fprintf(stderr,
+                   "error: no catalog query named '%s' (try `rescq "
+                   "catalog`)\n",
+                   args[1].c_str());
+      return std::nullopt;
+    }
+    *consumed = 2;
+    return MustParseQuery(entry->text);
+  }
+  ParseResult parsed = ParseQuery(args[0]);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "error: cannot parse query: %s\n",
+                 parsed.error.c_str());
+    return std::nullopt;
+  }
+  *consumed = 1;
+  return parsed.query;
+}
+
+/// Loads a tuple file into db. Format: one fact per line, "R(a, b)";
+/// blank lines and '#' comments are ignored. Returns false on the first
+/// malformed line.
+bool LoadTupleFile(const std::string& path, Database* db) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open tuple file '%s'\n", path.c_str());
+    return false;
+  }
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string_view line = Trim(raw);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    size_t open = line.find('(');
+    size_t close = line.rfind(')');
+    if (open == std::string_view::npos || close != line.size() - 1 ||
+        close < open) {
+      std::fprintf(stderr, "%s:%d: expected a single fact like R(a,b)\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    std::string relation(Trim(line.substr(0, open)));
+    if (relation.empty() ||
+        !std::isupper(static_cast<unsigned char>(relation[0]))) {
+      std::fprintf(stderr, "%s:%d: relation name must start upper-case\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    std::vector<Value> row;
+    for (const std::string& piece :
+         Split(line.substr(open + 1, close - open - 1), ',')) {
+      std::string constant(Trim(piece));
+      if (constant.empty() ||
+          constant.find_first_of("() \t") != std::string::npos) {
+        std::fprintf(stderr, "%s:%d: bad constant '%s' in fact\n",
+                     path.c_str(), lineno, constant.c_str());
+        return false;
+      }
+      row.push_back(db->Intern(constant));
+    }
+    if (row.empty()) {
+      std::fprintf(stderr, "%s:%d: fact has no constants\n", path.c_str(),
+                   lineno);
+      return false;
+    }
+    // Validate arity here: the file is untrusted input, and Database
+    // treats an arity mismatch as a programmer error (it aborts).
+    int id = db->RelationId(relation);
+    if (id >= 0 && db->relation_arity(id) != static_cast<int>(row.size())) {
+      std::fprintf(stderr,
+                   "%s:%d: relation '%s' used with arity %zu, but earlier "
+                   "facts have arity %d\n",
+                   path.c_str(), lineno, relation.c_str(), row.size(),
+                   db->relation_arity(id));
+      return false;
+    }
+    db->AddTuple(relation, row);
+  }
+  return true;
+}
+
+void PrintClassification(const Query& q, const Classification& c) {
+  std::printf("query:       %s\n", q.ToString().c_str());
+  if (!(c.minimized == q)) {
+    std::printf("minimized:   %s\n", c.minimized.ToString().c_str());
+  }
+  if (!(c.normalized == c.minimized)) {
+    std::printf("normalized:  %s\n", c.normalized.ToString().c_str());
+  }
+  std::printf("complexity:  RES(q) is %s\n", ComplexityName(c.complexity));
+  std::printf("pattern:     %s\n", c.pattern.c_str());
+  std::printf("reason:      %s\n", c.reason.c_str());
+}
+
+int CmdClassify(const std::vector<std::string>& args) {
+  size_t consumed = 0;
+  std::optional<Query> q = ResolveQuery(args, &consumed);
+  if (!q) return 2;
+  if (consumed != args.size()) {
+    std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                 args[consumed].c_str());
+    return 2;
+  }
+  PrintClassification(*q, ClassifyResilience(*q));
+  return 0;
+}
+
+int CmdResilience(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  bool exact = false;
+  for (const std::string& a : args) {
+    if (a == "--exact") {
+      exact = true;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  size_t consumed = 0;
+  std::optional<Query> q = ResolveQuery(positional, &consumed);
+  if (!q) return 2;
+  if (positional.size() != consumed + 1) {
+    std::fprintf(stderr, "error: expected exactly one tuple file argument\n");
+    return 2;
+  }
+
+  Database db;
+  if (!LoadTupleFile(positional[consumed], &db)) return 2;
+  for (const std::string& rel : q->RelationNames()) {
+    int id = db.RelationId(rel);
+    if (id < 0) {
+      std::fprintf(stderr, "warning: relation '%s' has no tuples in '%s'\n",
+                   rel.c_str(), positional[consumed].c_str());
+    } else if (db.relation_arity(id) != q->RelationArity(rel)) {
+      std::fprintf(stderr,
+                   "warning: relation '%s' has arity %d in the query but "
+                   "arity %d in '%s'; no fact can match\n",
+                   rel.c_str(), q->RelationArity(rel), db.relation_arity(id),
+                   positional[consumed].c_str());
+    }
+  }
+
+  Classification c = ClassifyResilience(*q);
+  std::printf("query:       %s\n", q->ToString().c_str());
+  std::printf("complexity:  RES(q) is %s (%s)\n", ComplexityName(c.complexity),
+              c.reason.c_str());
+  std::printf("database:    %d tuples over %d constants\n",
+              db.NumActiveTuples(), db.domain_size());
+  std::printf("witnesses:   %zu\n", EnumerateWitnesses(*q, db).size());
+
+  ResilienceResult r = exact ? ComputeResilienceReference(*q, db)
+                             : ComputeResilience(*q, db);
+  if (r.unbreakable) {
+    std::printf(
+        "resilience:  undefined — some witness uses only exogenous "
+        "tuples, so no endogenous deletion can falsify q\n");
+    return 0;
+  }
+  std::printf("resilience:  rho(q, D) = %d  [solver: %s]\n", r.resilience,
+              SolverKindName(r.solver));
+  if (!r.contingency.empty()) {
+    std::printf("contingency: delete");
+    for (TupleId t : r.contingency) {
+      std::printf(" %s", db.TupleToString(t).c_str());
+    }
+    std::printf("\n");
+  }
+  bool broken = VerifyContingency(*q, db, r.contingency);
+  std::printf("verified:    query %s after deleting the contingency set\n",
+              broken ? "is false" : "IS STILL TRUE (solver bug!)");
+  return broken ? 0 : 1;
+}
+
+int CmdCatalog(const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    std::fprintf(stderr, "error: catalog takes at most one name\n");
+    return 2;
+  }
+  if (args.size() == 1) {
+    std::optional<CatalogEntry> entry = FindCatalogEntry(args[0]);
+    if (!entry) {
+      std::fprintf(stderr, "error: no catalog query named '%s'\n",
+                   args[0].c_str());
+      return 2;
+    }
+    std::printf("name:        %s\n", entry->name.c_str());
+    std::printf("published:   %s (%s)\n", ComplexityName(entry->expected),
+                entry->reference.c_str());
+    Query q = MustParseQuery(entry->text);
+    PrintClassification(q, ClassifyResilience(q));
+    return 0;
+  }
+
+  int mismatches = 0;
+  std::printf("%-18s %-13s %-13s %s\n", "name", "published", "classifier",
+              "reference");
+  for (const CatalogEntry& entry : PaperCatalog()) {
+    Classification c = ClassifyResilience(MustParseQuery(entry.text));
+    bool match = c.complexity == entry.expected;
+    if (!match) ++mismatches;
+    std::printf("%-18s %-13s %-13s %s%s\n", entry.name.c_str(),
+                ComplexityName(entry.expected), ComplexityName(c.complexity),
+                entry.reference.c_str(), match ? "" : "   << MISMATCH");
+  }
+  std::printf("\n%zu catalog queries; classifier agrees on %zu.\n",
+              PaperCatalog().size(), PaperCatalog().size() - mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage(stderr);
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return Usage(stdout);
+  if (cmd == "classify") return CmdClassify(args);
+  if (cmd == "resilience") return CmdResilience(args);
+  if (cmd == "catalog") return CmdCatalog(args);
+  std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
+  return Usage(stderr);
+}
+
+}  // namespace
+}  // namespace rescq
+
+int main(int argc, char** argv) { return rescq::Run(argc, argv); }
