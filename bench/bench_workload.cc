@@ -1,0 +1,94 @@
+// E8: workload subsystem. First a scaling table — the same small
+// oracle-checked sweep on 1, 2, and 4 worker threads, demonstrating that
+// the batch engine's results are thread-invariant while its wall clock
+// shrinks — then google-benchmark series for generator throughput and
+// end-to-end batch latency.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/batch.h"
+#include "workload/generators.h"
+
+namespace rescq {
+namespace {
+
+std::vector<BatchJob> ScalingJobs() {
+  BatchPlan plan;
+  plan.scenarios = AllScenarioNames();
+  plan.sizes = {4, 6, 8};
+  plan.seeds = {1, 2};
+  std::vector<BatchJob> jobs;
+  std::string error;
+  if (!ExpandPlan(plan, &jobs, &error)) {
+    std::fprintf(stderr, "ExpandPlan failed: %s\n", error.c_str());
+  }
+  return jobs;
+}
+
+void PrintScalingTable() {
+  bench::PrintHeader(
+      "E8: batch engine thread scaling",
+      "Every scenario x sizes {4,6,8} x seeds {1,2} with the exact-oracle "
+      "cross-check on; identical resilience values on every thread count.");
+  std::vector<BatchJob> jobs = ScalingJobs();
+  std::printf("%8s %8s %12s %12s %10s\n", "threads", "cells", "solver_ms",
+              "elapsed_ms", "mismatch");
+  for (int threads : {1, 2, 4}) {
+    BatchOptions options;
+    options.threads = threads;
+    options.check_oracle = true;
+    BatchReport report = RunBatch(jobs, options);
+    std::printf("%8d %8zu %12.1f %12.1f %10d\n", threads, report.cells.size(),
+                report.total_wall_ms, report.elapsed_ms, report.mismatches);
+  }
+}
+
+void BM_Generate(benchmark::State& state, const char* name) {
+  const Scenario* scenario = FindScenario(name);
+  ScenarioParams params{static_cast<int>(state.range(0)), 0.5, 1};
+  for (auto _ : state) {
+    params.seed++;  // vary the instance, stay deterministic
+    Database db = scenario->generate(params);
+    benchmark::DoNotOptimize(db.NumActiveTuples());
+  }
+}
+BENCHMARK_CAPTURE(BM_Generate, chain, "chain")->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_Generate, perm, "perm")->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_Generate, vc_er, "vc_er")->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_Generate, triad, "triad")->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_Generate, uniform, "uniform")->Arg(64)->Arg(256);
+
+void BM_BatchSweep(benchmark::State& state) {
+  std::vector<BatchJob> jobs = ScalingJobs();
+  BatchOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BatchReport report = RunBatch(jobs, options);
+    benchmark::DoNotOptimize(report.mismatches);
+  }
+}
+BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fingerprint(benchmark::State& state) {
+  Database db = GenerateErdosRenyiVC({static_cast<int>(state.range(0)), 0.5, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DatabaseFingerprint(db));
+  }
+}
+BENCHMARK(BM_Fingerprint)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace rescq
+
+int main(int argc, char** argv) {
+  rescq::PrintScalingTable();
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

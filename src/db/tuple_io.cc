@@ -1,0 +1,120 @@
+#include "db/tuple_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace rescq {
+
+namespace {
+
+std::string LineError(const std::string& origin, int lineno,
+                      const std::string& message) {
+  std::ostringstream out;
+  out << origin << ":" << lineno << ": " << message;
+  return out.str();
+}
+
+}  // namespace
+
+bool ReadTuples(std::istream& in, const std::string& origin, Database* db,
+                std::string* error) {
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string_view line = Trim(raw);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    size_t open = line.find('(');
+    size_t close = line.rfind(')');
+    if (open == std::string_view::npos || close != line.size() - 1 ||
+        close < open) {
+      *error = LineError(origin, lineno, "expected a single fact like R(a,b)");
+      return false;
+    }
+    std::string relation(Trim(line.substr(0, open)));
+    if (relation.empty() ||
+        !std::isupper(static_cast<unsigned char>(relation[0]))) {
+      *error = LineError(origin, lineno, "relation name must start upper-case");
+      return false;
+    }
+    std::vector<Value> row;
+    for (const std::string& piece :
+         Split(line.substr(open + 1, close - open - 1), ',')) {
+      std::string constant(Trim(piece));
+      if (constant.empty() ||
+          constant.find_first_of("() \t") != std::string::npos) {
+        *error = LineError(origin, lineno,
+                           "bad constant '" + constant + "' in fact");
+        return false;
+      }
+      row.push_back(db->Intern(constant));
+    }
+    if (row.empty()) {
+      *error = LineError(origin, lineno, "fact has no constants");
+      return false;
+    }
+    // Validate arity here: the input is untrusted, and Database treats an
+    // arity mismatch as a programmer error (it aborts).
+    int id = db->RelationId(relation);
+    if (id >= 0 && db->relation_arity(id) != static_cast<int>(row.size())) {
+      std::ostringstream msg;
+      msg << "relation '" << relation << "' used with arity " << row.size()
+          << ", but earlier facts have arity " << db->relation_arity(id);
+      *error = LineError(origin, lineno, msg.str());
+      return false;
+    }
+    db->AddTuple(relation, row);
+  }
+  return true;
+}
+
+bool LoadTupleFile(const std::string& path, Database* db, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open tuple file '" + path + "'";
+    return false;
+  }
+  return ReadTuples(in, path, db, error);
+}
+
+void WriteTuples(const Database& db, std::ostream& out,
+                 const std::string& header) {
+  if (!header.empty()) {
+    for (const std::string& line : Split(header, '\n')) {
+      out << "# " << line << "\n";
+    }
+  }
+  for (int rel = 0; rel < db.num_relations(); ++rel) {
+    for (TupleId id : db.ActiveTuples(rel)) {
+      out << db.relation_name(rel) << "(";
+      const std::vector<Value>& row = db.Row(id);
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << db.ValueName(row[i]);
+      }
+      out << ")\n";
+    }
+  }
+}
+
+bool SaveTupleFile(const Database& db, const std::string& path,
+                   const std::string& header, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    *error = "cannot create tuple file '" + path + "'";
+    return false;
+  }
+  WriteTuples(db, out, header);
+  return true;
+}
+
+}  // namespace rescq

@@ -1,0 +1,37 @@
+#ifndef RESCQ_DB_TUPLE_IO_H_
+#define RESCQ_DB_TUPLE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "db/database.h"
+
+namespace rescq {
+
+/// Reads facts ("R(a, b)", one per line, '#' comments, blank lines
+/// ignored) from `in` into db. `origin` labels error messages (a file
+/// path or "<string>"). Returns false and fills *error on the first
+/// malformed line or arity inconsistency; db may then hold a prefix of
+/// the input.
+bool ReadTuples(std::istream& in, const std::string& origin, Database* db,
+                std::string* error);
+
+/// ReadTuples over the named file. Fails (with *error set) if the file
+/// cannot be opened.
+bool LoadTupleFile(const std::string& path, Database* db, std::string* error);
+
+/// Writes every *active* tuple of db as one "R(a, b)" fact per line,
+/// relations in creation order, rows in insertion order — the inverse of
+/// ReadTuples up to comments. `header` (may be empty) is emitted first as
+/// '#'-prefixed comment lines.
+void WriteTuples(const Database& db, std::ostream& out,
+                 const std::string& header = "");
+
+/// WriteTuples to the named file. Returns false (with *error set) if the
+/// file cannot be created.
+bool SaveTupleFile(const Database& db, const std::string& path,
+                   const std::string& header, std::string* error);
+
+}  // namespace rescq
+
+#endif  // RESCQ_DB_TUPLE_IO_H_

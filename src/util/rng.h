@@ -1,7 +1,10 @@
 #ifndef RESCQ_UTIL_RNG_H_
 #define RESCQ_UTIL_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace rescq {
 
@@ -18,8 +21,24 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform integer in [0, bound). Requires bound > 0.
-  uint64_t Below(uint64_t bound) { return Next() % bound; }
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased:
+  /// draws below `2^64 mod bound` are rejected (arc4random_uniform
+  /// style), so every residue is hit by the same number of raw words.
+  uint64_t Below(uint64_t bound) {
+    uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Fisher–Yates shuffle, deterministic in this Rng's state.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Below(i)]);
+    }
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   int64_t Range(int64_t lo, int64_t hi) {

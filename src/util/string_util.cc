@@ -1,7 +1,11 @@
 #include "util/string_util.h"
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace rescq {
 
@@ -59,6 +63,56 @@ std::string StrFormat(const char* fmt, ...) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+/// Non-empty and nothing but ASCII digits — rejects the signs and
+/// leading whitespace that strtol/strtoull would otherwise skip (an
+/// accidental "-1" or " -1" must not silently wrap to something huge).
+bool AllDigits(const std::string& s) {
+  return !s.empty() && s.find_first_not_of("0123456789") == std::string::npos;
+}
+
+}  // namespace
+
+bool ParsePositiveInt(const std::string& s, int* out) {
+  if (!AllDigits(s)) return false;
+  errno = 0;
+  long v = std::strtol(s.c_str(), nullptr, 10);
+  if (errno == ERANGE || v <= 0 || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseUint64(const std::string& s, uint64_t* out) {
+  if (!AllDigits(s)) return false;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), nullptr, 10);
+  if (errno == ERANGE) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseProbability(const std::string& s, double* out) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  // The negated-range form also rejects NaN, which compares false to
+  // everything and would otherwise sail through `v < 0 || v > 1`.
+  if (end == s.c_str() || *end != '\0' || !(v >= 0.0 && v <= 1.0)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> SplitTrimmed(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (const std::string& piece : Split(s, sep)) {
+    std::string item(Trim(piece));
+    if (!item.empty()) out.push_back(std::move(item));
+  }
+  return out;
 }
 
 }  // namespace rescq

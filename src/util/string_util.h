@@ -1,6 +1,7 @@
 #ifndef RESCQ_UTIL_STRING_UTIL_H_
 #define RESCQ_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,22 @@ std::string StrFormat(const char* fmt, ...)
 
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Strict numeric parsers shared by the CLI flags and batch plan files.
+// All of them require the whole string to parse and reject out-of-range
+// input (no silent truncation or wrap).
+
+/// Decimal integer in [1, INT_MAX].
+bool ParsePositiveInt(const std::string& s, int* out);
+
+/// Decimal unsigned 64-bit integer (rejects overflow and a leading '-').
+bool ParseUint64(const std::string& s, uint64_t* out);
+
+/// Floating-point probability in [0, 1]; NaN and infinities are rejected.
+bool ParseProbability(const std::string& s, double* out);
+
+/// Split on `sep`, Trim each piece, and drop empties.
+std::vector<std::string> SplitTrimmed(std::string_view s, char sep);
 
 }  // namespace rescq
 

@@ -1,0 +1,291 @@
+#include "workload/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "complexity/catalog.h"
+#include "cq/parser.h"
+#include "resilience/solver.h"
+#include "util/string_util.h"
+#include "workload/generators.h"
+
+namespace rescq {
+
+namespace {
+
+/// Cache of finished cells keyed by (query text, db fingerprint). A
+/// worker that finds the key reuses the solver outcome instead of
+/// re-running it; identity fields are still taken from its own job.
+struct Memo {
+  std::mutex mu;
+  std::unordered_map<std::string, BatchCell> cells;
+};
+
+void CopyOutcome(const BatchCell& from, BatchCell* to) {
+  to->unbreakable = from.unbreakable;
+  to->resilience = from.resilience;
+  to->solver = from.solver;
+  to->verified = from.verified;
+  to->oracle_checked = from.oracle_checked;
+  to->oracle_match = from.oracle_match;
+  to->oracle_resilience = from.oracle_resilience;
+}
+
+BatchCell RunCell(const BatchJob& job, const BatchOptions& opts, Memo* memo) {
+  BatchCell cell;
+  cell.query = job.query_name;
+  cell.query_text = job.query_text;
+  cell.scenario = job.scenario;
+  cell.size = job.params.size;
+  cell.density = job.params.density;
+  cell.seed = job.params.seed;
+
+  Database db = job.generate(job.params);
+  cell.tuples = db.NumActiveTuples();
+  cell.domain = db.domain_size();
+  cell.fingerprint = DatabaseFingerprint(db);
+
+  const std::string key = job.query_text + "|" + cell.fingerprint;
+  if (opts.memoize) {
+    std::lock_guard<std::mutex> lock(memo->mu);
+    auto it = memo->cells.find(key);
+    if (it != memo->cells.end()) {
+      CopyOutcome(it->second, &cell);
+      cell.memo_hit = true;
+      return cell;
+    }
+  }
+
+  Query q = MustParseQuery(job.query_text);
+  auto start = std::chrono::steady_clock::now();
+  ResilienceResult r = ComputeResilience(q, db);
+  cell.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  cell.unbreakable = r.unbreakable;
+  cell.resilience = r.resilience;
+  cell.solver = r.solver;
+  cell.verified = r.unbreakable || VerifyContingency(q, db, r.contingency);
+
+  if (opts.check_oracle && cell.tuples <= opts.oracle_cutoff) {
+    ResilienceResult oracle = ComputeResilienceReference(q, db);
+    cell.oracle_checked = true;
+    cell.oracle_resilience = oracle.unbreakable ? -1 : oracle.resilience;
+    cell.oracle_match = oracle.unbreakable == r.unbreakable &&
+                        (r.unbreakable || oracle.resilience == r.resilience);
+  }
+
+  if (opts.memoize) {
+    std::lock_guard<std::mutex> lock(memo->mu);
+    memo->cells.emplace(key, cell);
+  }
+  return cell;
+}
+
+bool ParseBool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ParseIntList(const std::string& text, std::vector<int>* out) {
+  out->clear();
+  for (const std::string& item : SplitTrimmed(text, ',')) {
+    int v = 0;
+    if (!ParsePositiveInt(item, &v)) return false;
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+bool ParseSeedList(const std::string& text, std::vector<uint64_t>* out) {
+  out->clear();
+  for (const std::string& item : SplitTrimmed(text, ',')) {
+    uint64_t v = 0;
+    if (!ParseUint64(item, &v)) return false;
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+bool ExpandPlan(const BatchPlan& plan, std::vector<BatchJob>* jobs,
+                std::string* error) {
+  jobs->clear();
+  if (plan.scenarios.empty() && plan.query_names.empty()) {
+    *error = "plan selects no scenarios and no queries";
+    return false;
+  }
+  if (plan.sizes.empty() || plan.seeds.empty()) {
+    *error = "plan needs at least one size and one seed";
+    return false;
+  }
+  for (const std::string& name : plan.scenarios) {
+    const Scenario* scenario = FindScenario(name);
+    if (scenario == nullptr) {
+      *error = "unknown scenario '" + name + "' (try `rescq gen --list`)";
+      return false;
+    }
+    for (int size : plan.sizes) {
+      for (uint64_t seed : plan.seeds) {
+        BatchJob job;
+        job.query_name = scenario->name;
+        job.query_text = scenario->query;
+        job.scenario = scenario->name;
+        job.params = {size, plan.density, seed};
+        job.generate = scenario->generate;
+        jobs->push_back(std::move(job));
+      }
+    }
+  }
+  for (const std::string& name : plan.query_names) {
+    std::optional<CatalogEntry> entry = FindCatalogEntry(name);
+    if (!entry) {
+      *error = "unknown catalog query '" + name + "' (try `rescq catalog`)";
+      return false;
+    }
+    Query q = MustParseQuery(entry->text);
+    for (int size : plan.sizes) {
+      for (uint64_t seed : plan.seeds) {
+        BatchJob job;
+        job.query_name = entry->name;
+        job.query_text = entry->text;
+        job.scenario = "uniform";
+        job.params = {size, plan.density, seed};
+        job.generate = [q](const ScenarioParams& p) {
+          return GenerateUniform(q, p);
+        };
+        jobs->push_back(std::move(job));
+      }
+    }
+  }
+  return true;
+}
+
+bool ParsePlanFile(const std::string& path, BatchPlan* plan,
+                   BatchOptions* options, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open plan file '" + path + "'";
+    return false;
+  }
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string_view line = Trim(raw);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      *error = StrFormat("%s:%d: expected `key = value`", path.c_str(), lineno);
+      return false;
+    }
+    std::string key(Trim(line.substr(0, eq)));
+    std::string value(Trim(line.substr(eq + 1)));
+    bool ok = true;
+    if (key == "scenarios") {
+      plan->scenarios =
+          value == "all" ? AllScenarioNames() : SplitTrimmed(value, ',');
+      ok = !plan->scenarios.empty();
+    } else if (key == "queries") {
+      plan->query_names = SplitTrimmed(value, ',');
+      ok = !plan->query_names.empty();
+    } else if (key == "sizes") {
+      ok = ParseIntList(value, &plan->sizes);
+    } else if (key == "seeds") {
+      ok = ParseSeedList(value, &plan->seeds);
+    } else if (key == "density") {
+      ok = ParseProbability(value, &plan->density);
+    } else if (key == "threads") {
+      ok = ParsePositiveInt(value, &options->threads);
+    } else if (key == "oracle_cutoff") {
+      ok = ParsePositiveInt(value, &options->oracle_cutoff);
+    } else if (key == "check_oracle") {
+      ok = ParseBool(value, &options->check_oracle);
+    } else if (key == "memoize") {
+      ok = ParseBool(value, &options->memoize);
+    } else {
+      *error = StrFormat("%s:%d: unknown plan key '%s'", path.c_str(), lineno,
+                         key.c_str());
+      return false;
+    }
+    if (!ok) {
+      *error = StrFormat("%s:%d: bad value '%s' for key '%s'", path.c_str(),
+                         lineno, value.c_str(), key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+BatchReport RunBatch(const std::vector<BatchJob>& jobs,
+                     const BatchOptions& options) {
+  BatchReport report;
+  report.options = options;
+  report.cells.resize(jobs.size());
+  Memo memo;
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      report.cells[i] = RunCell(jobs[i], options, &memo);
+    }
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  int threads = std::max(1, options.threads);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();  // the caller is the last worker
+  for (std::thread& t : pool) t.join();
+  report.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  for (const BatchCell& cell : report.cells) {
+    if (!cell.oracle_match || !cell.verified) ++report.mismatches;
+    if (cell.memo_hit) ++report.memo_hits;
+    report.total_wall_ms += cell.wall_ms;
+  }
+  return report;
+}
+
+std::string DatabaseFingerprint(const Database& db) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  };
+  auto mix = [&](const std::string& s) {
+    for (char c : s) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0xff);  // separator so "ab"+"c" != "a"+"bc"
+  };
+  for (int rel = 0; rel < db.num_relations(); ++rel) {
+    mix(db.relation_name(rel));
+    mix_byte(static_cast<unsigned char>(db.relation_arity(rel)));
+    for (TupleId id : db.ActiveTuples(rel)) {
+      for (Value v : db.Row(id)) mix(db.ValueName(v));
+      mix_byte(0xfe);  // row boundary
+    }
+  }
+  return StrFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
+}  // namespace rescq

@@ -1,0 +1,140 @@
+#include "workload/report.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace rescq {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+const char* BoolName(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+void WriteReportCsv(const BatchReport& report, std::ostream& out) {
+  out << "query,scenario,size,density,seed,tuples,domain,fingerprint,"
+         "unbreakable,resilience,solver,verified,oracle_checked,oracle_match,"
+         "oracle_resilience,memo_hit,wall_ms\n";
+  for (const BatchCell& c : report.cells) {
+    out << c.query << "," << c.scenario << "," << c.size << ","
+        << StrFormat("%.3f", c.density) << "," << c.seed << "," << c.tuples
+        << "," << c.domain << "," << c.fingerprint << ","
+        << BoolName(c.unbreakable) << "," << c.resilience << ","
+        << SolverKindName(c.solver) << "," << BoolName(c.verified) << ","
+        << BoolName(c.oracle_checked) << "," << BoolName(c.oracle_match) << ","
+        << c.oracle_resilience << "," << BoolName(c.memo_hit) << ","
+        << StrFormat("%.3f", c.wall_ms) << "\n";
+  }
+}
+
+void WriteReportJson(const BatchReport& report, std::ostream& out) {
+  out << "{\n  \"schema\": \"rescq-batch-report/v1\",\n";
+  out << "  \"options\": {\"threads\": " << report.options.threads
+      << ", \"check_oracle\": " << BoolName(report.options.check_oracle)
+      << ", \"oracle_cutoff\": " << report.options.oracle_cutoff
+      << ", \"memoize\": " << BoolName(report.options.memoize) << "},\n";
+  out << "  \"summary\": {\"cells\": " << report.cells.size()
+      << ", \"mismatches\": " << report.mismatches
+      << ", \"memo_hits\": " << report.memo_hits << ", \"total_wall_ms\": "
+      << StrFormat("%.3f", report.total_wall_ms)
+      << ", \"elapsed_ms\": " << StrFormat("%.3f", report.elapsed_ms)
+      << "},\n";
+  out << "  \"cells\": [\n";
+  for (size_t i = 0; i < report.cells.size(); ++i) {
+    const BatchCell& c = report.cells[i];
+    out << "    {\"query\": \"" << JsonEscape(c.query) << "\", \"query_text\": \""
+        << JsonEscape(c.query_text) << "\", \"scenario\": \""
+        << JsonEscape(c.scenario) << "\", \"size\": " << c.size
+        << ", \"density\": " << StrFormat("%.3f", c.density)
+        << ", \"seed\": " << c.seed << ", \"tuples\": " << c.tuples
+        << ", \"domain\": " << c.domain << ", \"fingerprint\": \""
+        << c.fingerprint << "\", \"unbreakable\": " << BoolName(c.unbreakable)
+        << ", \"resilience\": " << c.resilience << ", \"solver\": \""
+        << SolverKindName(c.solver) << "\", \"verified\": "
+        << BoolName(c.verified)
+        << ", \"oracle_checked\": " << BoolName(c.oracle_checked)
+        << ", \"oracle_match\": " << BoolName(c.oracle_match)
+        << ", \"oracle_resilience\": " << c.oracle_resilience
+        << ", \"memo_hit\": " << BoolName(c.memo_hit)
+        << ", \"wall_ms\": " << StrFormat("%.3f", c.wall_ms) << "}"
+        << (i + 1 < report.cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+namespace {
+
+bool SaveWith(void (*write)(const BatchReport&, std::ostream&),
+              const BatchReport& report, const std::string& path,
+              std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    *error = "cannot create report file '" + path + "'";
+    return false;
+  }
+  write(report, out);
+  return true;
+}
+
+}  // namespace
+
+bool SaveReportCsv(const BatchReport& report, const std::string& path,
+                   std::string* error) {
+  return SaveWith(WriteReportCsv, report, path, error);
+}
+
+bool SaveReportJson(const BatchReport& report, const std::string& path,
+                    std::string* error) {
+  return SaveWith(WriteReportJson, report, path, error);
+}
+
+void PrintReportTable(const BatchReport& report, std::FILE* out) {
+  std::fprintf(out, "%-16s %-15s %5s %6s %7s %5s %-18s %-8s %9s\n", "query",
+               "scenario", "size", "seed", "tuples", "rho", "solver", "oracle",
+               "wall_ms");
+  for (const BatchCell& c : report.cells) {
+    const char* oracle = !c.oracle_checked ? "-"
+                         : c.oracle_match  ? "match"
+                                           : "MISMATCH";
+    std::fprintf(out, "%-16s %-15s %5d %6llu %7d %5s %-18s %-8s %9.3f%s\n",
+                 c.query.c_str(), c.scenario.c_str(), c.size,
+                 static_cast<unsigned long long>(c.seed), c.tuples,
+                 c.unbreakable ? "inf" : StrFormat("%d", c.resilience).c_str(),
+                 SolverKindName(c.solver), oracle, c.wall_ms,
+                 c.memo_hit ? "  (memo)" : "");
+  }
+  std::fprintf(out,
+               "\n%zu cells, %d mismatch(es), %d memo hit(s); solver time "
+               "%.1f ms, elapsed %.1f ms on %d thread(s)\n",
+               report.cells.size(), report.mismatches, report.memo_hits,
+               report.total_wall_ms, report.elapsed_ms,
+               report.options.threads);
+}
+
+}  // namespace rescq

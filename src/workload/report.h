@@ -1,0 +1,35 @@
+#ifndef RESCQ_WORKLOAD_REPORT_H_
+#define RESCQ_WORKLOAD_REPORT_H_
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+
+#include "workload/batch.h"
+
+namespace rescq {
+
+/// CSV, one row per cell plus a header row. Column order is part of the
+/// schema (docs/WORKLOADS.md): every column up to and including
+/// `oracle_resilience` is deterministic for a given plan regardless of
+/// thread count; `memo_hit` and `wall_ms` come last because they may
+/// legitimately vary between runs.
+void WriteReportCsv(const BatchReport& report, std::ostream& out);
+
+/// JSON document: {"schema", "options", "summary", "cells": [...]}.
+void WriteReportJson(const BatchReport& report, std::ostream& out);
+
+/// Writes the CSV/JSON to a file; false + *error if it cannot be
+/// created.
+bool SaveReportCsv(const BatchReport& report, const std::string& path,
+                   std::string* error);
+bool SaveReportJson(const BatchReport& report, const std::string& path,
+                    std::string* error);
+
+/// Human-readable per-cell table + summary line, as printed by
+/// `rescq batch`.
+void PrintReportTable(const BatchReport& report, std::FILE* out);
+
+}  // namespace rescq
+
+#endif  // RESCQ_WORKLOAD_REPORT_H_

@@ -1,0 +1,47 @@
+#ifndef RESCQ_WORKLOAD_SCENARIO_H_
+#define RESCQ_WORKLOAD_SCENARIO_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace rescq {
+
+/// Shape knobs for one generated instance. `size` is the scenario's
+/// primary scale (vertices, chain length, permutation width, ...);
+/// `density` tunes edge probability / extra-tuple fill where the family
+/// has such a knob; `seed` drives the deterministic Rng, so equal params
+/// always produce the identical database.
+struct ScenarioParams {
+  int size = 8;
+  double density = 0.5;
+  uint64_t seed = 1;
+};
+
+/// A named instance family keyed to one of the paper's query families —
+/// the data-side analogue of complexity/catalog. `query` is the
+/// parseable query the family is designed to exercise (batch runs solve
+/// it over the generated database); `generate` is a pure function of the
+/// params.
+struct Scenario {
+  std::string name;         // e.g. "vc_er"
+  std::string query;        // default query text, e.g. "R(x), S(x,y), R(y)"
+  std::string description;  // one-liner for `rescq gen --list`
+  std::function<Database(const ScenarioParams&)> generate;
+};
+
+/// Every registered scenario, in a stable order.
+const std::vector<Scenario>& ScenarioCatalog();
+
+/// The names of every registered scenario, in catalog order — what
+/// `--scenarios all` (and an unconstrained plan) expands to.
+std::vector<std::string> AllScenarioNames();
+
+/// Looks up a scenario by name; nullptr if absent.
+const Scenario* FindScenario(const std::string& name);
+
+}  // namespace rescq
+
+#endif  // RESCQ_WORKLOAD_SCENARIO_H_

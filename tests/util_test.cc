@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "util/combinatorics.h"
@@ -156,6 +157,44 @@ TEST(Rng, RangeBounds) {
     EXPECT_GE(v, -3);
     EXPECT_LE(v, 5);
   }
+}
+
+TEST(Rng, BelowStaysInBoundAndHitsEveryResidue) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    uint64_t v = rng.Below(7);
+    ASSERT_LT(v, 7u);
+    ++counts[static_cast<size_t>(v)];
+  }
+  // Rejection sampling is unbiased, so each residue lands near 1000;
+  // a 25% band is ~8 sigma, far beyond splitmix64's wobble.
+  for (int c : counts) {
+    EXPECT_GT(c, 750);
+    EXPECT_LT(c, 1250);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(3);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // 50! makes a fixed shuffle astronomically unlikely
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, ShuffleDeterministicInSeed) {
+  std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Rng ra(99);
+  Rng rb(99);
+  ra.Shuffle(a);
+  rb.Shuffle(b);
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace

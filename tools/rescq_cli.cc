@@ -10,11 +10,14 @@
 //   rescq resilience "R(x,y), R(y,z)" data/section2_chain.tuples
 //   rescq catalog
 //   rescq catalog q_AC3conf
+//   rescq gen --scenario vc_er --size 12 --seed 1 --out er.tuples
+//   rescq batch --scenarios all --max-size 8 --threads 4 --check-oracle
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,10 +26,14 @@
 #include "complexity/classifier.h"
 #include "cq/parser.h"
 #include "db/database.h"
+#include "db/tuple_io.h"
 #include "db/witness.h"
 #include "resilience/result.h"
 #include "resilience/solver.h"
 #include "util/string_util.h"
+#include "workload/batch.h"
+#include "workload/generators.h"
+#include "workload/report.h"
 
 namespace rescq {
 namespace {
@@ -47,6 +54,23 @@ int Usage(std::FILE* out) {
                "  rescq catalog [<name>]\n"
                "      List every named query of the paper with its published\n"
                "      verdict and the classifier's verdict (or detail one).\n"
+               "  rescq gen --scenario <name> [--size N] [--density D] "
+               "[--seed S]\n"
+               "            [--name <catalog-query>] [--out <file>] | --list\n"
+               "      Write a generated instance as a tuple file (stdout by "
+               "default);\n"
+               "      --list shows the scenario catalog.\n"
+               "  rescq batch [--scenarios <a,b|all>] [--names <q1,q2>] "
+               "[--plan <file>]\n"
+               "              [--sizes 4,6,8 | --max-size N] [--seeds 1,2] "
+               "[--density D]\n"
+               "              [--threads N] [--check-oracle] "
+               "[--oracle-cutoff N]\n"
+               "              [--no-memoize] [--csv <file>] [--json <file>]\n"
+               "      Sweep (query x scenario x size x seed) across a worker "
+               "pool and\n"
+               "      report per-cell resilience, solver, timing, and oracle "
+               "checks.\n"
                "  rescq help\n"
                "\n"
                "query syntax:   \"q :- R(x,y), S^x(y,z), A(x)\"   (head "
@@ -91,68 +115,13 @@ std::optional<Query> ResolveQuery(const std::vector<std::string>& args,
   return parsed.query;
 }
 
-/// Loads a tuple file into db. Format: one fact per line, "R(a, b)";
-/// blank lines and '#' comments are ignored. Returns false on the first
-/// malformed line.
-bool LoadTupleFile(const std::string& path, Database* db) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open tuple file '%s'\n", path.c_str());
+/// Loads a tuple file into db via db/tuple_io, reporting errors on
+/// stderr.
+bool LoadTuples(const std::string& path, Database* db) {
+  std::string error;
+  if (!LoadTupleFile(path, db, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
     return false;
-  }
-  std::string raw;
-  int lineno = 0;
-  while (std::getline(in, raw)) {
-    ++lineno;
-    std::string_view line = Trim(raw);
-    size_t hash = line.find('#');
-    if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
-    if (line.empty()) continue;
-
-    size_t open = line.find('(');
-    size_t close = line.rfind(')');
-    if (open == std::string_view::npos || close != line.size() - 1 ||
-        close < open) {
-      std::fprintf(stderr, "%s:%d: expected a single fact like R(a,b)\n",
-                   path.c_str(), lineno);
-      return false;
-    }
-    std::string relation(Trim(line.substr(0, open)));
-    if (relation.empty() ||
-        !std::isupper(static_cast<unsigned char>(relation[0]))) {
-      std::fprintf(stderr, "%s:%d: relation name must start upper-case\n",
-                   path.c_str(), lineno);
-      return false;
-    }
-    std::vector<Value> row;
-    for (const std::string& piece :
-         Split(line.substr(open + 1, close - open - 1), ',')) {
-      std::string constant(Trim(piece));
-      if (constant.empty() ||
-          constant.find_first_of("() \t") != std::string::npos) {
-        std::fprintf(stderr, "%s:%d: bad constant '%s' in fact\n",
-                     path.c_str(), lineno, constant.c_str());
-        return false;
-      }
-      row.push_back(db->Intern(constant));
-    }
-    if (row.empty()) {
-      std::fprintf(stderr, "%s:%d: fact has no constants\n", path.c_str(),
-                   lineno);
-      return false;
-    }
-    // Validate arity here: the file is untrusted input, and Database
-    // treats an arity mismatch as a programmer error (it aborts).
-    int id = db->RelationId(relation);
-    if (id >= 0 && db->relation_arity(id) != static_cast<int>(row.size())) {
-      std::fprintf(stderr,
-                   "%s:%d: relation '%s' used with arity %zu, but earlier "
-                   "facts have arity %d\n",
-                   path.c_str(), lineno, relation.c_str(), row.size(),
-                   db->relation_arity(id));
-      return false;
-    }
-    db->AddTuple(relation, row);
   }
   return true;
 }
@@ -202,7 +171,7 @@ int CmdResilience(const std::vector<std::string>& args) {
   }
 
   Database db;
-  if (!LoadTupleFile(positional[consumed], &db)) return 2;
+  if (!LoadTuples(positional[consumed], &db)) return 2;
   for (const std::string& rel : q->RelationNames()) {
     int id = db.RelationId(rel);
     if (id < 0) {
@@ -284,6 +253,254 @@ int CmdCatalog(const std::vector<std::string>& args) {
   return mismatches == 0 ? 0 : 1;
 }
 
+// --- gen / batch: the workload subsystem ------------------------------------
+
+bool ParseIntFlag(const std::string& flag, const std::string& value, int* out) {
+  if (!ParsePositiveInt(value, out)) {
+    std::fprintf(stderr, "error: %s needs a positive integer, got '%s'\n",
+                 flag.c_str(), value.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ParseSeedFlag(const std::string& flag, const std::string& value,
+                   uint64_t* out) {
+  if (!ParseUint64(value, out)) {
+    std::fprintf(stderr, "error: %s needs an unsigned integer, got '%s'\n",
+                 flag.c_str(), value.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ParseDensityFlag(const std::string& value, double* out) {
+  if (!ParseProbability(value, out)) {
+    std::fprintf(stderr, "error: --density needs a number in [0,1], got '%s'\n",
+                 value.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdGen(const std::vector<std::string>& args) {
+  std::string scenario_name, out_path, catalog_name;
+  ScenarioParams params;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--list") {
+      std::printf("%-15s %-28s %s\n", "scenario", "default query",
+                  "description");
+      for (const Scenario& s : ScenarioCatalog()) {
+        std::printf("%-15s %-28s %s\n", s.name.c_str(), s.query.c_str(),
+                    s.description.c_str());
+      }
+      return 0;
+    }
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    const std::string* v = nullptr;
+    if (a == "--scenario") {
+      if (!(v = value("--scenario"))) return 2;
+      scenario_name = *v;
+    } else if (a == "--size") {
+      if (!(v = value("--size")) || !ParseIntFlag(a, *v, &params.size))
+        return 2;
+    } else if (a == "--density") {
+      if (!(v = value("--density")) || !ParseDensityFlag(*v, &params.density))
+        return 2;
+    } else if (a == "--seed") {
+      if (!(v = value("--seed")) || !ParseSeedFlag(a, *v, &params.seed))
+        return 2;
+    } else if (a == "--out") {
+      if (!(v = value("--out"))) return 2;
+      out_path = *v;
+    } else if (a == "--name") {
+      if (!(v = value("--name"))) return 2;
+      catalog_name = *v;
+    } else {
+      std::fprintf(stderr, "error: unknown gen flag '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (scenario_name.empty()) {
+    std::fprintf(stderr, "error: gen needs --scenario <name> (or --list)\n");
+    return 2;
+  }
+  const Scenario* scenario = FindScenario(scenario_name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr,
+                 "error: unknown scenario '%s' (try `rescq gen --list`)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+  std::string query_text = scenario->query;
+  std::function<Database(const ScenarioParams&)> generate = scenario->generate;
+  if (!catalog_name.empty()) {
+    // Only the generic filler can honor an arbitrary query; the shaped
+    // generators produce data for their own family.
+    if (scenario_name != "uniform") {
+      std::fprintf(stderr,
+                   "error: --name only combines with --scenario uniform\n");
+      return 2;
+    }
+    std::optional<CatalogEntry> entry = FindCatalogEntry(catalog_name);
+    if (!entry) {
+      std::fprintf(stderr, "error: no catalog query named '%s'\n",
+                   catalog_name.c_str());
+      return 2;
+    }
+    query_text = entry->text;
+    Query q = MustParseQuery(entry->text);
+    generate = [q](const ScenarioParams& p) { return GenerateUniform(q, p); };
+  }
+
+  Database db = generate(params);
+  std::string header = StrFormat(
+      "generated by: rescq gen --scenario %s --size %d --density %g "
+      "--seed %llu%s%s\nquery: %s\n%d tuples over %d constants",
+      scenario_name.c_str(), params.size, params.density,
+      static_cast<unsigned long long>(params.seed),
+      catalog_name.empty() ? "" : " --name ", catalog_name.c_str(),
+      query_text.c_str(), db.NumActiveTuples(), db.domain_size());
+  if (out_path.empty()) {
+    WriteTuples(db, std::cout, header);
+    return 0;
+  }
+  std::string error;
+  if (!SaveTupleFile(db, out_path, header, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("wrote %d tuples (%s scenario, seed %llu) to %s\n",
+              db.NumActiveTuples(), scenario_name.c_str(),
+              static_cast<unsigned long long>(params.seed), out_path.c_str());
+  return 0;
+}
+
+int CmdBatch(const std::vector<std::string>& args) {
+  BatchPlan plan;
+  plan.scenarios.clear();
+  BatchOptions options;
+  std::string csv_path, json_path;
+  int max_size = 0;
+  bool sizes_set = false;
+
+  // A plan file gives the baseline; explicit flags override it, so the
+  // file is parsed first regardless of its position among the flags.
+  for (size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--plan") {
+      std::string error;
+      if (!ParsePlanFile(args[i + 1], &plan, &options, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+      }
+    }
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    const std::string* v = nullptr;
+    if (a == "--plan") {
+      if (!(v = value("--plan"))) return 2;  // parsed in the first pass
+    } else if (a == "--scenarios") {
+      if (!(v = value("--scenarios"))) return 2;
+      plan.scenarios =
+          *v == "all" ? AllScenarioNames() : SplitTrimmed(*v, ',');
+    } else if (a == "--names") {
+      if (!(v = value("--names"))) return 2;
+      plan.query_names = SplitTrimmed(*v, ',');
+    } else if (a == "--sizes") {
+      if (!(v = value("--sizes"))) return 2;
+      sizes_set = true;
+      if (!ParseIntList(*v, &plan.sizes)) {
+        std::fprintf(stderr,
+                     "error: --sizes needs a comma list of positive "
+                     "integers, got '%s'\n",
+                     v->c_str());
+        return 2;
+      }
+    } else if (a == "--max-size") {
+      if (!(v = value("--max-size")) || !ParseIntFlag(a, *v, &max_size))
+        return 2;
+    } else if (a == "--seeds") {
+      if (!(v = value("--seeds"))) return 2;
+      if (!ParseSeedList(*v, &plan.seeds)) {
+        std::fprintf(stderr,
+                     "error: --seeds needs a comma list of unsigned "
+                     "integers, got '%s'\n",
+                     v->c_str());
+        return 2;
+      }
+    } else if (a == "--density") {
+      if (!(v = value("--density")) || !ParseDensityFlag(*v, &plan.density))
+        return 2;
+    } else if (a == "--threads") {
+      if (!(v = value("--threads")) || !ParseIntFlag(a, *v, &options.threads))
+        return 2;
+    } else if (a == "--check-oracle") {
+      options.check_oracle = true;
+    } else if (a == "--oracle-cutoff") {
+      if (!(v = value("--oracle-cutoff")) ||
+          !ParseIntFlag(a, *v, &options.oracle_cutoff))
+        return 2;
+    } else if (a == "--no-memoize") {
+      options.memoize = false;
+    } else if (a == "--csv") {
+      if (!(v = value("--csv"))) return 2;
+      csv_path = *v;
+    } else if (a == "--json") {
+      if (!(v = value("--json"))) return 2;
+      json_path = *v;
+    } else {
+      std::fprintf(stderr, "error: unknown batch flag '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (max_size > 0) {
+    if (sizes_set) {
+      std::fprintf(stderr,
+                   "error: --sizes and --max-size are mutually exclusive\n");
+      return 2;
+    }
+    plan.sizes.clear();
+    for (int s = 2; s <= max_size; s += 2) plan.sizes.push_back(s);
+    if (plan.sizes.empty()) plan.sizes.push_back(max_size);
+  }
+  if (plan.scenarios.empty() && plan.query_names.empty()) {
+    plan.scenarios = AllScenarioNames();
+  }
+
+  std::vector<BatchJob> jobs;
+  std::string error;
+  if (!ExpandPlan(plan, &jobs, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  BatchReport report = RunBatch(jobs, options);
+  PrintReportTable(report, stdout);
+  if (!csv_path.empty() && !SaveReportCsv(report, csv_path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!json_path.empty() && !SaveReportJson(report, json_path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  return report.mismatches == 0 ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage(stderr);
   std::string cmd = argv[1];
@@ -292,6 +509,8 @@ int Run(int argc, char** argv) {
   if (cmd == "classify") return CmdClassify(args);
   if (cmd == "resilience") return CmdResilience(args);
   if (cmd == "catalog") return CmdCatalog(args);
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "batch") return CmdBatch(args);
   std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
   return Usage(stderr);
 }
