@@ -1,0 +1,162 @@
+#include "resilience/engine.h"
+
+#include <chrono>
+
+#include "db/witness.h"
+#include "resilience/exact_solver.h"
+#include "util/check.h"
+
+namespace rescq {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ResilienceEngine::ResilienceEngine(EngineOptions options,
+                                   const SolverRegistry* registry)
+    : options_(options),
+      registry_(registry != nullptr ? registry : &DefaultRegistry()) {}
+
+std::shared_ptr<const ResiliencePlan> ResilienceEngine::Plan(const Query& q) {
+  bool cache_hit = false;
+  return PlanInternal(q, &cache_hit);
+}
+
+std::shared_ptr<const ResiliencePlan> ResilienceEngine::PlanInternal(
+    const Query& q, bool* cache_hit) {
+  const std::string key = q.ToString();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      *cache_hit = true;
+      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      return it->second->second;
+    }
+    ++stats_.misses;
+    *cache_hit = false;
+  }
+  // Build outside the lock: planning can be expensive (isomorphism
+  // probes) and concurrent workers planning distinct queries should not
+  // serialize. A racing duplicate build is benign — the first insert
+  // wins and the losing thread's build is discarded (both builds still
+  // count as cache misses).
+  auto plan =
+      std::make_shared<const ResiliencePlan>(BuildPlan(q, *registry_));
+  if (options_.plan_cache_capacity == 0) return plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second->second;  // lost the race
+  lru_.emplace_front(key, plan);
+  index_[key] = lru_.begin();
+  while (lru_.size() > options_.plan_cache_capacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+  return plan;
+}
+
+SolveOutcome ResilienceEngine::Solve(const Query& q, const Database& db) {
+  if (options_.force_exact) {
+    SolveOutcome out;
+    Clock::time_point start = Clock::now();
+    out.result = ComputeResilienceExact(q, db);
+    if (options_.collect_stats) out.solve_ms = MsSince(start);
+    return out;
+  }
+  Clock::time_point start = Clock::now();
+  bool hit = false;
+  std::shared_ptr<const ResiliencePlan> plan = PlanInternal(q, &hit);
+  double plan_ms = options_.collect_stats ? MsSince(start) : 0;
+  SolveOutcome out = Solve(plan, db);
+  out.plan_cache_hit = hit;
+  out.plan_ms = hit ? 0 : plan_ms;
+  return out;
+}
+
+SolveOutcome ResilienceEngine::Solve(
+    const std::shared_ptr<const ResiliencePlan>& plan,
+    const Database& db) const {
+  RESCQ_CHECK(plan != nullptr);
+  SolveOutcome out;
+  out.plan = plan;
+  Clock::time_point start = Clock::now();
+
+  if (options_.force_exact) {
+    out.result = ComputeResilienceExact(plan->original, db);
+    if (options_.collect_stats) out.solve_ms = MsSince(start);
+    return out;
+  }
+
+  // Lemma 14: the query is false as soon as one component is false, so
+  // rho(q, D) = min_i rho(q_i, D); a failing component means rho = 0.
+  for (const ComponentPlan& comp : plan->components) {
+    if (!QueryHolds(comp.query, db)) {
+      if (options_.collect_stats) out.solve_ms = MsSince(start);
+      return out;  // default result: resilience 0
+    }
+  }
+
+  ResilienceResult best;
+  best.unbreakable = true;
+  for (const ComponentPlan& comp : plan->components) {
+    if (comp.no_endogenous) continue;  // unbreakable whenever it holds
+
+    ResilienceResult r;
+    bool solved = false;
+    for (SolverKind kind : comp.candidates) {
+      const SolverEntry* entry = registry_->Find(kind);
+      RESCQ_CHECK(entry != nullptr);
+      if (std::optional<ResilienceResult> attempt =
+              entry->run(comp.query, db)) {
+        r = std::move(*attempt);
+        solved = true;
+        break;
+      }
+      out.fallback_reasons.push_back(entry->name +
+                                     " declined the instance shape");
+    }
+    if (!solved) {
+      if (comp.fallback == SolverKind::kExactFallback &&
+          !options_.allow_fallback) {
+        out.error = "allow_fallback=false: " + comp.fallback_reason;
+        if (options_.collect_stats) out.solve_ms = MsSince(start);
+        return out;
+      }
+      const SolverEntry* fb = registry_->Find(comp.fallback);
+      RESCQ_CHECK(fb != nullptr);
+      std::optional<ResilienceResult> attempt = fb->run(comp.query, db);
+      RESCQ_CHECK(attempt.has_value());  // exact solvers never decline
+      r = std::move(*attempt);
+      if (comp.fallback == SolverKind::kExactFallback &&
+          !comp.candidates.empty()) {
+        out.fallback_reasons.push_back(
+            "exact-fallback ran: " + comp.fallback_reason);
+      }
+    }
+    if (r.unbreakable) continue;
+    if (best.unbreakable || r.resilience < best.resilience) best = r;
+  }
+  out.result = std::move(best);
+  if (options_.collect_stats) out.solve_ms = MsSince(start);
+  return out;
+}
+
+PlanCacheStats ResilienceEngine::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats stats = stats_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+}  // namespace rescq

@@ -1,0 +1,113 @@
+#ifndef RESCQ_RESILIENCE_ENGINE_H_
+#define RESCQ_RESILIENCE_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "resilience/plan.h"
+#include "resilience/registry.h"
+#include "resilience/result.h"
+
+namespace rescq {
+
+/// Engine knobs. The defaults reproduce ComputeResilience exactly.
+struct EngineOptions {
+  /// Always run the exact solver on the original query (the reference
+  /// oracle); planning is skipped entirely.
+  bool force_exact = false;
+  /// When a PTIME component's every probed construction declines (or
+  /// none exists), fall back to the exact solver. With false, Solve
+  /// reports the failure in SolveOutcome::error instead of silently
+  /// paying an exponential solve.
+  bool allow_fallback = true;
+  /// Collect per-stage wall times in the outcome.
+  bool collect_stats = true;
+  /// LRU capacity of the plan cache, in plans. 0 disables caching
+  /// (every Solve re-runs the query analysis — the legacy behavior).
+  size_t plan_cache_capacity = 256;
+};
+
+/// Counters for the plan cache, monotone over the engine's lifetime.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;  // current size
+};
+
+/// Everything a Solve call produced beyond the bare result.
+struct SolveOutcome {
+  ResilienceResult result;
+  /// The plan used (null when force_exact skipped planning).
+  std::shared_ptr<const ResiliencePlan> plan;
+  /// True when Solve(q, db) found the plan already cached.
+  bool plan_cache_hit = false;
+  double plan_ms = 0;   // query analysis time (0 on a cache hit)
+  double solve_ms = 0;  // data-dependent solve time
+  /// One entry per construction that declined at run time, in dispatch
+  /// order, e.g. "perm-count declined the instance shape".
+  std::vector<std::string> fallback_reasons;
+  /// Non-empty when allow_fallback=false blocked the exact fallback; the
+  /// result is then the default (resilience 0) and must not be used.
+  std::string error;
+};
+
+/// Plan-once / solve-many resilience engine.
+///
+/// Plan(q) runs the pure query analysis (minimize, normalize, split,
+/// classify, probe the registry) once and memoizes the immutable plan on
+/// the canonical query text behind a mutex-guarded LRU. Solve(q, db) reuses
+/// the cached plan and only pays for the data-dependent work. Plans are
+/// shared_ptr<const> — hold one engine per batch run and call it from
+/// any number of threads.
+class ResilienceEngine {
+ public:
+  /// `registry` defaults to DefaultRegistry(); it must outlive the
+  /// engine. A custom registry is the seam for tests and future
+  /// alternative solver sets.
+  explicit ResilienceEngine(EngineOptions options = {},
+                            const SolverRegistry* registry = nullptr);
+
+  /// The memoized plan for q (built on first use).
+  std::shared_ptr<const ResiliencePlan> Plan(const Query& q);
+
+  /// Plan (cached) and solve.
+  SolveOutcome Solve(const Query& q, const Database& db);
+
+  /// Solve with a plan obtained earlier from Plan() — the hot path for
+  /// repeated solves of one query. Thread-safe and lock-free.
+  SolveOutcome Solve(const std::shared_ptr<const ResiliencePlan>& plan,
+                     const Database& db) const;
+
+  PlanCacheStats plan_cache_stats() const;
+
+  const EngineOptions& options() const { return options_; }
+  const SolverRegistry& registry() const { return *registry_; }
+
+ private:
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const ResiliencePlan>>>;
+
+  std::shared_ptr<const ResiliencePlan> PlanInternal(const Query& q,
+                                                     bool* cache_hit);
+
+  EngineOptions options_;
+  const SolverRegistry* registry_;
+
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_RESILIENCE_ENGINE_H_

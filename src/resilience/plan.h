@@ -1,0 +1,67 @@
+#ifndef RESCQ_RESILIENCE_PLAN_H_
+#define RESCQ_RESILIENCE_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "complexity/classifier.h"
+#include "cq/query.h"
+#include "resilience/registry.h"
+#include "resilience/result.h"
+
+namespace rescq {
+
+/// The plan for one connected component of the normalized query: its
+/// classification and the dispatch chain the engine will run.
+struct ComponentPlan {
+  /// The component itself — connected, minimized, domination-normalized.
+  Query query;
+  Classification classification;
+  /// True when the component has no endogenous atoms: whenever it holds
+  /// it is unbreakable, so it never contributes to the Lemma 14 minimum.
+  bool no_endogenous = false;
+  /// Probe-selected constructions in dispatch order (empty for
+  /// non-PTIME components and for PTIME patterns without an
+  /// implemented construction).
+  std::vector<SolverKind> candidates;
+  /// What ends the chain: kExact (the planned solver for NP-complete /
+  /// open / out-of-scope components) or kExactFallback (a PTIME
+  /// component whose constructions may decline or do not exist).
+  SolverKind fallback = SolverKind::kExact;
+  /// Why the chain ends in an exact solver.
+  std::string fallback_reason;
+};
+
+/// A reusable, explainable query plan: all the pure query analysis of
+/// the paper's pipeline (minimize, Section 4.1; normalize domination,
+/// Proposition 18; split components, Lemma 14; classify, Theorem 37 /
+/// Section 8; pick the published construction) done once, so repeated
+/// Solve calls on the same query only pay for the data-dependent part.
+/// Immutable after BuildPlan — safe to share read-only across threads.
+struct ResiliencePlan {
+  Query original;
+  /// FNV-1a hex of the canonical query text — a compact display handle
+  /// for logs and `rescq explain`. The engine's plan cache keys on the
+  /// full canonical text itself, so hash collisions cannot mix plans.
+  std::string fingerprint;
+  Query minimized;
+  Query normalized;
+  std::vector<ComponentPlan> components;
+
+  /// Human-readable plan: pipeline stages, per-component classification,
+  /// chosen solver with its paper citation, and the fallback. This is
+  /// what `rescq explain` prints.
+  std::string Explain(const SolverRegistry& registry) const;
+};
+
+/// Stable fingerprint of the query's canonical text; two parses of the
+/// same text always agree. Display/identification only — see
+/// ResiliencePlan::fingerprint.
+std::string QueryFingerprint(const Query& q);
+
+/// Runs the full query-analysis pipeline and probes the registry.
+ResiliencePlan BuildPlan(const Query& q, const SolverRegistry& registry);
+
+}  // namespace rescq
+
+#endif  // RESCQ_RESILIENCE_PLAN_H_

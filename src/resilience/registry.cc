@@ -1,0 +1,183 @@
+#include "resilience/registry.h"
+
+#include "complexity/catalog.h"
+#include "cq/domination.h"
+#include "cq/homomorphism.h"
+#include "resilience/conf3_solver.h"
+#include "resilience/exact_solver.h"
+#include "resilience/linear_flow_solver.h"
+#include "resilience/perm3_solver.h"
+#include "resilience/perm_solver.h"
+#include "resilience/rep_solver.h"
+#include "util/check.h"
+
+namespace rescq {
+
+namespace {
+
+/// The q_Aperm shape (unary L bound to the permutation's x side) routes
+/// to the paper's König reduction; prepared once because the
+/// isomorphism probe runs at plan time for every unbound permutation.
+const Query& NormalizedAperm() {
+  static const Query* const kAperm = new Query(
+      NormalizeDomination(Minimize(CatalogQuery("q_Aperm"))));
+  return *kAperm;
+}
+
+bool PatternIs(const Classification& c, const char* pattern) {
+  return c.pattern == pattern;
+}
+
+}  // namespace
+
+void SolverRegistry::Register(SolverEntry entry) {
+  RESCQ_CHECK_MSG(entry.name == SolverKindName(entry.kind),
+                  "registry name must match the stable SolverKindName");
+  for (const SolverEntry& existing : entries_) {
+    RESCQ_CHECK_MSG(existing.kind != entry.kind, entry.name.c_str());
+    RESCQ_CHECK_MSG(existing.name != entry.name, entry.name.c_str());
+  }
+  RESCQ_CHECK_MSG(entry.run != nullptr, entry.name.c_str());
+  RESCQ_CHECK_MSG(entry.is_fallback || entry.probe != nullptr,
+                  entry.name.c_str());
+  entries_.push_back(std::move(entry));
+}
+
+const SolverEntry* SolverRegistry::Find(SolverKind kind) const {
+  for (const SolverEntry& e : entries_) {
+    if (e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<SolverKind> SolverRegistry::Probe(const Query& component,
+                                              const Classification& c) const {
+  std::vector<SolverKind> kinds;
+  for (const SolverEntry& e : entries_) {
+    if (e.is_fallback) continue;
+    if (e.probe(component, c)) kinds.push_back(e.kind);
+  }
+  return kinds;
+}
+
+const SolverRegistry& DefaultRegistry() {
+  static const SolverRegistry* const kRegistry = [] {
+    auto* r = new SolverRegistry();
+
+    r->Register({SolverKind::kLinearFlow, "linear-flow",
+                 "Propositions 12, 31, 32",
+                 "linear-query network flow (covers sj-free triad-free "
+                 "components and confluences without exogenous path)",
+                 [](const Query&, const Classification& c) {
+                   return PatternIs(c, "sj-free-triad-free") ||
+                          PatternIs(c, "confluence");
+                 },
+                 [](const Query& q, const Database& db) {
+                   return SolveLinearFlow(q, db);
+                 }});
+
+    r->Register({SolverKind::kRepFlow, "rep-flow", "Proposition 36",
+                 "z3-family flow with non-loop R-tuples forced undeletable",
+                 [](const Query&, const Classification& c) {
+                   return PatternIs(c, "rep");
+                 },
+                 [](const Query& q, const Database& db) {
+                   return SolveRepFlow(q, db);
+                 }});
+
+    // The three unbound-permutation constructions are probed in cost
+    // order: witness counting when the pair is the whole endogenous
+    // part, the König cover for the q_Aperm shape, and the Prop 35 pair
+    // flow as the general case. Each declines at run time when the
+    // instance-level shape check fails, handing off to the next.
+    r->Register({SolverKind::kPermCount, "perm-count", "Proposition 33",
+                 "q_perm witness counting: each tuple lies in exactly one "
+                 "witness tuple-set",
+                 [](const Query&, const Classification& c) {
+                   return PatternIs(c, "unbound-permutation");
+                 },
+                 [](const Query& q, const Database& db) {
+                   return SolvePermutationCount(q, db);
+                 }});
+
+    r->Register({SolverKind::kPermBipartite, "perm-bipartite",
+                 "Proposition 33 (König)",
+                 "q_Aperm minimum vertex cover over (L-tuples) x (2-way "
+                 "pairs) via König's theorem",
+                 [](const Query& q, const Classification& c) {
+                   return PatternIs(c, "unbound-permutation") &&
+                          AreIsomorphicModuloRelabeling(
+                              NormalizeDomination(Minimize(q)),
+                              NormalizedAperm());
+                 },
+                 [](const Query& q, const Database& db) {
+                   return SolvePermutationBipartite(q, db);
+                 }});
+
+    r->Register({SolverKind::kUnboundPermFlow, "unbound-perm-flow",
+                 "Proposition 35",
+                 "unbound-permutation flow with capacity-1 pair edges",
+                 [](const Query&, const Classification& c) {
+                   return PatternIs(c, "unbound-permutation");
+                 },
+                 [](const Query& q, const Database& db) {
+                   return SolveUnboundPermutationFlow(q, db);
+                 }});
+
+    r->Register({SolverKind::kPerm3Flow, "perm3-flow", "Propositions 13, 44",
+                 "q_A3perm-R / q_Swx3perm-R pair-node flow",
+                 [](const Query&, const Classification& c) {
+                   return PatternIs(c, "catalog:q_A3perm_R") ||
+                          PatternIs(c, "catalog:q_Swx3perm_R");
+                 },
+                 [](const Query& q, const Database& db) {
+                   return SolvePerm3Flow(q, db);
+                 }});
+
+    r->Register({SolverKind::kConf3Forced, "conf3-forced", "Proposition 41",
+                 "q^TS_3conf forced singleton-witness tuples, then linear "
+                 "flow on the residual",
+                 [](const Query&, const Classification& c) {
+                   return PatternIs(c, "catalog:q_TS3conf");
+                 },
+                 [](const Query& q, const Database& db) {
+                   return SolveForcedThenFlow(q, db);
+                 }});
+
+    // Fallbacks: exact is the planned solver for NP-complete / open /
+    // out-of-scope components; exact-fallback records that a PTIME
+    // component had no construction (or every construction declined).
+    SolverEntry exact;
+    exact.kind = SolverKind::kExact;
+    exact.name = "exact";
+    exact.citation = "Section 3";
+    exact.description =
+        "branch-and-bound minimum hitting set over witness tuple-sets "
+        "(correct for every CQ)";
+    exact.run = [](const Query& q, const Database& db) {
+      return std::optional<ResilienceResult>(ComputeResilienceExact(q, db));
+    };
+    exact.is_fallback = true;
+    r->Register(std::move(exact));
+
+    SolverEntry fallback;
+    fallback.kind = SolverKind::kExactFallback;
+    fallback.name = "exact-fallback";
+    fallback.citation = "Section 3";
+    fallback.description =
+        "exact solver standing in for a PTIME construction that is not "
+        "implemented or declined the instance";
+    fallback.run = [](const Query& q, const Database& db) {
+      ResilienceResult r = ComputeResilienceExact(q, db);
+      r.solver = SolverKind::kExactFallback;
+      return std::optional<ResilienceResult>(std::move(r));
+    };
+    fallback.is_fallback = true;
+    r->Register(std::move(fallback));
+
+    return r;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace rescq

@@ -1,20 +1,9 @@
 #include "resilience/solver.h"
 
-#include <algorithm>
+#include <cstdlib>
 
-#include "complexity/patterns.h"
-#include "cq/components.h"
-#include "cq/domination.h"
-#include "cq/homomorphism.h"
 #include "db/witness.h"
-#include "resilience/conf3_solver.h"
-#include "resilience/exact_solver.h"
-#include "resilience/linear_flow_solver.h"
-#include "resilience/perm3_solver.h"
-#include "resilience/perm_solver.h"
-#include "resilience/rep_solver.h"
-#include "util/check.h"
-#include "util/string_util.h"
+#include "resilience/engine.h"
 
 namespace rescq {
 
@@ -39,105 +28,46 @@ const char* SolverKindName(SolverKind kind) {
     case SolverKind::kExactFallback:
       return "exact-fallback";
   }
-  return "?";
+  // Exhaustive by construction: a new SolverKind without a case above is
+  // a -Wswitch warning, and a corrupted value aborts instead of leaking
+  // a placeholder into reports (the names are a compatibility surface).
+  std::abort();
 }
 
 namespace {
 
-ResilienceResult ExactFallback(const Query& q, const Database& db) {
-  ResilienceResult r = ComputeResilienceExact(q, db);
-  r.solver = SolverKind::kExactFallback;
-  return r;
+// Process-wide engines behind the legacy entry points. Plans are shared
+// across every caller of ComputeResilience (mutex-guarded LRU), so even
+// code that never sees a ResilienceEngine benefits from plan reuse.
+ResilienceEngine& SharedEngine() {
+  static ResilienceEngine* const kEngine = [] {
+    EngineOptions options;
+    options.collect_stats = false;
+    return new ResilienceEngine(options);
+  }();
+  return *kEngine;
 }
 
-// Solves a connected, minimized, domination-normalized query.
-ResilienceResult SolveConnected(const Query& n, const Database& db) {
-  ResilienceResult zero;
-  if (!QueryHolds(n, db)) return zero;
-
-  if (n.EndogenousAtoms().empty()) {
-    ResilienceResult r;
-    r.unbreakable = true;
-    return r;
-  }
-
-  Classification c = ClassifyResilience(n);
-  if (c.complexity != Complexity::kPTime) {
-    return ComputeResilienceExact(n, db);
-  }
-
-  if (c.pattern == "sj-free-triad-free" || c.pattern == "confluence") {
-    std::optional<ResilienceResult> r = SolveLinearFlow(n, db);
-    if (r.has_value()) return *r;
-    return ExactFallback(n, db);
-  }
-  if (c.pattern == "rep") {
-    std::optional<ResilienceResult> r = SolveRepFlow(n, db);
-    if (r.has_value()) return *r;
-    return ExactFallback(n, db);
-  }
-  if (c.pattern == "unbound-permutation") {
-    if (std::optional<ResilienceResult> r = SolvePermutationCount(n, db)) {
-      return *r;
-    }
-    // Prefer the paper's König reduction for the q_Aperm shape (unary L);
-    // the Prop 35 pair flow covers the rest.
-    if (AreIsomorphicModuloRelabeling(
-            NormalizeDomination(Minimize(n)),
-            NormalizeDomination(Minimize(CatalogQuery("q_Aperm"))))) {
-      if (std::optional<ResilienceResult> r =
-              SolvePermutationBipartite(n, db)) {
-        return *r;
-      }
-    }
-    if (std::optional<ResilienceResult> r =
-            SolveUnboundPermutationFlow(n, db)) {
-      return *r;
-    }
-    return ExactFallback(n, db);
-  }
-  if (c.pattern == "catalog:q_TS3conf") {
-    std::optional<ResilienceResult> r = SolveForcedThenFlow(n, db);
-    if (r.has_value()) return *r;
-    return ExactFallback(n, db);
-  }
-  if (c.pattern == "catalog:q_A3perm_R" ||
-      c.pattern == "catalog:q_Swx3perm_R") {
-    std::optional<ResilienceResult> r = SolvePerm3Flow(n, db);
-    if (r.has_value()) return *r;
-    return ExactFallback(n, db);
-  }
-  return ExactFallback(n, db);
+ResilienceEngine& SharedReferenceEngine() {
+  static ResilienceEngine* const kEngine = [] {
+    EngineOptions options;
+    options.force_exact = true;
+    options.collect_stats = false;
+    options.plan_cache_capacity = 0;  // force_exact never plans
+    return new ResilienceEngine(options);
+  }();
+  return *kEngine;
 }
 
 }  // namespace
 
 ResilienceResult ComputeResilience(const Query& q, const Database& db) {
-  // Minimization and domination preserve both satisfaction and the
-  // optimum contingency size (Section 4.1, Proposition 18).
-  Query n = NormalizeDomination(Minimize(q));
-  std::vector<Query> components = SplitIntoComponents(n);
-  if (components.size() == 1) return SolveConnected(n, db);
-
-  // Lemma 14: the query is false as soon as one component is false, so
-  // ρ(q, D) = min_i ρ(q_i, D).
-  ResilienceResult zero;
-  for (const Query& comp : components) {
-    if (!QueryHolds(comp, db)) return zero;
-  }
-  ResilienceResult best;
-  best.unbreakable = true;
-  for (const Query& comp : components) {
-    ResilienceResult r = SolveConnected(comp, db);
-    if (r.unbreakable) continue;
-    if (best.unbreakable || r.resilience < best.resilience) best = r;
-  }
-  return best;
+  return SharedEngine().Solve(q, db).result;
 }
 
 ResilienceResult ComputeResilienceReference(const Query& q,
                                             const Database& db) {
-  return ComputeResilienceExact(q, db);
+  return SharedReferenceEngine().Solve(q, db).result;
 }
 
 bool VerifyContingency(const Query& q, Database& db,
@@ -148,7 +78,12 @@ bool VerifyContingency(const Query& q, Database& db,
     db.SetActive(t, false);
   }
   bool broken = !QueryHolds(q, db);
-  for (auto& [t, was_active] : saved) db.SetActive(t, was_active);
+  // Restore in reverse: with duplicate ids in `tuples` the second
+  // occurrence saves "already inactive", and a forward restore would
+  // apply that state last, leaving the tuple deactivated.
+  for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+    db.SetActive(it->first, it->second);
+  }
   return broken;
 }
 

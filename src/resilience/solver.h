@@ -12,10 +12,12 @@ namespace rescq {
 
 /// Computes the resilience ρ(q, D) with the best available algorithm.
 ///
-/// The dispatcher follows the paper's pipeline: minimize the query
-/// (Section 4.1), normalize domination (Proposition 18), split into
-/// components (Lemma 14: the minimum over components), classify
-/// (Theorem 37 / Section 8), and then:
+/// Thin wrapper over a process-shared ResilienceEngine (see engine.h):
+/// the query analysis is planned once per distinct query and memoized,
+/// then dispatched through the SolverRegistry. The pipeline follows the
+/// paper: minimize the query (Section 4.1), normalize domination
+/// (Proposition 18), split into components (Lemma 14: the minimum over
+/// components), classify (Theorem 37 / Section 8), and then:
 ///
 ///  - PTIME-classified queries run the matching published construction
 ///    (linear flow, permutation count / König / pair flow, REP flow,
@@ -26,7 +28,8 @@ namespace rescq {
 ///    branch-and-bound solver (`kExact`), which is correct for every CQ.
 ResilienceResult ComputeResilience(const Query& q, const Database& db);
 
-/// Like ComputeResilience but forces the exact solver (reference oracle).
+/// Like ComputeResilience but forces the exact solver (reference
+/// oracle); equivalent to an engine with EngineOptions::force_exact.
 ResilienceResult ComputeResilienceReference(const Query& q,
                                             const Database& db);
 

@@ -1,0 +1,13 @@
+#include "util/fnv.h"
+
+#include "util/string_util.h"
+
+namespace rescq {
+
+std::string Fnv1aHex(const std::string& s) {
+  Fnv1a h;
+  for (char c : s) h.MixByte(static_cast<unsigned char>(c));
+  return StrFormat("%016llx", static_cast<unsigned long long>(h.digest()));
+}
+
+}  // namespace rescq

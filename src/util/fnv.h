@@ -1,0 +1,36 @@
+#ifndef RESCQ_UTIL_FNV_H_
+#define RESCQ_UTIL_FNV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rescq {
+
+/// Incremental 64-bit FNV-1a — the one hash used for structural
+/// fingerprints (plan cache display keys, database fingerprints), so
+/// the algorithm cannot silently diverge between call sites.
+class Fnv1a {
+ public:
+  void MixByte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 0x100000001b3ULL;
+  }
+
+  /// Mixes the string plus a separator byte, so "ab"+"c" != "a"+"bc".
+  void MixString(const std::string& s) {
+    for (char c : s) MixByte(static_cast<unsigned char>(c));
+    MixByte(0xff);
+  }
+
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// 16-hex-digit FNV-1a digest of one string (no separator).
+std::string Fnv1aHex(const std::string& s);
+
+}  // namespace rescq
+
+#endif  // RESCQ_UTIL_FNV_H_

@@ -11,7 +11,9 @@
 
 #include "complexity/catalog.h"
 #include "cq/parser.h"
+#include "resilience/engine.h"
 #include "resilience/solver.h"
+#include "util/fnv.h"
 #include "util/string_util.h"
 #include "workload/generators.h"
 
@@ -37,7 +39,8 @@ void CopyOutcome(const BatchCell& from, BatchCell* to) {
   to->oracle_resilience = from.oracle_resilience;
 }
 
-BatchCell RunCell(const BatchJob& job, const BatchOptions& opts, Memo* memo) {
+BatchCell RunCell(const BatchJob& job, const BatchOptions& opts,
+                  ResilienceEngine* engine, Memo* memo) {
   BatchCell cell;
   cell.query = job.query_name;
   cell.query_text = job.query_text;
@@ -64,10 +67,12 @@ BatchCell RunCell(const BatchJob& job, const BatchOptions& opts, Memo* memo) {
 
   Query q = MustParseQuery(job.query_text);
   auto start = std::chrono::steady_clock::now();
-  ResilienceResult r = ComputeResilience(q, db);
+  SolveOutcome outcome = engine->Solve(q, db);
   cell.wall_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - start)
                      .count();
+  const ResilienceResult& r = outcome.result;
+  cell.plan_cache_hit = outcome.plan_cache_hit;
   cell.unbreakable = r.unbreakable;
   cell.resilience = r.resilience;
   cell.solver = r.solver;
@@ -239,12 +244,16 @@ BatchReport RunBatch(const std::vector<BatchJob>& jobs,
   report.options = options;
   report.cells.resize(jobs.size());
   Memo memo;
+  // One engine per run: each distinct query is planned once (minimize,
+  // normalize, classify, probe the registry) and the immutable plan is
+  // shared read-only by every worker thread.
+  ResilienceEngine engine;
   std::atomic<size_t> next{0};
   auto worker = [&] {
     for (;;) {
       size_t i = next.fetch_add(1);
       if (i >= jobs.size()) return;
-      report.cells[i] = RunCell(jobs[i], options, &memo);
+      report.cells[i] = RunCell(jobs[i], options, &engine, &memo);
     }
   };
 
@@ -264,28 +273,24 @@ BatchReport RunBatch(const std::vector<BatchJob>& jobs,
     if (cell.memo_hit) ++report.memo_hits;
     report.total_wall_ms += cell.wall_ms;
   }
+  PlanCacheStats plan_stats = engine.plan_cache_stats();
+  report.plan_cache_hits = plan_stats.hits;
+  report.plan_cache_misses = plan_stats.misses;
+  report.plan_cache_entries = plan_stats.entries;
   return report;
 }
 
 std::string DatabaseFingerprint(const Database& db) {
-  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
-  auto mix_byte = [&h](unsigned char b) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  };
-  auto mix = [&](const std::string& s) {
-    for (char c : s) mix_byte(static_cast<unsigned char>(c));
-    mix_byte(0xff);  // separator so "ab"+"c" != "a"+"bc"
-  };
+  Fnv1a h;
   for (int rel = 0; rel < db.num_relations(); ++rel) {
-    mix(db.relation_name(rel));
-    mix_byte(static_cast<unsigned char>(db.relation_arity(rel)));
+    h.MixString(db.relation_name(rel));
+    h.MixByte(static_cast<unsigned char>(db.relation_arity(rel)));
     for (TupleId id : db.ActiveTuples(rel)) {
-      for (Value v : db.Row(id)) mix(db.ValueName(v));
-      mix_byte(0xfe);  // row boundary
+      for (Value v : db.Row(id)) h.MixString(db.ValueName(v));
+      h.MixByte(0xfe);  // row boundary
     }
   }
-  return StrFormat("%016llx", static_cast<unsigned long long>(h));
+  return StrFormat("%016llx", static_cast<unsigned long long>(h.digest()));
 }
 
 }  // namespace rescq

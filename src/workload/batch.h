@@ -82,6 +82,9 @@ struct BatchCell {
   bool oracle_match = true;
   int oracle_resilience = -1;
   bool memo_hit = false;
+  /// True when the engine reused a cached ResiliencePlan for this cell
+  /// (always false for memoized cells — they never reach the engine).
+  bool plan_cache_hit = false;
   double wall_ms = 0;
 };
 
@@ -90,6 +93,12 @@ struct BatchReport {
   BatchOptions options;
   int mismatches = 0;  // oracle disagreements + unverified contingencies
   int memo_hits = 0;
+  // Final counters of the run's shared ResilienceEngine plan cache:
+  // each distinct query is planned once and the plan is reused
+  // read-only across all worker threads.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  size_t plan_cache_entries = 0;
   double total_wall_ms = 0;  // sum of per-cell solver time
   double elapsed_ms = 0;     // end-to-end wall clock
 };

@@ -40,7 +40,7 @@ const char* BoolName(bool b) { return b ? "true" : "false"; }
 void WriteReportCsv(const BatchReport& report, std::ostream& out) {
   out << "query,scenario,size,density,seed,tuples,domain,fingerprint,"
          "unbreakable,resilience,solver,verified,oracle_checked,oracle_match,"
-         "oracle_resilience,memo_hit,wall_ms\n";
+         "oracle_resilience,memo_hit,plan_cache_hit,wall_ms\n";
   for (const BatchCell& c : report.cells) {
     out << c.query << "," << c.scenario << "," << c.size << ","
         << StrFormat("%.3f", c.density) << "," << c.seed << "," << c.tuples
@@ -49,20 +49,24 @@ void WriteReportCsv(const BatchReport& report, std::ostream& out) {
         << SolverKindName(c.solver) << "," << BoolName(c.verified) << ","
         << BoolName(c.oracle_checked) << "," << BoolName(c.oracle_match) << ","
         << c.oracle_resilience << "," << BoolName(c.memo_hit) << ","
-        << StrFormat("%.3f", c.wall_ms) << "\n";
+        << BoolName(c.plan_cache_hit) << "," << StrFormat("%.3f", c.wall_ms)
+        << "\n";
   }
 }
 
 void WriteReportJson(const BatchReport& report, std::ostream& out) {
-  out << "{\n  \"schema\": \"rescq-batch-report/v1\",\n";
+  out << "{\n  \"schema\": \"rescq-batch-report/v2\",\n";
   out << "  \"options\": {\"threads\": " << report.options.threads
       << ", \"check_oracle\": " << BoolName(report.options.check_oracle)
       << ", \"oracle_cutoff\": " << report.options.oracle_cutoff
       << ", \"memoize\": " << BoolName(report.options.memoize) << "},\n";
   out << "  \"summary\": {\"cells\": " << report.cells.size()
       << ", \"mismatches\": " << report.mismatches
-      << ", \"memo_hits\": " << report.memo_hits << ", \"total_wall_ms\": "
-      << StrFormat("%.3f", report.total_wall_ms)
+      << ", \"memo_hits\": " << report.memo_hits << ", \"plan_cache\": {"
+      << "\"hits\": " << report.plan_cache_hits
+      << ", \"misses\": " << report.plan_cache_misses
+      << ", \"entries\": " << report.plan_cache_entries
+      << "}, \"total_wall_ms\": " << StrFormat("%.3f", report.total_wall_ms)
       << ", \"elapsed_ms\": " << StrFormat("%.3f", report.elapsed_ms)
       << "},\n";
   out << "  \"cells\": [\n";
@@ -82,6 +86,7 @@ void WriteReportJson(const BatchReport& report, std::ostream& out) {
         << ", \"oracle_match\": " << BoolName(c.oracle_match)
         << ", \"oracle_resilience\": " << c.oracle_resilience
         << ", \"memo_hit\": " << BoolName(c.memo_hit)
+        << ", \"plan_cache_hit\": " << BoolName(c.plan_cache_hit)
         << ", \"wall_ms\": " << StrFormat("%.3f", c.wall_ms) << "}"
         << (i + 1 < report.cells.size() ? ",\n" : "\n");
   }
@@ -130,9 +135,12 @@ void PrintReportTable(const BatchReport& report, std::FILE* out) {
                  c.memo_hit ? "  (memo)" : "");
   }
   std::fprintf(out,
-               "\n%zu cells, %d mismatch(es), %d memo hit(s); solver time "
-               "%.1f ms, elapsed %.1f ms on %d thread(s)\n",
+               "\n%zu cells, %d mismatch(es), %d memo hit(s); plan cache "
+               "%llu hit(s) / %llu miss(es); solver time %.1f ms, elapsed "
+               "%.1f ms on %d thread(s)\n",
                report.cells.size(), report.mismatches, report.memo_hits,
+               static_cast<unsigned long long>(report.plan_cache_hits),
+               static_cast<unsigned long long>(report.plan_cache_misses),
                report.total_wall_ms, report.elapsed_ms,
                report.options.threads);
 }

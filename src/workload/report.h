@@ -11,12 +11,14 @@ namespace rescq {
 
 /// CSV, one row per cell plus a header row. Column order is part of the
 /// schema (docs/WORKLOADS.md): every column up to and including
-/// `oracle_resilience` is deterministic for a given plan regardless of
-/// thread count; `memo_hit` and `wall_ms` come last because they may
+/// `oracle_resilience` (1-15) is deterministic for a given plan
+/// regardless of thread count; `memo_hit`, `plan_cache_hit`, and
+/// `wall_ms` come last because cache attribution and timing may
 /// legitimately vary between runs.
 void WriteReportCsv(const BatchReport& report, std::ostream& out);
 
-/// JSON document: {"schema", "options", "summary", "cells": [...]}.
+/// JSON document (`rescq-batch-report/v2`):
+/// {"schema", "options", "summary" (incl. plan_cache), "cells": [...]}.
 void WriteReportJson(const BatchReport& report, std::ostream& out);
 
 /// Writes the CSV/JSON to a file; false + *error if it cannot be

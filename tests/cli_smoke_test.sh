@@ -3,9 +3,9 @@
 #
 # Usage: cli_smoke_test.sh <path-to-rescq-binary> <repo-source-dir>
 #
-# Covers every subcommand: classify on one PTIME and one NP-complete
-# catalog query, the full catalog self-check, and a resilience
-# computation over the Section 2 example database.
+# Covers every subcommand: classify and explain on one PTIME and one
+# NP-complete catalog query, the full catalog self-check, and a
+# resilience computation over the Section 2 example database.
 set -u
 
 RESCQ="${1:?usage: cli_smoke_test.sh <rescq-binary> <source-dir>}"
@@ -45,6 +45,16 @@ expect "classify NP-complete query" "RES(q) is NP-complete" \
 # classify by catalog name, including the triangle triad of the issue.
 expect "classify triad by text" "triad" classify "R(x,y), S(y,z), T(z,x)"
 expect "classify by --name" "RES(q) is PTIME" classify --name q_perm
+
+# explain: the plan printer shows the pipeline and the registered solver
+# (with paper citation) for one PTIME and one NP-complete query.
+expect "explain PTIME query routes to linear-flow" "linear-flow" \
+    explain "A(x), R(x,y), R(z,y), C(z)"
+expect "explain names the pipeline" "pipeline" \
+    explain "A(x), R(x,y), R(z,y), C(z)"
+expect "explain NP-complete query plans the exact solver" "branch-and-bound" \
+    explain "R(x,y), R(y,z)"
+expect "explain cites the paper" "Proposition 33" explain --name q_perm
 
 # catalog: exits 0 only if the classifier matches every published verdict.
 expect "catalog self-check" "classifier agrees on" catalog
@@ -101,6 +111,14 @@ else
   echo "FAIL: batch_report.json missing or reports mismatches"
   failures=$((failures + 1))
 fi
+# schema v2: the report must carry the engine's plan-cache counters.
+if grep -q '"schema": "rescq-batch-report/v2"' batch_report.json \
+    && grep -q '"plan_cache"' batch_report.json; then
+  echo "ok: batch JSON report is v2 with plan-cache stats"
+else
+  echo "FAIL: batch_report.json lacks the v2 plan-cache fields"
+  failures=$((failures + 1))
+fi
 
 # determinism across thread counts: every column up to oracle_resilience
 # (1-15) must be byte-identical between --threads 1 and --threads 4;
@@ -140,6 +158,9 @@ expect_usage_error() {
 }
 
 expect_usage_error "malformed query rejected" classify "lower(x)"
+expect_usage_error "explain without a query rejected" explain
+expect_usage_error "explain with stray argument rejected" explain \
+    "R(x,y), R(y,z)" extra
 expect_usage_error "missing tuple file rejected" \
     resilience "R(x,y)" /nonexistent.tuples
 tmpfile="$(mktemp)"

@@ -376,6 +376,21 @@ TEST(Dispatcher, MinimizationPreservesValue) {
   }
 }
 
+TEST(VerifyContingency, RestoresDatabaseWithDuplicateTupleIds) {
+  // Regression: with a duplicate id the second occurrence records the
+  // tuple as already-inactive; a forward-order restore would apply that
+  // state last and leave the tuple deactivated after the call.
+  Query q = MustParseQuery("R(x,y)");
+  Database db;
+  TupleId t = db.AddTuple("R", {db.Intern("a"), db.Intern("b")});
+  TupleId u = db.AddTuple("R", {db.Intern("c"), db.Intern("d")});
+  std::vector<TupleId> duplicated = {t, t, u, t};
+  EXPECT_TRUE(VerifyContingency(q, db, duplicated));
+  EXPECT_TRUE(db.IsActive(t));
+  EXPECT_TRUE(db.IsActive(u));
+  EXPECT_EQ(db.NumActiveTuples(), 2);
+}
+
 TEST(Dispatcher, PseudoLinearSjFreeFallsBackExactly) {
   // q_rats is PTIME but cyclic in the hypergraph (not linear), so the
   // dispatcher falls back to the exact solver with the fallback label.

@@ -235,10 +235,12 @@ TEST(Report, CsvAndJsonCarryEveryCell) {
   std::stringstream json;
   WriteReportJson(report, json);
   std::string json_text = json.str();
-  EXPECT_NE(json_text.find("\"schema\": \"rescq-batch-report/v1\""),
+  EXPECT_NE(json_text.find("\"schema\": \"rescq-batch-report/v2\""),
             std::string::npos);
   EXPECT_NE(json_text.find("\"scenario\": \"vc_path\""), std::string::npos);
   EXPECT_NE(json_text.find("\"mismatches\": 0"), std::string::npos);
+  EXPECT_NE(json_text.find("\"plan_cache\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"plan_cache_hit\""), std::string::npos);
 }
 
 TEST(Fingerprint, SensitiveToContentNotJustSize) {

@@ -8,6 +8,7 @@
 //   rescq classify "R(x,y), S(y,z), T(z,x)"
 //   rescq classify --name q_chain
 //   rescq resilience "R(x,y), R(y,z)" data/section2_chain.tuples
+//   rescq explain --name q_Aperm
 //   rescq catalog
 //   rescq catalog q_AC3conf
 //   rescq gen --scenario vc_er --size 12 --seed 1 --out er.tuples
@@ -28,6 +29,7 @@
 #include "db/database.h"
 #include "db/tuple_io.h"
 #include "db/witness.h"
+#include "resilience/engine.h"
 #include "resilience/result.h"
 #include "resilience/solver.h"
 #include "util/string_util.h"
@@ -51,6 +53,12 @@ int Usage(std::FILE* out) {
                "<tuples-file> [--exact]\n"
                "      Compute rho(q, D) over the tuple file; --exact forces "
                "the reference solver.\n"
+               "  rescq explain (<query> | --name <catalog-name>)\n"
+               "      Print the reusable resilience plan: pipeline stages, "
+               "per-component\n"
+               "      classification, and the registered solver (with paper "
+               "citation)\n"
+               "      the engine will dispatch to.\n"
                "  rescq catalog [<name>]\n"
                "      List every named query of the paper with its published\n"
                "      verdict and the classifier's verdict (or detail one).\n"
@@ -215,6 +223,21 @@ int CmdResilience(const std::vector<std::string>& args) {
   std::printf("verified:    query %s after deleting the contingency set\n",
               broken ? "is false" : "IS STILL TRUE (solver bug!)");
   return broken ? 0 : 1;
+}
+
+int CmdExplain(const std::vector<std::string>& args) {
+  size_t consumed = 0;
+  std::optional<Query> q = ResolveQuery(args, &consumed);
+  if (!q) return 2;
+  if (consumed != args.size()) {
+    std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                 args[consumed].c_str());
+    return 2;
+  }
+  ResilienceEngine engine;
+  std::shared_ptr<const ResiliencePlan> plan = engine.Plan(*q);
+  std::fputs(plan->Explain(engine.registry()).c_str(), stdout);
+  return 0;
 }
 
 int CmdCatalog(const std::vector<std::string>& args) {
@@ -508,6 +531,7 @@ int Run(int argc, char** argv) {
   if (cmd == "help" || cmd == "--help" || cmd == "-h") return Usage(stdout);
   if (cmd == "classify") return CmdClassify(args);
   if (cmd == "resilience") return CmdResilience(args);
+  if (cmd == "explain") return CmdExplain(args);
   if (cmd == "catalog") return CmdCatalog(args);
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "batch") return CmdBatch(args);
