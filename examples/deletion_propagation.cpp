@@ -34,7 +34,7 @@ int main() {
   db.AddTuple("Blocked", {user("spam")});
 
   std::printf("view: %s\n", alert.ToString().c_str());
-  std::vector<Witness> ws = EnumerateWitnesses(alert, db);
+  std::vector<Witness> ws = EnumerateWitnesses(alert, db, kNoWitnessLimit);
   std::printf("the alert currently fires via %zu witnesses:\n", ws.size());
   for (const Witness& w : ws) {
     std::printf("  %s -> %s -> %s\n",

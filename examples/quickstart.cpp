@@ -25,7 +25,7 @@ int main() {
   db.AddTuple("R", {v3, v3});
 
   // 3. Inspect the witnesses (Section 2: three witnesses).
-  std::vector<Witness> witnesses = EnumerateWitnesses(q, db);
+  std::vector<Witness> witnesses = EnumerateWitnesses(q, db, kNoWitnessLimit);
   std::printf("witnesses: %zu\n", witnesses.size());
   for (const Witness& w : witnesses) {
     std::printf("  (");

@@ -21,14 +21,14 @@ struct ColumnIndex {
 struct Enumerator {
   const Query& q;
   const Database& db;
-  size_t limit;
-  std::vector<Witness>* out;
+  const std::function<bool(const Witness&)>& visit;
 
   std::vector<int> atom_rel;              // db relation id per atom
   std::vector<int> order;                 // atom visit order
   std::vector<Value> binding;             // per VarId, -1 if unbound
   std::vector<TupleId> matched;           // per atom (query order)
   std::vector<ColumnIndex> indexes;       // per db relation id
+  Witness scratch;                        // reused between Emit calls
 
   bool Run() {
     // Resolve relations; a missing relation means no witnesses.
@@ -94,34 +94,31 @@ struct Enumerator {
     }
   }
 
-  // Returns false to stop enumeration (limit reached).
+  // Returns false to stop enumeration (the callback asked to).
   bool Recurse(size_t depth) {
     if (depth == order.size()) return Emit();
     int ai = order[depth];
     const Atom& atom = q.atom(ai);
     int rel = atom_rel[static_cast<size_t>(ai)];
 
-    // Pick a bound column to probe the index; otherwise scan all rows.
-    int probe_col = -1;
-    for (int c = 0; c < atom.arity(); ++c) {
-      if (binding[static_cast<size_t>(atom.vars[static_cast<size_t>(c)])] !=
-          -1) {
-        probe_col = c;
-        break;
-      }
-    }
+    // Probe the index on the bound column with the smallest posting
+    // list — any bound column is sound, the smallest one is the fewest
+    // candidate rows to unify. A bound value absent from its column
+    // means no row can match at all. With no bound column, scan.
     const std::vector<int>* rows = nullptr;
     std::vector<int> all_rows;
-    if (probe_col >= 0) {
-      Value v = binding[static_cast<size_t>(
-          atom.vars[static_cast<size_t>(probe_col)])];
+    for (int c = 0; c < atom.arity(); ++c) {
+      Value v = binding[static_cast<size_t>(atom.vars[static_cast<size_t>(c)])];
+      if (v == -1) continue;
       const auto& column =
-          indexes[static_cast<size_t>(rel)].by_column[static_cast<size_t>(
-              probe_col)];
+          indexes[static_cast<size_t>(rel)].by_column[static_cast<size_t>(c)];
       auto it = column.find(v);
-      if (it == column.end()) return true;
-      rows = &it->second;
-    } else {
+      if (it == column.end()) return true;  // no matching row exists
+      if (rows == nullptr || it->second.size() < rows->size()) {
+        rows = &it->second;
+      }
+    }
+    if (rows == nullptr) {
       all_rows.resize(static_cast<size_t>(db.NumRows(rel)));
       for (int r = 0; r < db.NumRows(rel); ++r) {
         all_rows[static_cast<size_t>(r)] = r;
@@ -156,43 +153,77 @@ struct Enumerator {
   }
 
   bool Emit() {
-    Witness w;
-    w.assignment = binding;
-    w.atom_tuples = matched;
+    scratch.assignment = binding;
+    scratch.atom_tuples = matched;
+    scratch.endo_tuples.clear();
     for (int i = 0; i < q.num_atoms(); ++i) {
       if (!q.atom(i).exogenous) {
-        w.endo_tuples.push_back(matched[static_cast<size_t>(i)]);
+        scratch.endo_tuples.push_back(matched[static_cast<size_t>(i)]);
       }
     }
-    std::sort(w.endo_tuples.begin(), w.endo_tuples.end());
-    w.endo_tuples.erase(
-        std::unique(w.endo_tuples.begin(), w.endo_tuples.end()),
-        w.endo_tuples.end());
-    out->push_back(std::move(w));
-    return out->size() < limit;
+    std::sort(scratch.endo_tuples.begin(), scratch.endo_tuples.end());
+    scratch.endo_tuples.erase(
+        std::unique(scratch.endo_tuples.begin(), scratch.endo_tuples.end()),
+        scratch.endo_tuples.end());
+    return visit(scratch);
   }
 };
 
 }  // namespace
 
+bool ForEachWitness(const Query& q, const Database& db,
+                    const std::function<bool(const Witness&)>& visit) {
+  Enumerator e{q, db, visit, {}, {}, {}, {}, {}, {}};
+  return e.Run();
+}
+
 std::vector<Witness> EnumerateWitnesses(const Query& q, const Database& db,
                                         size_t limit) {
   std::vector<Witness> out;
   if (limit == 0) return out;
-  Enumerator e{q, db, limit, &out, {}, {}, {}, {}, {}};
-  e.Run();
+  ForEachWitness(q, db, [&](const Witness& w) {
+    out.push_back(w);
+    return out.size() < limit;
+  });
   return out;
 }
 
 bool QueryHolds(const Query& q, const Database& db) {
-  return !EnumerateWitnesses(q, db, 1).empty();
+  return !ForEachWitness(q, db, [](const Witness&) { return false; });
+}
+
+WitnessFamily CollectWitnessFamily(const Query& q, const Database& db,
+                                   size_t witness_limit) {
+  WitnessFamily family;
+  std::set<std::vector<TupleId>> sets;
+  ForEachWitness(q, db, [&](const Witness& w) {
+    if (family.witnesses >= witness_limit) {
+      // Only trips when a witness beyond the budget actually exists: an
+      // instance with exactly `witness_limit` witnesses is complete.
+      family.budget_exceeded = true;
+      return false;
+    }
+    ++family.witnesses;
+    if (w.endo_tuples.empty()) {
+      // Unbreakable: no endogenous deletion kills this witness, so the
+      // rest of the family is irrelevant — stop enumerating.
+      family.unbreakable = true;
+      return false;
+    }
+    sets.insert(w.endo_tuples);
+    return true;
+  });
+  family.sets.assign(sets.begin(), sets.end());
+  return family;
 }
 
 std::vector<std::vector<TupleId>> WitnessTupleSets(const Query& q,
                                                    const Database& db) {
-  std::vector<Witness> witnesses = EnumerateWitnesses(q, db);
   std::set<std::vector<TupleId>> sets;
-  for (Witness& w : witnesses) sets.insert(std::move(w.endo_tuples));
+  ForEachWitness(q, db, [&](const Witness& w) {
+    sets.insert(w.endo_tuples);
+    return true;
+  });
   return std::vector<std::vector<TupleId>>(sets.begin(), sets.end());
 }
 

@@ -1,6 +1,8 @@
 #ifndef RESCQ_DB_WITNESS_H_
 #define RESCQ_DB_WITNESS_H_
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "cq/query.h"
@@ -21,18 +23,59 @@ struct Witness {
   std::vector<TupleId> endo_tuples;
 };
 
-/// Enumerates all witnesses of q over the *active* tuples of db.
-/// `limit` caps the number returned (guards against blowup in
-/// exploratory callers); the default is effectively unbounded.
+/// "No cap" sentinel for witness enumeration budgets. Every enumeration
+/// entry point takes an explicit limit; callers that really want
+/// unbounded enumeration say so by passing this.
+inline constexpr size_t kNoWitnessLimit = ~size_t{0};
+
+/// Streams every witness of q over the *active* tuples of db to `visit`,
+/// one at a time, without materializing the set. The visited Witness is
+/// only valid for the duration of the call. Return false from the
+/// callback to stop enumeration early. Returns true iff enumeration ran
+/// to completion (the callback never asked to stop).
+bool ForEachWitness(const Query& q, const Database& db,
+                    const std::function<bool(const Witness&)>& visit);
+
+/// Enumerates witnesses into a vector. `limit` caps the number returned
+/// and is deliberately not defaulted — exploratory callers must say how
+/// much blowup they accept (kNoWitnessLimit for "all of them").
 std::vector<Witness> EnumerateWitnesses(const Query& q, const Database& db,
-                                        size_t limit = ~size_t{0});
+                                        size_t limit);
 
 /// True if D |= q (early-exits at the first witness).
 bool QueryHolds(const Query& q, const Database& db);
 
+/// The deduplicated endogenous tuple-set family of (q, D), collected
+/// streaming under a witness budget. This is what the exact solver
+/// consumes: resilience is the minimum hitting set of `sets`.
+struct WitnessFamily {
+  /// Distinct endogenous tuple-sets, each sorted; the family is sorted.
+  std::vector<std::vector<TupleId>> sets;
+  /// Raw witnesses visited (>= sets.size(); duplicates collapse).
+  size_t witnesses = 0;
+  /// Some witness used no endogenous tuple: q is unbreakable and
+  /// enumeration short-circuited (`sets` is partial in that case).
+  bool unbreakable = false;
+  /// Enumeration stopped after `witness_limit` raw witnesses. `sets` is
+  /// then an incomplete family and MUST NOT be used to compute an exact
+  /// answer — callers surface this as a "witness budget exceeded"
+  /// outcome instead of silently truncating.
+  bool budget_exceeded = false;
+};
+
+/// Streams witnesses, deduplicating endogenous tuple-sets on the fly (no
+/// Witness vector is ever materialized). Stops early when a witness with
+/// an empty endogenous set proves q unbreakable, or when `witness_limit`
+/// raw witnesses have been visited (budget_exceeded). Pass
+/// kNoWitnessLimit for an unbounded collection.
+WitnessFamily CollectWitnessFamily(const Query& q, const Database& db,
+                                   size_t witness_limit);
+
 /// The distinct endogenous tuple-sets of all witnesses (deduplicated;
 /// each set sorted). Resilience is the minimum hitting set of this
-/// family; a witness with an empty set makes q unbreakable.
+/// family; a witness with an empty set makes q unbreakable. Unbounded
+/// and never short-circuits — legacy surface for the PTIME solvers that
+/// need the complete family; budgeted callers use CollectWitnessFamily.
 std::vector<std::vector<TupleId>> WitnessTupleSets(const Query& q,
                                                    const Database& db);
 

@@ -13,15 +13,18 @@ int MaxFlow::AddEdge(int u, int v, int64_t capacity, int64_t tag) {
   RESCQ_CHECK(!computed_);
   RESCQ_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
   int idx = static_cast<int>(edge_locator_.size());
-  adj_[static_cast<size_t>(u)].push_back(
-      Edge{v, capacity, static_cast<int>(adj_[static_cast<size_t>(v)].size()),
-           tag, true});
+  // Record the slots first, then patch the forward edge's rev: when
+  // u == v both pushes land in the same adjacency list, so computing the
+  // reverse slot before the backward push (as this used to) points the
+  // forward edge at itself and corrupts the residual graph.
+  int forward_slot = static_cast<int>(adj_[static_cast<size_t>(u)].size());
+  adj_[static_cast<size_t>(u)].push_back(Edge{v, capacity, 0, tag, true});
+  int backward_slot = static_cast<int>(adj_[static_cast<size_t>(v)].size());
   adj_[static_cast<size_t>(v)].push_back(
-      Edge{u, 0,
-           static_cast<int>(adj_[static_cast<size_t>(u)].size()) - 1, tag,
-           false});
-  edge_locator_.emplace_back(
-      u, static_cast<int>(adj_[static_cast<size_t>(u)].size()) - 1);
+      Edge{u, 0, forward_slot, tag, false});
+  adj_[static_cast<size_t>(u)][static_cast<size_t>(forward_slot)].rev =
+      backward_slot;
+  edge_locator_.emplace_back(u, forward_slot);
   return idx;
 }
 

@@ -67,7 +67,7 @@ IjpCheckResult CheckIjp(const Query& q, Database& db, TupleId endpoint_a,
 
   // Condition 2: each endpoint in exactly one witness; those witnesses use
   // exactly m distinct tuples.
-  std::vector<Witness> witnesses = EnumerateWitnesses(q, db);
+  std::vector<Witness> witnesses = EnumerateWitnesses(q, db, kNoWitnessLimit);
   int count_a = 0, count_b = 0;
   const Witness* wa = nullptr;
   const Witness* wb = nullptr;

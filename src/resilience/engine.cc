@@ -17,6 +17,14 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
+ExactOptions MakeExactOptions(const EngineOptions& options) {
+  ExactOptions exact;
+  exact.witness_limit =
+      options.witness_limit == 0 ? kNoWitnessLimit : options.witness_limit;
+  exact.node_budget = options.exact_node_budget;
+  return exact;
+}
+
 }  // namespace
 
 ResilienceEngine::ResilienceEngine(EngineOptions options,
@@ -66,11 +74,26 @@ std::shared_ptr<const ResiliencePlan> ResilienceEngine::PlanInternal(
   return plan;
 }
 
+ResilienceResult ResilienceEngine::RunExact(const Query& q, const Database& db,
+                                            SolverKind kind,
+                                            SolveOutcome* out) const {
+  ResilienceResult result =
+      ComputeResilienceExact(q, db, MakeExactOptions(options_), &out->exact);
+  result.solver = kind;
+  if (out->exact.witness_budget_exceeded && out->error.empty()) {
+    out->error = "witness budget exceeded (witness_limit=" +
+                 std::to_string(options_.witness_limit) +
+                 "): the witness family is incomplete and no exact answer "
+                 "can be given";
+  }
+  return result;
+}
+
 SolveOutcome ResilienceEngine::Solve(const Query& q, const Database& db) {
   if (options_.force_exact) {
     SolveOutcome out;
     Clock::time_point start = Clock::now();
-    out.result = ComputeResilienceExact(q, db);
+    out.result = RunExact(q, db, SolverKind::kExact, &out);
     if (options_.collect_stats) out.solve_ms = MsSince(start);
     return out;
   }
@@ -93,7 +116,7 @@ SolveOutcome ResilienceEngine::Solve(
   Clock::time_point start = Clock::now();
 
   if (options_.force_exact) {
-    out.result = ComputeResilienceExact(plan->original, db);
+    out.result = RunExact(plan->original, db, SolverKind::kExact, &out);
     if (options_.collect_stats) out.solve_ms = MsSince(start);
     return out;
   }
@@ -133,11 +156,15 @@ SolveOutcome ResilienceEngine::Solve(
         if (options_.collect_stats) out.solve_ms = MsSince(start);
         return out;
       }
-      const SolverEntry* fb = registry_->Find(comp.fallback);
-      RESCQ_CHECK(fb != nullptr);
-      std::optional<ResilienceResult> attempt = fb->run(comp.query, db);
-      RESCQ_CHECK(attempt.has_value());  // exact solvers never decline
-      r = std::move(*attempt);
+      // The registry entry documents the fallback (Explain, self-checks)
+      // but the engine runs it: only the engine can thread the witness /
+      // node budgets and collect search stats.
+      RESCQ_CHECK(registry_->Find(comp.fallback) != nullptr);
+      r = RunExact(comp.query, db, comp.fallback, &out);
+      if (!out.error.empty()) {
+        if (options_.collect_stats) out.solve_ms = MsSince(start);
+        return out;  // witness budget exceeded: result must not be used
+      }
       if (comp.fallback == SolverKind::kExactFallback &&
           !comp.candidates.empty()) {
         out.fallback_reasons.push_back(

@@ -12,6 +12,7 @@
 
 #include "cq/query.h"
 #include "db/database.h"
+#include "resilience/exact_solver.h"
 #include "resilience/plan.h"
 #include "resilience/registry.h"
 #include "resilience/result.h"
@@ -33,6 +34,16 @@ struct EngineOptions {
   /// LRU capacity of the plan cache, in plans. 0 disables caching
   /// (every Solve re-runs the query analysis — the legacy behavior).
   size_t plan_cache_capacity = 256;
+  /// Witness budget per exact component solve (0 = unlimited): the
+  /// streaming enumerator stops after this many raw witnesses and the
+  /// Solve reports a structured "witness budget exceeded" error instead
+  /// of a silently truncated answer. PTIME constructions are unaffected.
+  size_t witness_limit = 0;
+  /// Branch-and-bound node budget per exact component solve (0 =
+  /// unlimited). Exhausting it returns the incumbent — a verified
+  /// contingency set that may not be minimum — with
+  /// SolveOutcome::exact.node_budget_exceeded set.
+  uint64_t exact_node_budget = 0;
 };
 
 /// Counters for the plan cache, monotone over the engine's lifetime.
@@ -55,8 +66,13 @@ struct SolveOutcome {
   /// One entry per construction that declined at run time, in dispatch
   /// order, e.g. "perm-count declined the instance shape".
   std::vector<std::string> fallback_reasons;
-  /// Non-empty when allow_fallback=false blocked the exact fallback; the
-  /// result is then the default (resilience 0) and must not be used.
+  /// Aggregated exact-path counters for this Solve: witnesses streamed,
+  /// distinct witness sets, hitting-set components, branch-and-bound
+  /// nodes, and which bound pruned. All zero when no exact solver ran.
+  ExactStats exact;
+  /// Non-empty when allow_fallback=false blocked the exact fallback or a
+  /// witness budget was exceeded; the result is then the default
+  /// (resilience 0) and must not be used.
   std::string error;
 };
 
@@ -98,6 +114,14 @@ class ResilienceEngine {
 
   std::shared_ptr<const ResiliencePlan> PlanInternal(const Query& q,
                                                      bool* cache_hit);
+
+  /// Runs the exact solver with the engine's budgets, labels the result
+  /// with `kind`, and merges search stats (and any witness-budget error)
+  /// into the outcome. The engine executes exact dispatches itself —
+  /// registry fallback entries describe them for Explain, but only the
+  /// engine can thread budgets and counters through.
+  ResilienceResult RunExact(const Query& q, const Database& db,
+                            SolverKind kind, SolveOutcome* out) const;
 
   EngineOptions options_;
   const SolverRegistry* registry_;

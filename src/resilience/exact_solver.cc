@@ -3,12 +3,123 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <utility>
 
+#include "flow/max_flow.h"
 #include "util/check.h"
+#include "util/disjoint_set.h"
 
 namespace rescq {
 
+void ExactStats::Merge(const ExactStats& other) {
+  witnesses += other.witnesses;
+  witness_sets += other.witness_sets;
+  components += other.components;
+  nodes += other.nodes;
+  packing_prunes += other.packing_prunes;
+  flow_prunes += other.flow_prunes;
+  witness_budget_exceeded = witness_budget_exceeded ||
+                            other.witness_budget_exceeded;
+  node_budget_exceeded = node_budget_exceeded || other.node_budget_exceeded;
+}
+
 namespace {
+
+// Node-budget accounting shared by all components of one solve. Once the
+// budget trips, every further Search() call returns immediately and the
+// incumbents (seeded by the greedy upper bounds, so always feasible)
+// stand as the answer.
+struct SearchCtx {
+  uint64_t node_budget = 0;  // 0 = unlimited
+  uint64_t nodes = 0;
+  uint64_t packing_prunes = 0;
+  uint64_t flow_prunes = 0;
+  bool node_budget_exceeded = false;
+
+  bool TakeNode() {
+    if (node_budget != 0 && nodes >= node_budget) {
+      node_budget_exceeded = true;
+      return false;
+    }
+    ++nodes;
+    return true;
+  }
+};
+
+// Below this many residual edges a Dinic run costs more than the nodes
+// it could prune — the greedy bounds and the eager reductions already
+// dispatch such instances in a handful of nodes.
+constexpr size_t kFlowBoundMinEdges = 8;
+
+// The flow bound also waits until the search has expanded this many
+// nodes: a solve that finishes earlier was never going to repay a Dinic
+// run per node, while a search still alive past the threshold is exactly
+// where the stronger bound cuts whole subtrees.
+constexpr uint64_t kFlowBoundMinNodes = 32;
+
+// LP-dual lower bound over size-2 sets: a maximum *fractional* matching
+// of the graph they form is dual-feasible for the hitting-set LP, so its
+// value bounds any hitting set of those edges from below. Its value is
+// half the maximum integral matching of the bipartite double cover
+// (each vertex split into a left and a right copy, each edge doubled),
+// which Dinic computes directly — no blossom needed. Returns the ceiling,
+// which is still a valid bound because hitting sets are integral.
+int FractionalMatchingBound(const std::vector<std::pair<int, int>>& edges,
+                            int max_id) {
+  if (edges.empty()) return 0;
+  std::vector<int> dense(static_cast<size_t>(max_id), -1);
+  int k = 0;
+  for (const auto& [a, b] : edges) {
+    if (dense[static_cast<size_t>(a)] < 0) dense[static_cast<size_t>(a)] = k++;
+    if (dense[static_cast<size_t>(b)] < 0) dense[static_cast<size_t>(b)] = k++;
+  }
+  MaxFlow flow(2 + 2 * k);
+  const int s = 0, t = 1;
+  for (int i = 0; i < k; ++i) {
+    flow.AddEdge(s, 2 + i, 1);
+    flow.AddEdge(2 + k + i, t, 1);
+  }
+  for (const auto& [a, b] : edges) {
+    int ia = dense[static_cast<size_t>(a)];
+    int ib = dense[static_cast<size_t>(b)];
+    flow.AddEdge(2 + ia, 2 + k + ib, 1);
+    flow.AddEdge(2 + ib, 2 + k + ia, 1);
+  }
+  int64_t f = flow.Compute(s, t);
+  return static_cast<int>((f + 1) / 2);
+}
+
+// Sorts every set, deduplicates the family, and drops supersets (hitting
+// a subset hits all of its supersets). Output is size-ascending; all
+// flat sort-based passes — this runs 2-3x per solve on the reduction
+// fixpoint, so it must not allocate per set like a std::set would.
+std::vector<std::vector<int>> ReduceFamily(std::vector<std::vector<int>> sets) {
+  for (std::vector<int>& s : sets) {
+    RESCQ_CHECK(!s.empty());
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  std::sort(sets.begin(), sets.end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              return a.size() != b.size() ? a.size() < b.size() : a < b;
+            });
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  std::vector<std::vector<int>> out;
+  out.reserve(sets.size());
+  for (std::vector<int>& s : sets) {
+    bool has_subset = false;
+    for (const std::vector<int>& t : out) {
+      if (t.size() >= s.size()) continue;
+      if (std::includes(s.begin(), s.end(), t.begin(), t.end())) {
+        has_subset = true;
+        break;
+      }
+    }
+    if (!has_subset) out.push_back(std::move(s));
+  }
+  return out;
+}
 
 // State for the branch-and-bound search. Sets are stored once; "open"
 // sets are those not yet hit by the current partial choice.
@@ -16,6 +127,7 @@ struct Solver {
   std::vector<std::vector<int>> sets;
   std::vector<std::vector<int>> element_sets;  // element -> set ids
   int num_elements = 0;
+  SearchCtx* ctx = nullptr;
 
   std::vector<int> hit_count;    // per set: #chosen elements in it
   std::vector<bool> chosen;      // per element
@@ -24,34 +136,13 @@ struct Solver {
   int best_size = 0;
 
   void Init(const std::vector<std::vector<int>>& input) {
-    // Deduplicate and discard supersets: hitting a subset hits all of its
-    // supersets.
-    std::vector<std::vector<int>> uniq;
-    {
-      std::set<std::vector<int>> seen;
-      for (const std::vector<int>& s : input) {
-        RESCQ_CHECK(!s.empty());
-        std::vector<int> sorted = s;
-        std::sort(sorted.begin(), sorted.end());
-        sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-        if (seen.insert(sorted).second) uniq.push_back(std::move(sorted));
-      }
-    }
-    std::sort(uniq.begin(), uniq.end(),
-              [](const std::vector<int>& a, const std::vector<int>& b) {
-                return a.size() < b.size();
-              });
-    for (const std::vector<int>& s : uniq) {
-      bool has_subset = false;
-      for (const std::vector<int>& t : sets) {
-        if (t.size() >= s.size()) continue;
-        if (std::includes(s.begin(), s.end(), t.begin(), t.end())) {
-          has_subset = true;
-          break;
-        }
-      }
-      if (!has_subset) sets.push_back(s);
-    }
+    InitReduced(ReduceFamily(input));
+  }
+
+  // For families that are already sorted, deduplicated, and subset-free
+  // (per-component slices of a globally reduced family).
+  void InitReduced(std::vector<std::vector<int>> reduced) {
+    sets = std::move(reduced);
     for (const std::vector<int>& s : sets) {
       for (int e : s) num_elements = std::max(num_elements, e + 1);
     }
@@ -126,21 +217,54 @@ struct Solver {
     // Smaller sets first makes the packing larger on average; sets are
     // globally sorted by size already (Init sorts before superset
     // removal; removal preserves order).
-    for (const std::vector<int>& s : sets) {
-      bool open = true;
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (hit_count[i] > 0) continue;
+      const std::vector<int>& s = sets[i];
       bool disjoint = true;
       for (int e : s) {
-        if (chosen[static_cast<size_t>(e)]) {
-          open = false;
-          break;
-        }
         if (used[static_cast<size_t>(e)]) disjoint = false;
       }
-      if (!open || !disjoint) continue;
+      if (!disjoint) continue;
       ++packed;
       for (int e : s) used[static_cast<size_t>(e)] = true;
     }
     return packed;
+  }
+
+  // Stronger lower bound: disjoint-pack the open sets of size != 2, then
+  // add the fractional-matching dual over the open 2-sets that avoid the
+  // packed elements. Dual-feasible for the hitting-set LP (each element
+  // is claimed by at most one packed set or by the matching, never
+  // both), so it is a valid bound; it beats pure packing whenever the
+  // 2-sets form odd structures the greedy can only half-use.
+  int FlowLowerBound() {
+    std::vector<bool> used(static_cast<size_t>(num_elements), false);
+    int packed = 0;
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (hit_count[i] > 0) continue;
+      const std::vector<int>& s = sets[i];
+      if (s.size() == 2) continue;  // handled by the matching below
+      bool disjoint = true;
+      for (int e : s) {
+        if (used[static_cast<size_t>(e)]) disjoint = false;
+      }
+      if (!disjoint) continue;
+      ++packed;
+      for (int e : s) used[static_cast<size_t>(e)] = true;
+    }
+    std::vector<std::pair<int, int>> edges;
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (hit_count[i] > 0 || sets[i].size() != 2) continue;
+      int a = sets[i][0], b = sets[i][1];
+      if (used[static_cast<size_t>(a)] || used[static_cast<size_t>(b)]) {
+        continue;
+      }
+      edges.emplace_back(a, b);
+    }
+    if (edges.size() < kFlowBoundMinEdges) {
+      return packed;  // skip the Dinic run, keep the packing just computed
+    }
+    return packed + FractionalMatchingBound(edges, num_elements);
   }
 
   // Finds the open set with the fewest elements; -1 if none.
@@ -159,6 +283,7 @@ struct Solver {
   }
 
   void Search() {
+    if (!ctx->TakeNode()) return;
     int branch_set = PickBranchSet();
     if (branch_set < 0) {
       if (static_cast<int>(current.size()) < best_size) {
@@ -168,7 +293,21 @@ struct Solver {
       return;
     }
     int lb = PackingLowerBound();
-    if (static_cast<int>(current.size()) + lb >= best_size) return;
+    if (static_cast<int>(current.size()) + lb >= best_size) {
+      ++ctx->packing_prunes;
+      return;
+    }
+    // The flow bound costs a Dinic run, so it only fires where the cheap
+    // packing bound failed to prune and the search is demonstrably
+    // non-trivial — exactly the nodes worth cutting.
+    if (ctx->nodes >= kFlowBoundMinNodes) {
+      int flow_lb = FlowLowerBound();
+      if (flow_lb > lb &&
+          static_cast<int>(current.size()) + flow_lb >= best_size) {
+        ++ctx->flow_prunes;
+        return;
+      }
+    }
 
     // Branch over the elements of the smallest open set, most-frequent
     // first.
@@ -181,18 +320,73 @@ struct Solver {
       Choose(e);
       Search();
       Unchoose(e);
+      if (ctx->node_budget_exceeded) return;
     }
   }
 };
 
+// Element domination: if every set containing b also contains some a
+// (a != b), a minimum hitting set never needs b — any solution using b
+// can swap it for a — so b is deleted from the family. Ties (identical
+// membership) break toward the smaller id so exactly one of the pair
+// survives. Classic hitting-set preprocessing; on the q_vc witness
+// families it strips the per-edge S-tuples (each private to one set that
+// also holds both endpoint R-tuples) and leaves a pure vertex-cover
+// instance the matching bounds are exact on. Sets stay non-empty: every
+// set that loses b still contains its dominator. Returns true when
+// something was removed (callers re-reduce and iterate to fixpoint).
+bool EliminateDominatedElements(std::vector<std::vector<int>>* sets) {
+  int num_elements = 0;
+  for (const std::vector<int>& s : *sets) {
+    for (int e : s) num_elements = std::max(num_elements, e + 1);
+  }
+  std::vector<std::vector<int>> element_sets(
+      static_cast<size_t>(num_elements));
+  for (size_t i = 0; i < sets->size(); ++i) {
+    for (int e : (*sets)[i]) {
+      element_sets[static_cast<size_t>(e)].push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<bool> removed(static_cast<size_t>(num_elements), false);
+  bool changed = false;
+  for (int b = 0; b < num_elements; ++b) {
+    const std::vector<int>& sb = element_sets[static_cast<size_t>(b)];
+    if (sb.empty()) continue;
+    // A dominator of b sits in every set containing b, in particular the
+    // first one — so only its elements need checking.
+    for (int a : (*sets)[static_cast<size_t>(sb[0])]) {
+      if (a == b || removed[static_cast<size_t>(a)]) continue;
+      const std::vector<int>& sa = element_sets[static_cast<size_t>(a)];
+      if (sa.size() < sb.size()) continue;
+      if (!std::includes(sa.begin(), sa.end(), sb.begin(), sb.end())) {
+        continue;
+      }
+      if (sa.size() == sb.size() && a > b) continue;  // keep the smaller id
+      removed[static_cast<size_t>(b)] = true;
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) return false;
+  for (std::vector<int>& s : *sets) {
+    s.erase(std::remove_if(
+                s.begin(), s.end(),
+                [&](int e) { return removed[static_cast<size_t>(e)]; }),
+            s.end());
+  }
+  return true;
+}
+
 // Specialized exact vertex cover for the all-sets-size-<=2 case (graph
 // instances; the hardness gadgets produce exactly these). Classic branch
 // and bound: eager degree-0/1 reductions, branching "v in cover" vs
-// "N(v) in cover" on a maximum-degree vertex, greedy-matching lower
-// bound. Cycles and trees collapse under the reductions, which is what
-// the paper's variable gadgets are made of.
+// "N(v) in cover" on a maximum-degree vertex, a greedy-matching lower
+// bound backed by the fractional-matching flow bound, and a max-degree
+// greedy cover seeding the incumbent. Cycles and trees collapse under
+// the reductions, which is what the paper's variable gadgets are made of.
 struct VcSolver {
   std::vector<std::set<int>> adj;
+  SearchCtx* ctx = nullptr;
   std::vector<int> cover;   // current partial cover
   std::vector<int> best;
   size_t best_size = ~size_t{0};
@@ -219,6 +413,29 @@ struct VcSolver {
     }
   }
 
+  // Max-degree greedy cover: seeds `best` so that pruning bites from the
+  // first search node and a budget-stopped search still holds a feasible
+  // answer.
+  void GreedySeed() {
+    std::vector<std::set<int>> saved = adj;
+    for (;;) {
+      int v = -1;
+      size_t max_deg = 0;
+      for (size_t u = 0; u < adj.size(); ++u) {
+        if (adj[u].size() > max_deg) {
+          max_deg = adj[u].size();
+          v = static_cast<int>(u);
+        }
+      }
+      if (v < 0) break;
+      TakeVertex(v);
+    }
+    best = cover;
+    best_size = cover.size();
+    adj = std::move(saved);
+    cover.clear();
+  }
+
   size_t MatchingLowerBound() const {
     std::vector<bool> used(adj.size(), false);
     size_t matching = 0;
@@ -236,7 +453,23 @@ struct VcSolver {
     return matching;
   }
 
+  // Fractional matching over the remaining edges (see
+  // FractionalMatchingBound): exact on bipartite residuals by König, and
+  // gains the +1/2-per-odd-component the greedy matching leaves behind.
+  size_t FlowLowerBound() const {
+    std::vector<std::pair<int, int>> edges;
+    for (size_t v = 0; v < adj.size(); ++v) {
+      for (int u : adj[v]) {
+        if (u > static_cast<int>(v)) edges.emplace_back(static_cast<int>(v), u);
+      }
+    }
+    if (edges.size() < kFlowBoundMinEdges) return 0;  // not worth a Dinic run
+    return static_cast<size_t>(
+        FractionalMatchingBound(edges, static_cast<int>(adj.size())));
+  }
+
   void Search() {
+    if (!ctx->TakeNode()) return;
     Reduce();
     int branch = -1;
     size_t max_deg = 0;
@@ -253,7 +486,18 @@ struct VcSolver {
       }
       return;
     }
-    if (cover.size() + MatchingLowerBound() >= best_size) return;
+    size_t lb = MatchingLowerBound();
+    if (cover.size() + lb >= best_size) {
+      ++ctx->packing_prunes;
+      return;
+    }
+    if (ctx->nodes >= kFlowBoundMinNodes) {
+      size_t flow_lb = FlowLowerBound();
+      if (flow_lb > lb && cover.size() + flow_lb >= best_size) {
+        ++ctx->flow_prunes;
+        return;
+      }
+    }
 
     std::vector<std::set<int>> saved_adj = adj;
     size_t saved_cover = cover.size();
@@ -262,6 +506,7 @@ struct VcSolver {
     Search();
     adj = saved_adj;
     cover.resize(saved_cover);
+    if (ctx->node_budget_exceeded) return;
     // Branch 2: all neighbors of v in the cover.
     std::set<int> neighbors = adj[static_cast<size_t>(branch)];
     for (int u : neighbors) TakeVertex(u);
@@ -271,15 +516,16 @@ struct VcSolver {
   }
 };
 
-// Solves the hitting-set instance as vertex cover; `sets` must all have
-// size 1 or 2 (after Init's dedup). Singleton sets are forced.
-HittingSetResult SolveAsVertexCover(const std::vector<std::vector<int>>& sets,
-                                    int num_elements) {
+// Solves one hitting-set component as vertex cover; `sets` must all have
+// size 1 or 2 (deduplicated). Singleton sets are forced.
+std::vector<int> SolveAsVertexCover(const std::vector<std::vector<int>>& sets,
+                                    int num_elements, SearchCtx* ctx) {
   std::vector<bool> forced(static_cast<size_t>(num_elements), false);
   for (const std::vector<int>& s : sets) {
     if (s.size() == 1) forced[static_cast<size_t>(s[0])] = true;
   }
   VcSolver vc;
+  vc.ctx = ctx;
   vc.adj.resize(static_cast<size_t>(num_elements));
   for (const std::vector<int>& s : sets) {
     if (s.size() != 2) continue;
@@ -289,55 +535,159 @@ HittingSetResult SolveAsVertexCover(const std::vector<std::vector<int>>& sets,
     vc.adj[static_cast<size_t>(s[0])].insert(s[1]);
     vc.adj[static_cast<size_t>(s[1])].insert(s[0]);
   }
+  vc.GreedySeed();
   vc.Search();
-  HittingSetResult result;
-  result.chosen = vc.best;
+  std::vector<int> chosen = vc.best;
   for (int e = 0; e < num_elements; ++e) {
-    if (forced[static_cast<size_t>(e)]) result.chosen.push_back(e);
+    if (forced[static_cast<size_t>(e)]) chosen.push_back(e);
   }
-  std::sort(result.chosen.begin(), result.chosen.end());
-  result.size = static_cast<int>(result.chosen.size());
-  return result;
+  return chosen;
+}
+
+// Solves one general component with the branch-and-bound solver. The
+// component's sets are already reduced (slices of the global fixpoint).
+std::vector<int> SolveComponent(std::vector<std::vector<int>> sets,
+                                SearchCtx* ctx) {
+  Solver solver;
+  solver.ctx = ctx;
+  solver.InitReduced(std::move(sets));
+  solver.best_size = 1 << 30;
+  solver.GreedyUpperBound();
+  solver.Search();
+  return solver.best;
 }
 
 }  // namespace
 
 HittingSetResult SolveMinHittingSet(
     const std::vector<std::vector<int>>& sets) {
+  return SolveMinHittingSet(sets, ExactOptions{}, nullptr);
+}
+
+HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
+                                    const ExactOptions& options,
+                                    ExactStats* stats) {
   HittingSetResult result;
   if (sets.empty()) return result;
-  Solver solver;
-  solver.Init(sets);
-  bool all_small = true;
-  for (const std::vector<int>& s : solver.sets) {
-    all_small = all_small && s.size() <= 2;
+
+  // Global reduction to fixpoint — dedup + superset removal, then
+  // element domination, re-reduced until nothing changes (domination
+  // shrinks sets, which can expose new subset relations and vice
+  // versa) — then split into connected components over shared elements:
+  // two sets with no element in common constrain disjoint parts of the
+  // universe, so the minimum hitting set is the concatenation of
+  // per-component minima. Components shrink the branching factor *and*
+  // let small parts finish instantly while the search budget
+  // concentrates on the hard core.
+  std::vector<std::vector<int>> reduced = ReduceFamily(sets);
+  while (EliminateDominatedElements(&reduced)) {
+    reduced = ReduceFamily(std::move(reduced));
   }
-  if (all_small) return SolveAsVertexCover(solver.sets, solver.num_elements);
-  solver.best_size = 1 << 30;
-  solver.GreedyUpperBound();
-  solver.Search();
-  result.size = solver.best_size;
-  result.chosen = solver.best;
+  int num_elements = 0;
+  for (const std::vector<int>& s : reduced) {
+    for (int e : s) num_elements = std::max(num_elements, e + 1);
+  }
+
+  DisjointSet components(num_elements);
+  for (const std::vector<int>& s : reduced) {
+    for (size_t j = 1; j < s.size(); ++j) components.Union(s[0], s[j]);
+  }
+  std::map<int, std::vector<const std::vector<int>*>> groups;
+  for (const std::vector<int>& s : reduced) {
+    groups[components.Find(s[0])].push_back(&s);
+  }
+
+  SearchCtx ctx;
+  ctx.node_budget = options.node_budget;
+  std::vector<int> global_to_local(static_cast<size_t>(num_elements), -1);
+  for (const auto& [root, group] : groups) {
+    // Dense local ids keep each component's solver small.
+    std::vector<int> local_to_global;
+    std::vector<std::vector<int>> local_sets;
+    bool all_small = true;
+    local_sets.reserve(group.size());
+    for (const std::vector<int>* s : group) {
+      std::vector<int> local;
+      local.reserve(s->size());
+      for (int e : *s) {
+        int& slot = global_to_local[static_cast<size_t>(e)];
+        if (slot < 0) {
+          slot = static_cast<int>(local_to_global.size());
+          local_to_global.push_back(e);
+        }
+        local.push_back(slot);
+      }
+      all_small = all_small && local.size() <= 2;
+      local_sets.push_back(std::move(local));
+    }
+    std::vector<int> chosen =
+        all_small ? SolveAsVertexCover(local_sets,
+                                       static_cast<int>(local_to_global.size()),
+                                       &ctx)
+                  : SolveComponent(std::move(local_sets), &ctx);
+    for (int e : chosen) {
+      result.chosen.push_back(local_to_global[static_cast<size_t>(e)]);
+    }
+    for (int e : local_to_global) {
+      global_to_local[static_cast<size_t>(e)] = -1;
+    }
+  }
   std::sort(result.chosen.begin(), result.chosen.end());
+  result.size = static_cast<int>(result.chosen.size());
+  result.proven_optimal = !ctx.node_budget_exceeded;
+
+  if (stats != nullptr) {
+    ExactStats search;
+    search.components = static_cast<int>(groups.size());
+    search.nodes = ctx.nodes;
+    search.packing_prunes = ctx.packing_prunes;
+    search.flow_prunes = ctx.flow_prunes;
+    search.node_budget_exceeded = ctx.node_budget_exceeded;
+    stats->Merge(search);
+  }
   return result;
 }
 
 ResilienceResult ComputeResilienceExact(const Query& q, const Database& db) {
+  return ComputeResilienceExact(q, db, ExactOptions{}, nullptr);
+}
+
+ResilienceResult ComputeResilienceExact(const Query& q, const Database& db,
+                                        const ExactOptions& options,
+                                        ExactStats* stats) {
   ResilienceResult result;
   result.solver = SolverKind::kExact;
-  std::vector<std::vector<TupleId>> witness_sets = WitnessTupleSets(q, db);
-  if (witness_sets.empty()) return result;  // D does not satisfy q
+  WitnessFamily family = CollectWitnessFamily(q, db, options.witness_limit);
+
+  ExactStats local;
+  local.witnesses = family.witnesses;
+  local.witness_sets = family.sets.size();
+  local.witness_budget_exceeded = family.budget_exceeded;
+
+  if (family.unbreakable) {
+    result.unbreakable = true;
+    if (stats != nullptr) stats->Merge(local);
+    return result;
+  }
+  if (family.budget_exceeded) {
+    // Incomplete family: any hitting set of it could miss witnesses, so
+    // no answer is returned. Callers must check the stats flag.
+    if (stats != nullptr) stats->Merge(local);
+    return result;
+  }
+  if (family.sets.empty()) {
+    if (stats != nullptr) stats->Merge(local);
+    return result;  // D does not satisfy q
+  }
 
   // Map tuples to dense element ids.
   std::map<TupleId, int> ids;
   std::vector<TupleId> tuples;
   std::vector<std::vector<int>> sets;
-  for (const std::vector<TupleId>& w : witness_sets) {
-    if (w.empty()) {
-      result.unbreakable = true;
-      return result;
-    }
+  sets.reserve(family.sets.size());
+  for (const std::vector<TupleId>& w : family.sets) {
     std::vector<int> s;
+    s.reserve(w.size());
     for (TupleId t : w) {
       auto [it, inserted] = ids.emplace(t, static_cast<int>(tuples.size()));
       if (inserted) tuples.push_back(t);
@@ -345,10 +695,13 @@ ResilienceResult ComputeResilienceExact(const Query& q, const Database& db) {
     }
     sets.push_back(std::move(s));
   }
-  HittingSetResult hs = SolveMinHittingSet(sets);
+  HittingSetResult hs = SolveMinHittingSet(sets, options, &local);
   result.resilience = hs.size;
-  for (int e : hs.chosen) result.contingency.push_back(tuples[static_cast<size_t>(e)]);
+  for (int e : hs.chosen) {
+    result.contingency.push_back(tuples[static_cast<size_t>(e)]);
+  }
   std::sort(result.contingency.begin(), result.contingency.end());
+  if (stats != nullptr) stats->Merge(local);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef RESCQ_RESILIENCE_EXACT_SOLVER_H_
 #define RESCQ_RESILIENCE_EXACT_SOLVER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "cq/query.h"
@@ -10,25 +11,83 @@
 
 namespace rescq {
 
+/// Budgets for the exact resilience path. The defaults are unbounded —
+/// the solver is then the reference oracle. With a budget set the solve
+/// stays safe but may stop early; see ExactStats for how that surfaces.
+struct ExactOptions {
+  /// Maximum raw witnesses enumerated (kNoWitnessLimit = all). When
+  /// exceeded the witness family is incomplete, the returned result is
+  /// the default (resilience 0) and ExactStats::witness_budget_exceeded
+  /// is set — never a silently truncated answer.
+  size_t witness_limit = kNoWitnessLimit;
+  /// Maximum branch-and-bound nodes across all components (0 =
+  /// unlimited). When exhausted, the incumbent is returned: a valid
+  /// hitting set / contingency set that may not be minimum
+  /// (HittingSetResult::proven_optimal false,
+  /// ExactStats::node_budget_exceeded set).
+  uint64_t node_budget = 0;
+};
+
+/// Search counters reported by the exact path. Monotone within one
+/// solve; merged across components (and across the engine's per-plan
+/// component solves).
+struct ExactStats {
+  size_t witnesses = 0;       // raw witnesses visited
+  size_t witness_sets = 0;    // distinct endogenous tuple-sets
+  int components = 0;         // independent hitting-set components
+  uint64_t nodes = 0;         // branch-and-bound nodes expanded
+  uint64_t packing_prunes = 0;  // subtrees cut by the greedy packing bound
+  uint64_t flow_prunes = 0;     // subtrees cut by the max-flow bound
+  bool witness_budget_exceeded = false;
+  bool node_budget_exceeded = false;
+
+  void Merge(const ExactStats& other);
+};
+
 /// Result of a minimum hitting set computation.
 struct HittingSetResult {
   int size = 0;
   std::vector<int> chosen;  // element ids
+  /// False when the node budget stopped the search: `chosen` still hits
+  /// every set but may not be minimum.
+  bool proven_optimal = true;
 };
 
 /// Exact minimum hitting set via branch and bound:
-///  - supersets of other sets are discarded,
+///  - supersets of other sets are discarded, duplicates collapse, and
+///    dominated elements (every set containing b also contains a) are
+///    deleted, iterated to fixpoint — q_vc-style families reduce to
+///    pure vertex cover here,
+///  - the instance splits into connected components (sets sharing no
+///    element are independent) solved separately,
 ///  - singleton sets force their element,
 ///  - branching picks the smallest open set and tries each element,
-///  - lower bound: greedy packing of pairwise-disjoint open sets,
-///  - upper bound: greedy max-frequency hitting.
+///  - lower bounds: greedy packing of pairwise-disjoint open sets, then
+///    (when that fails to prune) a max-flow bound — the LP-dual
+///    fractional matching over the open size-2 sets, computed as half
+///    the maximum matching of the bipartite double cover, stacked on a
+///    disjoint packing of the larger sets,
+///  - upper bound: greedy max-frequency hitting seeds the incumbent.
 /// `sets` must be non-empty sets of non-negative element ids.
 HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets);
 
-/// Exact resilience of q over the active tuples of db: enumerate
-/// witnesses, then solve minimum hitting set over their endogenous
-/// tuple-sets. Works for every conjunctive query; exponential worst case.
+/// As above with budgets and counters. `stats` may be null.
+HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
+                                    const ExactOptions& options,
+                                    ExactStats* stats);
+
+/// Exact resilience of q over the active tuples of db: stream witnesses
+/// (deduplicating their endogenous tuple-sets on the fly), then solve
+/// minimum hitting set over the family. Works for every conjunctive
+/// query; exponential worst case.
 ResilienceResult ComputeResilienceExact(const Query& q, const Database& db);
+
+/// As above with budgets and counters. `stats` may be null. When the
+/// witness budget is exceeded the result is the default (resilience 0)
+/// and must not be used — check stats->witness_budget_exceeded.
+ResilienceResult ComputeResilienceExact(const Query& q, const Database& db,
+                                        const ExactOptions& options,
+                                        ExactStats* stats);
 
 }  // namespace rescq
 

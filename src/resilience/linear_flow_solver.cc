@@ -19,7 +19,7 @@ std::optional<ResilienceResult> SolveLinearFlow(
   const int m = q.num_atoms();
   std::vector<std::vector<VarId>> interfaces = LinearInterfaces(q, order);
 
-  std::vector<Witness> witnesses = EnumerateWitnesses(q, db);
+  std::vector<Witness> witnesses = EnumerateWitnesses(q, db, kNoWitnessLimit);
   ResilienceResult result;
   result.solver = SolverKind::kLinearFlow;
   if (witnesses.empty()) return result;

@@ -89,7 +89,7 @@ std::optional<ResilienceResult> SolvePermutationBipartite(
     const Query& q, const Database& db) {
   std::optional<PermShape> shape = MatchPermShape(q);
   if (!shape.has_value() || shape->l_atom == -1) return std::nullopt;
-  std::vector<Witness> witnesses = EnumerateWitnesses(q, db);
+  std::vector<Witness> witnesses = EnumerateWitnesses(q, db, kNoWitnessLimit);
   ResilienceResult result;
   result.solver = SolverKind::kPermBipartite;
   if (witnesses.empty()) return result;
@@ -135,7 +135,7 @@ std::optional<ResilienceResult> SolveUnboundPermutationFlow(
     const Query& q, const Database& db) {
   std::optional<PermShape> shape = MatchPermShape(q);
   if (!shape.has_value() || shape->l_atom == -1) return std::nullopt;
-  std::vector<Witness> witnesses = EnumerateWitnesses(q, db);
+  std::vector<Witness> witnesses = EnumerateWitnesses(q, db, kNoWitnessLimit);
   ResilienceResult result;
   result.solver = SolverKind::kUnboundPermFlow;
   if (witnesses.empty()) return result;

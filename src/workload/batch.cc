@@ -37,6 +37,8 @@ void CopyOutcome(const BatchCell& from, BatchCell* to) {
   to->oracle_checked = from.oracle_checked;
   to->oracle_match = from.oracle_match;
   to->oracle_resilience = from.oracle_resilience;
+  to->budget_exceeded = from.budget_exceeded;
+  to->error = from.error;
 }
 
 BatchCell RunCell(const BatchJob& job, const BatchOptions& opts,
@@ -73,12 +75,33 @@ BatchCell RunCell(const BatchJob& job, const BatchOptions& opts,
                      .count();
   const ResilienceResult& r = outcome.result;
   cell.plan_cache_hit = outcome.plan_cache_hit;
+  if (!outcome.error.empty()) {
+    // Structured budget outcome: the result is the default and must not
+    // be verified or oracle-checked — the cell reports the error
+    // instead of masquerading as a solved (or mismatched) one.
+    cell.budget_exceeded = true;
+    cell.error = outcome.error;
+    cell.verified = true;  // nothing to verify; not a solver bug
+    if (opts.memoize) {
+      std::lock_guard<std::mutex> lock(memo->mu);
+      memo->cells.emplace(key, cell);
+    }
+    return cell;
+  }
   cell.unbreakable = r.unbreakable;
   cell.resilience = r.resilience;
   cell.solver = r.solver;
   cell.verified = r.unbreakable || VerifyContingency(q, db, r.contingency);
+  if (outcome.exact.node_budget_exceeded) {
+    // The incumbent is a verified contingency set but only an upper
+    // bound on the resilience: mark the cell and skip the oracle — an
+    // exhausted budget the user asked for is not a solver mismatch.
+    cell.budget_exceeded = true;
+    cell.error = "exact node budget exhausted: resilience is an upper bound";
+  }
 
-  if (opts.check_oracle && cell.tuples <= opts.oracle_cutoff) {
+  if (opts.check_oracle && !cell.budget_exceeded &&
+      cell.tuples <= opts.oracle_cutoff) {
     ResilienceResult oracle = ComputeResilienceReference(q, db);
     cell.oracle_checked = true;
     cell.oracle_resilience = oracle.unbreakable ? -1 : oracle.resilience;
@@ -224,6 +247,12 @@ bool ParsePlanFile(const std::string& path, BatchPlan* plan,
       ok = ParseBool(value, &options->check_oracle);
     } else if (key == "memoize") {
       ok = ParseBool(value, &options->memoize);
+    } else if (key == "witness_limit") {
+      uint64_t limit = 0;
+      ok = ParseUint64(value, &limit);
+      options->witness_limit = static_cast<size_t>(limit);
+    } else if (key == "exact_node_budget") {
+      ok = ParseUint64(value, &options->exact_node_budget);
     } else {
       *error = StrFormat("%s:%d: unknown plan key '%s'", path.c_str(), lineno,
                          key.c_str());
@@ -246,8 +275,12 @@ BatchReport RunBatch(const std::vector<BatchJob>& jobs,
   Memo memo;
   // One engine per run: each distinct query is planned once (minimize,
   // normalize, classify, probe the registry) and the immutable plan is
-  // shared read-only by every worker thread.
-  ResilienceEngine engine;
+  // shared read-only by every worker thread. The run's budgets ride on
+  // the engine so every exact solve honors them.
+  EngineOptions engine_options;
+  engine_options.witness_limit = options.witness_limit;
+  engine_options.exact_node_budget = options.exact_node_budget;
+  ResilienceEngine engine(engine_options);
   std::atomic<size_t> next{0};
   auto worker = [&] {
     for (;;) {
@@ -269,7 +302,11 @@ BatchReport RunBatch(const std::vector<BatchJob>& jobs,
                           .count();
 
   for (const BatchCell& cell : report.cells) {
-    if (!cell.oracle_match || !cell.verified) ++report.mismatches;
+    if (cell.budget_exceeded) {
+      ++report.budget_exceeded;
+    } else if (!cell.oracle_match || !cell.verified) {
+      ++report.mismatches;
+    }
     if (cell.memo_hit) ++report.memo_hits;
     report.total_wall_ms += cell.wall_ms;
   }

@@ -41,6 +41,12 @@ struct BatchOptions {
   bool check_oracle = false;  // cross-check ComputeResilienceReference
   int oracle_cutoff = 80;     // skip the oracle above this many tuples
   bool memoize = true;        // reuse (query, db-fingerprint) results
+  /// Witness budget per exact component solve (0 = unlimited); exceeding
+  /// it marks the cell budget_exceeded instead of mis-reporting a value.
+  size_t witness_limit = 0;
+  /// Branch-and-bound node budget per exact component solve (0 =
+  /// unlimited); exhausted budgets return the verified incumbent.
+  uint64_t exact_node_budget = 0;
 };
 
 /// Expands the plan into the job matrix. Returns false and fills *error
@@ -50,8 +56,9 @@ bool ExpandPlan(const BatchPlan& plan, std::vector<BatchJob>* jobs,
 
 /// Parses a `key = value` plan file (docs/WORKLOADS.md). Recognized
 /// keys: scenarios, queries, sizes, seeds, density, threads,
-/// check_oracle, oracle_cutoff, memoize; '#' starts a comment. Unknown
-/// keys and unparseable values are errors.
+/// check_oracle, oracle_cutoff, memoize, witness_limit,
+/// exact_node_budget; '#' starts a comment. Unknown keys and
+/// unparseable values are errors.
 bool ParsePlanFile(const std::string& path, BatchPlan* plan,
                    BatchOptions* options, std::string* error);
 
@@ -85,6 +92,15 @@ struct BatchCell {
   /// True when the engine reused a cached ResiliencePlan for this cell
   /// (always false for memoized cells — they never reach the engine).
   bool plan_cache_hit = false;
+  /// True when a budget stopped the solve; `error` says which. A
+  /// witness budget leaves the resilience / verification / oracle
+  /// fields meaningless; an exhausted node budget keeps a *verified*
+  /// resilience that is only an upper bound (the oracle check is
+  /// skipped). Either way the cell is counted separately from
+  /// mismatches — an exceeded budget the user asked for is not a
+  /// solver bug.
+  bool budget_exceeded = false;
+  std::string error;
   double wall_ms = 0;
 };
 
@@ -93,6 +109,7 @@ struct BatchReport {
   BatchOptions options;
   int mismatches = 0;  // oracle disagreements + unverified contingencies
   int memo_hits = 0;
+  int budget_exceeded = 0;  // cells stopped by a witness budget
   // Final counters of the run's shared ResilienceEngine plan cache:
   // each distinct query is planned once and the plan is reused
   // read-only across all worker threads.

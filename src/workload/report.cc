@@ -40,7 +40,8 @@ const char* BoolName(bool b) { return b ? "true" : "false"; }
 void WriteReportCsv(const BatchReport& report, std::ostream& out) {
   out << "query,scenario,size,density,seed,tuples,domain,fingerprint,"
          "unbreakable,resilience,solver,verified,oracle_checked,oracle_match,"
-         "oracle_resilience,memo_hit,plan_cache_hit,wall_ms\n";
+         "oracle_resilience,memo_hit,plan_cache_hit,budget_exceeded,"
+         "wall_ms\n";
   for (const BatchCell& c : report.cells) {
     out << c.query << "," << c.scenario << "," << c.size << ","
         << StrFormat("%.3f", c.density) << "," << c.seed << "," << c.tuples
@@ -49,20 +50,25 @@ void WriteReportCsv(const BatchReport& report, std::ostream& out) {
         << SolverKindName(c.solver) << "," << BoolName(c.verified) << ","
         << BoolName(c.oracle_checked) << "," << BoolName(c.oracle_match) << ","
         << c.oracle_resilience << "," << BoolName(c.memo_hit) << ","
-        << BoolName(c.plan_cache_hit) << "," << StrFormat("%.3f", c.wall_ms)
-        << "\n";
+        << BoolName(c.plan_cache_hit) << "," << BoolName(c.budget_exceeded)
+        << "," << StrFormat("%.3f", c.wall_ms) << "\n";
   }
 }
 
 void WriteReportJson(const BatchReport& report, std::ostream& out) {
-  out << "{\n  \"schema\": \"rescq-batch-report/v2\",\n";
+  out << "{\n  \"schema\": \"rescq-batch-report/v3\",\n";
   out << "  \"options\": {\"threads\": " << report.options.threads
       << ", \"check_oracle\": " << BoolName(report.options.check_oracle)
       << ", \"oracle_cutoff\": " << report.options.oracle_cutoff
-      << ", \"memoize\": " << BoolName(report.options.memoize) << "},\n";
+      << ", \"memoize\": " << BoolName(report.options.memoize)
+      << ", \"witness_limit\": " << report.options.witness_limit
+      << ", \"exact_node_budget\": " << report.options.exact_node_budget
+      << "},\n";
   out << "  \"summary\": {\"cells\": " << report.cells.size()
       << ", \"mismatches\": " << report.mismatches
-      << ", \"memo_hits\": " << report.memo_hits << ", \"plan_cache\": {"
+      << ", \"memo_hits\": " << report.memo_hits
+      << ", \"budget_exceeded\": " << report.budget_exceeded
+      << ", \"plan_cache\": {"
       << "\"hits\": " << report.plan_cache_hits
       << ", \"misses\": " << report.plan_cache_misses
       << ", \"entries\": " << report.plan_cache_entries
@@ -87,6 +93,8 @@ void WriteReportJson(const BatchReport& report, std::ostream& out) {
         << ", \"oracle_resilience\": " << c.oracle_resilience
         << ", \"memo_hit\": " << BoolName(c.memo_hit)
         << ", \"plan_cache_hit\": " << BoolName(c.plan_cache_hit)
+        << ", \"budget_exceeded\": " << BoolName(c.budget_exceeded)
+        << ", \"error\": \"" << JsonEscape(c.error) << "\""
         << ", \"wall_ms\": " << StrFormat("%.3f", c.wall_ms) << "}"
         << (i + 1 < report.cells.size() ? ",\n" : "\n");
   }
@@ -127,18 +135,27 @@ void PrintReportTable(const BatchReport& report, std::FILE* out) {
     const char* oracle = !c.oracle_checked ? "-"
                          : c.oracle_match  ? "match"
                                            : "MISMATCH";
-    std::fprintf(out, "%-16s %-15s %5d %6llu %7d %5s %-18s %-8s %9.3f%s\n",
+    std::fprintf(out, "%-16s %-15s %5d %6llu %7d %5s %-18s %-8s %9.3f%s%s\n",
                  c.query.c_str(), c.scenario.c_str(), c.size,
                  static_cast<unsigned long long>(c.seed), c.tuples,
-                 c.unbreakable ? "inf" : StrFormat("%d", c.resilience).c_str(),
+                 // A node-budget cell still carries a verified upper
+                 // bound; a witness-budget cell has no value at all.
+                 c.budget_exceeded
+                     ? (c.resilience > 0
+                            ? StrFormat(">=%d", c.resilience).c_str()
+                            : "-")
+                 : c.unbreakable ? "inf"
+                                 : StrFormat("%d", c.resilience).c_str(),
                  SolverKindName(c.solver), oracle, c.wall_ms,
-                 c.memo_hit ? "  (memo)" : "");
+                 c.memo_hit ? "  (memo)" : "",
+                 c.budget_exceeded ? "  (budget exceeded)" : "");
   }
   std::fprintf(out,
-               "\n%zu cells, %d mismatch(es), %d memo hit(s); plan cache "
-               "%llu hit(s) / %llu miss(es); solver time %.1f ms, elapsed "
-               "%.1f ms on %d thread(s)\n",
+               "\n%zu cells, %d mismatch(es), %d memo hit(s), %d over "
+               "budget; plan cache %llu hit(s) / %llu miss(es); solver "
+               "time %.1f ms, elapsed %.1f ms on %d thread(s)\n",
                report.cells.size(), report.mismatches, report.memo_hits,
+               report.budget_exceeded,
                static_cast<unsigned long long>(report.plan_cache_hits),
                static_cast<unsigned long long>(report.plan_cache_misses),
                report.total_wall_ms, report.elapsed_ms,

@@ -69,6 +69,28 @@ expect "contingency verification" "query is false" \
 expect "exact reference solver" "rho(q, D) = 1" \
     resilience --name q_vc "$SRC/data/vc_path.tuples" --exact
 
+# budgets: an ample node budget must not change the exact answer, and a
+# tiny witness limit must surface as a structured outcome (exit 1 with a
+# "witness budget exceeded" line), never as a silently wrong answer.
+expect "node budget keeps the exact answer" "rho(q, D) = 2" \
+    resilience "R(x,y), R(y,z)" "$SRC/data/section2_chain.tuples" \
+    --exact --exact-node-budget 100000
+budget_out="$("$RESCQ" resilience "R(x,y), R(y,z)" \
+    "$SRC/data/section2_chain.tuples" --exact --witness-limit 1 2>&1)"
+budget_status=$?
+if [ "$budget_status" -eq 1 ] \
+    && grep -q "witness budget exceeded" <<<"$budget_out"; then
+  echo "ok: witness budget exceeded is a structured outcome"
+else
+  echo "FAIL: --witness-limit 1 should exit 1 with a budget message"
+  echo "$budget_out" | sed 's/^/    /'
+  failures=$((failures + 1))
+fi
+expect "batch reports budget-exceeded cells" "(budget exceeded)" \
+    batch --scenarios chain --sizes 4 --seeds 1 --witness-limit 1
+expect "batch counts budget cells in the summary" "1 over budget" \
+    batch --scenarios chain --sizes 4 --seeds 1 --witness-limit 1
+
 # gen: the scenario catalog lists the workload families, and generated
 # fixtures are deterministic in the seed.
 expect "gen scenario catalog" "vc_er" gen --list
@@ -111,12 +133,14 @@ else
   echo "FAIL: batch_report.json missing or reports mismatches"
   failures=$((failures + 1))
 fi
-# schema v2: the report must carry the engine's plan-cache counters.
-if grep -q '"schema": "rescq-batch-report/v2"' batch_report.json \
-    && grep -q '"plan_cache"' batch_report.json; then
-  echo "ok: batch JSON report is v2 with plan-cache stats"
+# schema v3: the report must carry the plan-cache counters and the
+# budget-exceeded accounting added with the witness/node budgets.
+if grep -q '"schema": "rescq-batch-report/v3"' batch_report.json \
+    && grep -q '"plan_cache"' batch_report.json \
+    && grep -q '"budget_exceeded"' batch_report.json; then
+  echo "ok: batch JSON report is v3 with plan-cache and budget stats"
 else
-  echo "FAIL: batch_report.json lacks the v2 plan-cache fields"
+  echo "FAIL: batch_report.json lacks the v3 plan-cache/budget fields"
   failures=$((failures + 1))
 fi
 

@@ -66,7 +66,7 @@ TEST(Witness, PaperChainExample) {
   TupleId t1, t2, t3;
   Database db = ChainExample(&t1, &t2, &t3);
   Query q = MustParseQuery("R(x,y), R(y,z)");
-  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  std::vector<Witness> ws = EnumerateWitnesses(q, db, kNoWitnessLimit);
   ASSERT_EQ(ws.size(), 3u);
 
   std::set<std::vector<std::string>> assignments;
@@ -100,7 +100,7 @@ TEST(Witness, DeactivationShrinksWitnesses) {
   Database db = ChainExample(&t1, &t2, &t3);
   Query q = MustParseQuery("R(x,y), R(y,z)");
   db.SetActive(t3, false);
-  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  std::vector<Witness> ws = EnumerateWitnesses(q, db, kNoWitnessLimit);
   ASSERT_EQ(ws.size(), 1u);  // only (1,2,3)
   EXPECT_EQ(ws[0].endo_tuples, (std::vector<TupleId>{t1, t2}));
 }
@@ -111,7 +111,7 @@ TEST(Witness, ExogenousAtomsExcludedFromTupleSets) {
   TupleId r = db.AddTuple("R", {a, b});
   db.AddTuple("S", {b});
   Query q = MustParseQuery("R(x,y), S^x(y)");
-  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  std::vector<Witness> ws = EnumerateWitnesses(q, db, kNoWitnessLimit);
   ASSERT_EQ(ws.size(), 1u);
   EXPECT_EQ(ws[0].endo_tuples, (std::vector<TupleId>{r}));
   EXPECT_EQ(ws[0].atom_tuples.size(), 2u);
@@ -133,7 +133,7 @@ TEST(Witness, SelfJoinSharedTupleDeduplicated) {
   Value a = db.Intern("a");
   TupleId t = db.AddTuple("R", {a, a});
   Query q = MustParseQuery("R(x,y), R(y,z)");
-  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  std::vector<Witness> ws = EnumerateWitnesses(q, db, kNoWitnessLimit);
   ASSERT_EQ(ws.size(), 1u);
   EXPECT_EQ(ws[0].endo_tuples, (std::vector<TupleId>{t}));
 }
@@ -144,7 +144,7 @@ TEST(Witness, RepeatedVariableAtomRequiresEqualColumns) {
   db.AddTuple("R", {a, a});
   db.AddTuple("R", {a, b});
   Query q = MustParseQuery("R(x,x)");
-  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  std::vector<Witness> ws = EnumerateWitnesses(q, db, kNoWitnessLimit);
   ASSERT_EQ(ws.size(), 1u);
   EXPECT_EQ(db.ValueName(ws[0].assignment[0]), "a");
 }
@@ -153,14 +153,14 @@ TEST(Witness, MissingRelationMeansNoWitnesses) {
   Database db;
   db.AddTuple("R", {db.Intern("a")});
   Query q = MustParseQuery("R(x), S(x,y)");
-  EXPECT_TRUE(EnumerateWitnesses(q, db).empty());
+  EXPECT_TRUE(EnumerateWitnesses(q, db, kNoWitnessLimit).empty());
 }
 
 TEST(Witness, ArityMismatchMeansNoWitnesses) {
   Database db;
   db.AddTuple("R", {db.Intern("a")});
   Query q = MustParseQuery("R(x,y)");
-  EXPECT_TRUE(EnumerateWitnesses(q, db).empty());
+  EXPECT_TRUE(EnumerateWitnesses(q, db, kNoWitnessLimit).empty());
 }
 
 TEST(Witness, LimitCapsEnumeration) {
@@ -180,7 +180,7 @@ TEST(Witness, CrossProductDisconnectedQuery) {
   db.AddTuple("A", {a2});
   db.AddTuple("B", {b1});
   Query q = MustParseQuery("A(x), B(y)");
-  EXPECT_EQ(EnumerateWitnesses(q, db).size(), 2u);
+  EXPECT_EQ(EnumerateWitnesses(q, db, kNoWitnessLimit).size(), 2u);
 }
 
 TEST(Witness, TriangleQuery) {
@@ -191,7 +191,7 @@ TEST(Witness, TriangleQuery) {
   db.AddTuple("T", {v3, v1});
   db.AddTuple("R", {v2, v3});  // irrelevant extra
   Query q = MustParseQuery("R(x,y), S(y,z), T(z,x)");
-  std::vector<Witness> ws = EnumerateWitnesses(q, db);
+  std::vector<Witness> ws = EnumerateWitnesses(q, db, kNoWitnessLimit);
   ASSERT_EQ(ws.size(), 1u);
   EXPECT_EQ(ws[0].endo_tuples.size(), 3u);
 }

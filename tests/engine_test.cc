@@ -200,6 +200,73 @@ TEST(Engine, ForceExactRunsTheReferenceSolver) {
   EXPECT_EQ(out.result.resilience, oracle.resilience);
 }
 
+TEST(Engine, WitnessBudgetSurfacesAsStructuredError) {
+  // q_chain is NP-complete, so the engine plans the exact solver; with a
+  // one-witness budget the Solve must report the budget error and the
+  // default result, never a truncated answer.
+  EngineOptions options;
+  options.witness_limit = 1;
+  ResilienceEngine engine(options);
+  Query q = MustParseQuery("R(x,y), R(y,z)");
+  Database db;
+  Value v1 = db.Intern("1"), v2 = db.Intern("2"), v3 = db.Intern("3");
+  db.AddTuple("R", {v1, v2});
+  db.AddTuple("R", {v2, v3});
+  db.AddTuple("R", {v3, v3});
+  SolveOutcome out = engine.Solve(q, db);
+  EXPECT_NE(out.error.find("witness budget exceeded"), std::string::npos);
+  EXPECT_TRUE(out.exact.witness_budget_exceeded);
+  EXPECT_EQ(out.result.resilience, 0);
+
+  // A roomy budget behaves exactly like no budget.
+  EngineOptions roomy;
+  roomy.witness_limit = 1000;
+  ResilienceEngine roomy_engine(roomy);
+  SolveOutcome ok = roomy_engine.Solve(q, db);
+  EXPECT_TRUE(ok.error.empty());
+  EXPECT_EQ(ok.result.resilience, 2);
+  EXPECT_FALSE(ok.exact.witness_budget_exceeded);
+}
+
+TEST(Engine, SolveOutcomeCarriesExactSearchStats) {
+  ResilienceEngine engine;
+  Query q = MustParseQuery("R(x,y), R(y,z)");  // NP-complete: exact runs
+  Database db;
+  Value v1 = db.Intern("1"), v2 = db.Intern("2"), v3 = db.Intern("3");
+  db.AddTuple("R", {v1, v2});
+  db.AddTuple("R", {v2, v3});
+  db.AddTuple("R", {v3, v3});
+  SolveOutcome out = engine.Solve(q, db);
+  EXPECT_EQ(out.result.resilience, 2);
+  EXPECT_EQ(out.exact.witnesses, 3u);
+  EXPECT_EQ(out.exact.witness_sets, 3u);
+  EXPECT_GE(out.exact.nodes, 1u);
+
+  // PTIME queries dispatched to a construction never touch the exact
+  // path: the counters stay zero.
+  Query ptime = MustParseQuery("R(x,y), R(y,x)");
+  Database perm = GeneratePermutation({6, 0.5, 1});
+  SolveOutcome fast = engine.Solve(ptime, perm);
+  EXPECT_EQ(fast.result.solver, SolverKind::kPermCount);
+  EXPECT_EQ(fast.exact.witnesses, 0u);
+  EXPECT_EQ(fast.exact.nodes, 0u);
+}
+
+TEST(Engine, NodeBudgetReturnsVerifiedUpperBound) {
+  EngineOptions options;
+  options.exact_node_budget = 1;
+  ResilienceEngine engine(options);
+  Query q = MustParseQuery("R(x,y), R(y,z)");
+  Database db = GenerateChain({8, 0.5, 3});
+  SolveOutcome out = engine.Solve(q, db);
+  EXPECT_TRUE(out.error.empty());
+  ResilienceResult oracle = ComputeResilienceReference(q, db);
+  if (!oracle.unbreakable && oracle.resilience > 0) {
+    EXPECT_GE(out.result.resilience, oracle.resilience);
+    EXPECT_TRUE(VerifyContingency(q, db, out.result.contingency));
+  }
+}
+
 TEST(Engine, FallbackReasonsRecordDeclinedConstructions) {
   // q_Aperm: perm-count probes as applicable (unbound permutation) but
   // declines at run time because A is also endogenous; the König cover

@@ -92,6 +92,42 @@ TEST(MaxFlow, AddNode) {
   EXPECT_EQ(f.Compute(0, 1), 1);
 }
 
+TEST(MaxFlow, SelfLoopDoesNotCorruptResidualGraph) {
+  // Regression: AddEdge(u, u, ...) used to compute both rev indices
+  // before the second push, leaving the forward edge pointing at itself
+  // and corrupting augmentation through u. The loop must be inert: flow
+  // values and min cuts are as if it were absent.
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 2);
+  int loop = f.AddEdge(1, 1, 5);
+  int mid = f.AddEdge(1, 2, 1);
+  EXPECT_EQ(f.Compute(0, 2), 1);
+  EXPECT_EQ(f.edge(loop).to, 1);
+  EXPECT_EQ(f.edge(loop).capacity, 5);  // untouched by augmentation
+  std::vector<int> cut = f.MinCutEdges();
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_EQ(cut[0], mid);
+}
+
+TEST(MaxFlow, SelfLoopReverseIndicesAreMutual) {
+  // The forward/backward pair of a self-loop sits in one adjacency list;
+  // their rev slots must reference each other, not themselves.
+  MaxFlow f(1);
+  f.AddEdge(0, 0, 3);
+  const MaxFlow::Edge& forward = f.edge(0);
+  EXPECT_TRUE(forward.forward);
+  EXPECT_EQ(forward.capacity, 3);
+  EXPECT_NE(forward.rev, 0);  // must point at the backward edge's slot
+}
+
+TEST(MaxFlow, SelfLoopOnSourceAndSink) {
+  MaxFlow f(2);
+  f.AddEdge(0, 0, 7);
+  f.AddEdge(0, 1, 4);
+  f.AddEdge(1, 1, 7);
+  EXPECT_EQ(f.Compute(0, 1), 4);
+}
+
 TEST(Bipartite, PerfectMatchingSquare) {
   // K2,2: cover size 2.
   BipartiteCover c(2, 2);

@@ -10,14 +10,19 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "complexity/catalog.h"
 #include "complexity/classifier.h"
 #include "complexity/patterns.h"
 #include "cq/parser.h"
 #include "db/database.h"
+#include "resilience/engine.h"
 #include "resilience/exact_solver.h"
 #include "resilience/solver.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "workload/generators.h"
 
 namespace rescq {
 namespace {
@@ -126,6 +131,119 @@ TEST(Fuzz, ClassificationIsInvariantUnderVariableRenaming) {
     EXPECT_EQ(static_cast<int>(a.complexity), static_cast<int>(b.complexity))
         << q.ToString();
   }
+}
+
+// Old-style brute-force reference: branch on every element of the first
+// open set with only incumbent pruning — no reductions, no components,
+// no flow bounds. Exponential, but the sweep keeps instances tiny.
+void ReferenceHittingSetSearch(const std::vector<std::vector<int>>& sets,
+                               std::vector<bool>& chosen, int chosen_count,
+                               int* best) {
+  if (chosen_count >= *best) return;
+  const std::vector<int>* open = nullptr;
+  for (const std::vector<int>& s : sets) {
+    bool hit = false;
+    for (int e : s) hit = hit || chosen[static_cast<size_t>(e)];
+    if (!hit) {
+      open = &s;
+      break;
+    }
+  }
+  if (open == nullptr) {
+    *best = chosen_count;
+    return;
+  }
+  for (int e : *open) {
+    chosen[static_cast<size_t>(e)] = true;
+    ReferenceHittingSetSearch(sets, chosen, chosen_count + 1, best);
+    chosen[static_cast<size_t>(e)] = false;
+  }
+}
+
+int ReferenceHittingSet(const std::vector<std::vector<int>>& sets,
+                        int num_elements) {
+  std::vector<bool> chosen(static_cast<size_t>(num_elements), false);
+  int best = num_elements;
+  ReferenceHittingSetSearch(sets, chosen, 0, &best);
+  return best;
+}
+
+TEST(Fuzz, CatalogWideExactDifferentialSweep) {
+  // Every named query of the paper, over random uniform instances:
+  //  - the overhauled exact solver (streaming witnesses, domination,
+  //    components, flow bounds) must agree with the bound-free
+  //    brute-force search on the same hitting-set family;
+  //  - the engine's dispatched answer must agree with the exact
+  //    reference, and its contingency set must verify.
+  for (const CatalogEntry& entry : PaperCatalog()) {
+    Query q = MustParseQuery(entry.text);
+    uint64_t seed_base = std::hash<std::string>()(entry.name);
+    for (int trial = 0; trial < 2; ++trial) {
+      ScenarioParams params;
+      params.size = 4 + trial;
+      params.density = 0.5;
+      params.seed = seed_base + static_cast<uint64_t>(trial);
+      Database db = GenerateUniform(q, params);
+
+      WitnessFamily family = CollectWitnessFamily(q, db, kNoWitnessLimit);
+      ResilienceResult exact = ComputeResilienceExact(q, db);
+      if (family.unbreakable) {
+        EXPECT_TRUE(exact.unbreakable) << entry.name;
+        continue;
+      }
+      std::map<TupleId, int> ids;
+      std::vector<std::vector<int>> sets;
+      for (const std::vector<TupleId>& w : family.sets) {
+        std::vector<int> s;
+        for (TupleId t : w) {
+          auto [it, inserted] = ids.emplace(t, static_cast<int>(ids.size()));
+          s.push_back(it->second);
+        }
+        sets.push_back(std::move(s));
+      }
+      int reference = ReferenceHittingSet(sets, static_cast<int>(ids.size()));
+      ASSERT_EQ(exact.resilience, reference)
+          << entry.name << " trial " << trial;
+
+      ResilienceResult fast = ComputeResilience(q, db);
+      ASSERT_EQ(fast.unbreakable, exact.unbreakable) << entry.name;
+      ASSERT_EQ(fast.resilience, exact.resilience)
+          << entry.name << " via " << SolverKindName(fast.solver);
+      ASSERT_TRUE(VerifyContingency(q, db, fast.contingency)) << entry.name;
+    }
+  }
+}
+
+TEST(Fuzz, BudgetedEngineNeverMisreports) {
+  // Random queries under a tiny witness budget: every outcome is either
+  // a correct answer (error empty, agrees with the oracle) or a
+  // structured budget error — never a silently wrong value.
+  Rng rng(0xB1D6E7);
+  EngineOptions options;
+  options.witness_limit = 5;
+  ResilienceEngine engine(options);
+  int errors_seen = 0, answers_seen = 0;
+  for (int round = 0; round < 60; ++round) {
+    Query q = RandomQuery(rng);
+    Database db = RandomDatabase(q, 4, 6, rng);
+    SolveOutcome out = engine.Solve(q, db);
+    if (!out.error.empty()) {
+      EXPECT_NE(out.error.find("witness budget exceeded"), std::string::npos);
+      ++errors_seen;
+      continue;
+    }
+    ++answers_seen;
+    ResilienceResult oracle = ComputeResilienceReference(q, db);
+    ASSERT_EQ(out.result.unbreakable, oracle.unbreakable)
+        << q.ToString() << " round " << round;
+    if (!oracle.unbreakable) {
+      ASSERT_EQ(out.result.resilience, oracle.resilience)
+          << q.ToString() << " round " << round;
+    }
+  }
+  // The sweep must exercise both outcomes.
+  EXPECT_GT(errors_seen, 0);
+  EXPECT_GT(answers_seen, 0);
 }
 
 TEST(Fuzz, ResilienceIsMonotoneUnderTupleRemoval) {

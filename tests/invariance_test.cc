@@ -132,7 +132,7 @@ TEST(SelfJoinVariation, Lemma21MappedInstancesPreserveResilience) {
     // Build D': every witness (a,b,c) contributes R(a_x,b_y), R(b_y,c_z),
     // R(c_z,a_x).
     Database d2;
-    std::vector<Witness> ws = EnumerateWitnesses(q_free, d);
+    std::vector<Witness> ws = EnumerateWitnesses(q_free, d, kNoWitnessLimit);
     for (const Witness& w : ws) {
       std::string a = d.ValueName(w.assignment[0]) + "_x";
       std::string b = d.ValueName(w.assignment[1]) + "_y";

@@ -70,7 +70,7 @@ TEST_P(WitnessCompleteness, MatchesNaiveEvaluator) {
   Rng rng(std::hash<std::string>()(GetParam()));
   for (int trial = 0; trial < 10; ++trial) {
     Database db = RandomDatabase(q, 4, 7, rng);
-    std::vector<Witness> ws = EnumerateWitnesses(q, db);
+    std::vector<Witness> ws = EnumerateWitnesses(q, db, kNoWitnessLimit);
     std::set<std::vector<Value>> got;
     for (const Witness& w : ws) got.insert(w.assignment);
     EXPECT_EQ(got.size(), ws.size()) << "duplicate witnesses";
@@ -94,7 +94,7 @@ TEST(WitnessConsistency, EveryWitnessTupleMatchesItsAtom) {
   Rng rng(3);
   for (int trial = 0; trial < 10; ++trial) {
     Database db = RandomDatabase(q, 5, 10, rng);
-    for (const Witness& w : EnumerateWitnesses(q, db)) {
+    for (const Witness& w : EnumerateWitnesses(q, db, kNoWitnessLimit)) {
       for (int i = 0; i < q.num_atoms(); ++i) {
         const Atom& atom = q.atom(i);
         TupleId t = w.atom_tuples[static_cast<size_t>(i)];
@@ -115,13 +115,13 @@ TEST(WitnessDeactivation, BehavesLikeSetDifference) {
   Query q = MustParseQuery("R(x,y), R(y,z)");
   Rng rng(11);
   Database db = RandomDatabase(q, 5, 15, rng);
-  std::vector<Witness> all = EnumerateWitnesses(q, db);
+  std::vector<Witness> all = EnumerateWitnesses(q, db, kNoWitnessLimit);
   // Deactivate one tuple; surviving witnesses = those not using it.
   ASSERT_FALSE(all.empty());
   TupleId victim = all.front().endo_tuples.front();
   db.SetActive(victim, false);
   std::set<std::vector<Value>> got;
-  for (const Witness& w : EnumerateWitnesses(q, db)) {
+  for (const Witness& w : EnumerateWitnesses(q, db, kNoWitnessLimit)) {
     got.insert(w.assignment);
   }
   std::set<std::vector<Value>> expect;
@@ -146,6 +146,57 @@ TEST(WitnessTupleSets, SupersetsAreFineSubsetsDecide) {
   EXPECT_EQ(sets[0].size() + sets[1].size(), 3u);  // sizes 1 and 2
 }
 
+TEST(WitnessStreaming, ForEachMatchesEnumerate) {
+  Query q = MustParseQuery("A(x), R(x,y), R(y,z), R(z,y)");
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    Database db = RandomDatabase(q, 5, 10, rng);
+    std::vector<Witness> materialized = EnumerateWitnesses(q, db, kNoWitnessLimit);
+    std::vector<std::vector<Value>> streamed;
+    bool complete = ForEachWitness(q, db, [&](const Witness& w) {
+      streamed.push_back(w.assignment);
+      return true;
+    });
+    EXPECT_TRUE(complete);
+    ASSERT_EQ(streamed.size(), materialized.size());
+    for (size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_EQ(streamed[i], materialized[i].assignment);
+    }
+  }
+}
+
+TEST(WitnessStreaming, CallbackStopsEnumerationEarly) {
+  Database db;
+  for (int i = 0; i < 100; ++i) {
+    db.AddTuple("R", {db.InternIndexed("a", i)});
+  }
+  Query q = MustParseQuery("R(x)");
+  int seen = 0;
+  bool complete = ForEachWitness(q, db, [&](const Witness&) {
+    return ++seen < 7;
+  });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(WitnessStreaming, FamilyCollectionDeduplicatesOnTheFly) {
+  // Two witnesses share one endogenous tuple-set (the exogenous S atom
+  // varies): the family has one set, but two witnesses were seen.
+  Database db;
+  Value a = db.Intern("a"), b = db.Intern("b"), c = db.Intern("c");
+  db.AddTuple("R", {a, b});
+  db.AddTuple("S", {b, b});
+  db.AddTuple("S", {b, c});
+  Query q = MustParseQuery("R(x,y), S^x(y,z)");
+  WitnessFamily family = CollectWitnessFamily(q, db, kNoWitnessLimit);
+  EXPECT_EQ(family.witnesses, 2u);
+  ASSERT_EQ(family.sets.size(), 1u);
+  EXPECT_EQ(family.sets[0].size(), 1u);
+  EXPECT_EQ(
+      WitnessTupleSets(q, db),
+      family.sets);
+}
+
 TEST(WitnessScale, LargeChainInstanceEnumerates) {
   // A path graph of 400 edges: 399 witnesses, no blow-up.
   Database db;
@@ -153,7 +204,7 @@ TEST(WitnessScale, LargeChainInstanceEnumerates) {
   for (int i = 0; i < 400; ++i) {
     db.AddTuple("R", {db.InternIndexed("n", i), db.InternIndexed("n", i + 1)});
   }
-  EXPECT_EQ(EnumerateWitnesses(q, db).size(), 399u);
+  EXPECT_EQ(EnumerateWitnesses(q, db, kNoWitnessLimit).size(), 399u);
 }
 
 }  // namespace

@@ -186,7 +186,9 @@ TEST(Batch, PlanFileParses) {
         << "density = 0.25\n"
         << "threads = 2\n"
         << "check_oracle = true\n"
-        << "oracle_cutoff = 50\n";
+        << "oracle_cutoff = 50\n"
+        << "witness_limit = 5000\n"
+        << "exact_node_budget = 250000\n";
   }
   BatchPlan plan;
   BatchOptions options;
@@ -199,7 +201,68 @@ TEST(Batch, PlanFileParses) {
   EXPECT_EQ(options.threads, 2);
   EXPECT_TRUE(options.check_oracle);
   EXPECT_EQ(options.oracle_cutoff, 50);
+  EXPECT_EQ(options.witness_limit, 5000u);
+  EXPECT_EQ(options.exact_node_budget, 250000u);
   std::remove(path.c_str());
+}
+
+TEST(Batch, WitnessBudgetCellsAreStructuredNotMismatches) {
+  // The chain scenario at size 6 has more than one witness; a budget of
+  // one stops the exact solve. The cell must surface the error, count as
+  // budget_exceeded, and NOT as a mismatch (it is not a solver bug).
+  BatchPlan plan;
+  plan.scenarios = {"chain"};
+  plan.sizes = {6};
+  plan.seeds = {1};
+  std::vector<BatchJob> jobs;
+  std::string error;
+  ASSERT_TRUE(ExpandPlan(plan, &jobs, &error)) << error;
+  BatchOptions options;
+  options.witness_limit = 1;
+  options.check_oracle = true;
+  BatchReport report = RunBatch(jobs, options);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_TRUE(report.cells[0].budget_exceeded);
+  EXPECT_NE(report.cells[0].error.find("witness budget exceeded"),
+            std::string::npos);
+  EXPECT_EQ(report.budget_exceeded, 1);
+  EXPECT_EQ(report.mismatches, 0);
+
+  // The same sweep with a roomy budget solves and verifies normally.
+  options.witness_limit = 1000000;
+  BatchReport roomy = RunBatch(jobs, options);
+  EXPECT_EQ(roomy.budget_exceeded, 0);
+  EXPECT_EQ(roomy.mismatches, 0);
+  EXPECT_FALSE(roomy.cells[0].budget_exceeded);
+}
+
+TEST(Batch, NodeBudgetCellsKeepVerifiedUpperBound) {
+  // With a one-node search budget the chain cell returns the greedy
+  // incumbent: a verified contingency whose size is only an upper
+  // bound. The cell is budget_exceeded, skips the oracle (which would
+  // flag the gap as a false mismatch), and keeps its value.
+  BatchPlan plan;
+  plan.scenarios = {"chain"};
+  plan.sizes = {6};
+  plan.seeds = {1};
+  std::vector<BatchJob> jobs;
+  std::string error;
+  ASSERT_TRUE(ExpandPlan(plan, &jobs, &error)) << error;
+  BatchOptions options;
+  options.exact_node_budget = 1;
+  options.check_oracle = true;
+  BatchReport report = RunBatch(jobs, options);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const BatchCell& cell = report.cells[0];
+  EXPECT_TRUE(cell.budget_exceeded);
+  EXPECT_NE(cell.error.find("node budget"), std::string::npos);
+  EXPECT_TRUE(cell.verified);
+  EXPECT_FALSE(cell.oracle_checked);
+  EXPECT_EQ(report.mismatches, 0);
+  EXPECT_EQ(report.budget_exceeded, 1);
+  // The unbudgeted optimum never exceeds the incumbent.
+  BatchReport full = RunBatch(jobs, BatchOptions{});
+  EXPECT_LE(full.cells[0].resilience, cell.resilience);
 }
 
 TEST(Batch, PlanFileRejectsUnknownKey) {
@@ -235,12 +298,14 @@ TEST(Report, CsvAndJsonCarryEveryCell) {
   std::stringstream json;
   WriteReportJson(report, json);
   std::string json_text = json.str();
-  EXPECT_NE(json_text.find("\"schema\": \"rescq-batch-report/v2\""),
+  EXPECT_NE(json_text.find("\"schema\": \"rescq-batch-report/v3\""),
             std::string::npos);
   EXPECT_NE(json_text.find("\"scenario\": \"vc_path\""), std::string::npos);
   EXPECT_NE(json_text.find("\"mismatches\": 0"), std::string::npos);
   EXPECT_NE(json_text.find("\"plan_cache\""), std::string::npos);
   EXPECT_NE(json_text.find("\"plan_cache_hit\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"budget_exceeded\": 0"), std::string::npos);
+  EXPECT_NE(csv_text.find("budget_exceeded"), std::string::npos);
 }
 
 TEST(Fingerprint, SensitiveToContentNotJustSize) {

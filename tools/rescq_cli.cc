@@ -51,8 +51,16 @@ int Usage(std::FILE* out) {
                "pattern.\n"
                "  rescq resilience (<query> | --name <catalog-name>) "
                "<tuples-file> [--exact]\n"
+               "                   [--witness-limit N] "
+               "[--exact-node-budget N]\n"
                "      Compute rho(q, D) over the tuple file; --exact forces "
                "the reference solver.\n"
+               "      --witness-limit caps the streamed witness enumeration "
+               "(exceeding it is a\n"
+               "      reported outcome, not a truncated answer); "
+               "--exact-node-budget caps the\n"
+               "      branch-and-bound search (the incumbent is returned as "
+               "an upper bound).\n"
                "  rescq explain (<query> | --name <catalog-name>)\n"
                "      Print the reusable resilience plan: pipeline stages, "
                "per-component\n"
@@ -74,7 +82,9 @@ int Usage(std::FILE* out) {
                "[--density D]\n"
                "              [--threads N] [--check-oracle] "
                "[--oracle-cutoff N]\n"
-               "              [--no-memoize] [--csv <file>] [--json <file>]\n"
+               "              [--no-memoize] [--witness-limit N] "
+               "[--exact-node-budget N]\n"
+               "              [--csv <file>] [--json <file>]\n"
                "      Sweep (query x scenario x size x seed) across a worker "
                "pool and\n"
                "      report per-cell resilience, solver, timing, and oracle "
@@ -163,9 +173,24 @@ int CmdClassify(const std::vector<std::string>& args) {
 int CmdResilience(const std::vector<std::string>& args) {
   std::vector<std::string> positional;
   bool exact = false;
-  for (const std::string& a : args) {
+  uint64_t witness_limit = 0;
+  uint64_t node_budget = 0;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
     if (a == "--exact") {
       exact = true;
+    } else if (a == "--witness-limit" || a == "--exact-node-budget") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
+        return 2;
+      }
+      uint64_t* dst = a == "--witness-limit" ? &witness_limit : &node_budget;
+      if (!ParseUint64(args[i + 1], dst)) {
+        std::fprintf(stderr, "error: %s needs an unsigned integer, got '%s'\n",
+                     a.c_str(), args[i + 1].c_str());
+        return 2;
+      }
+      ++i;
     } else {
       positional.push_back(a);
     }
@@ -200,10 +225,47 @@ int CmdResilience(const std::vector<std::string>& args) {
               c.reason.c_str());
   std::printf("database:    %d tuples over %d constants\n",
               db.NumActiveTuples(), db.domain_size());
-  std::printf("witnesses:   %zu\n", EnumerateWitnesses(*q, db).size());
+  // Stream-count witnesses (nothing is materialized); a witness limit
+  // also caps this display pass. "Capped" only when a witness beyond
+  // the limit actually exists — an instance with exactly `witness_limit`
+  // witnesses is complete.
+  size_t witness_count = 0;
+  bool witness_count_capped = false;
+  ForEachWitness(*q, db, [&](const Witness&) {
+    if (witness_limit != 0 && witness_count >= witness_limit) {
+      witness_count_capped = true;
+      return false;
+    }
+    ++witness_count;
+    return true;
+  });
+  std::printf("witnesses:   %zu%s\n", witness_count,
+              witness_count_capped ? "+ (capped by --witness-limit)" : "");
 
-  ResilienceResult r = exact ? ComputeResilienceReference(*q, db)
-                             : ComputeResilience(*q, db);
+  EngineOptions options;
+  options.force_exact = exact;
+  options.witness_limit = static_cast<size_t>(witness_limit);
+  options.exact_node_budget = node_budget;
+  ResilienceEngine engine(options);
+  SolveOutcome outcome = engine.Solve(*q, db);
+  if (outcome.exact.witnesses > 0) {
+    std::printf(
+        "exact search: %zu witnesses -> %zu sets, %d component(s), "
+        "%llu node(s), %llu packing / %llu flow prune(s)%s\n",
+        outcome.exact.witnesses, outcome.exact.witness_sets,
+        outcome.exact.components,
+        static_cast<unsigned long long>(outcome.exact.nodes),
+        static_cast<unsigned long long>(outcome.exact.packing_prunes),
+        static_cast<unsigned long long>(outcome.exact.flow_prunes),
+        outcome.exact.node_budget_exceeded
+            ? "  [node budget exhausted: upper bound]"
+            : "");
+  }
+  if (!outcome.error.empty()) {
+    std::printf("resilience:  not computed — %s\n", outcome.error.c_str());
+    return 1;
+  }
+  const ResilienceResult& r = outcome.result;
   if (r.unbreakable) {
     std::printf(
         "resilience:  undefined — some witness uses only exogenous "
@@ -480,6 +542,15 @@ int CmdBatch(const std::vector<std::string>& args) {
         return 2;
     } else if (a == "--no-memoize") {
       options.memoize = false;
+    } else if (a == "--witness-limit") {
+      uint64_t limit = 0;
+      if (!(v = value("--witness-limit")) || !ParseSeedFlag(a, *v, &limit))
+        return 2;
+      options.witness_limit = static_cast<size_t>(limit);
+    } else if (a == "--exact-node-budget") {
+      if (!(v = value("--exact-node-budget")) ||
+          !ParseSeedFlag(a, *v, &options.exact_node_budget))
+        return 2;
     } else if (a == "--csv") {
       if (!(v = value("--csv"))) return 2;
       csv_path = *v;
@@ -499,7 +570,10 @@ int CmdBatch(const std::vector<std::string>& args) {
     }
     plan.sizes.clear();
     for (int s = 2; s <= max_size; s += 2) plan.sizes.push_back(s);
-    if (plan.sizes.empty()) plan.sizes.push_back(max_size);
+    // An odd --max-size is still swept: the grid is 2,4,...,N-1,N.
+    if (plan.sizes.empty() || plan.sizes.back() != max_size) {
+      plan.sizes.push_back(max_size);
+    }
   }
   if (plan.scenarios.empty() && plan.query_names.empty()) {
     plan.scenarios = AllScenarioNames();
