@@ -50,26 +50,16 @@ int Database::relation_arity(int rel) const {
   return relations_[static_cast<size_t>(rel)].arity;
 }
 
-std::string Database::KeyOf(const std::vector<Value>& values) {
-  std::string key;
-  key.reserve(values.size() * 5);
-  for (Value v : values) {
-    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
-  }
-  return key;
-}
-
 TupleId Database::AddTuple(const std::string& relation,
                            const std::vector<Value>& values) {
   int rel = AddRelation(relation, static_cast<int>(values.size()));
   RelationData& data = relations_[static_cast<size_t>(rel)];
-  std::string key = KeyOf(values);
-  auto it = data.row_index.find(key);
+  auto it = data.row_index.find(values);
   if (it != data.row_index.end()) return TupleId{rel, it->second};
   int row = static_cast<int>(data.rows.size());
   data.rows.push_back(values);
   data.active.push_back(true);
-  data.row_index[key] = row;
+  data.row_index[values] = row;
   return TupleId{rel, row};
 }
 
@@ -78,7 +68,7 @@ std::optional<TupleId> Database::FindTuple(
   int rel = RelationId(relation);
   if (rel < 0) return std::nullopt;
   const RelationData& data = relations_[static_cast<size_t>(rel)];
-  auto it = data.row_index.find(KeyOf(values));
+  auto it = data.row_index.find(values);
   if (it == data.row_index.end()) return std::nullopt;
   return TupleId{rel, it->second};
 }

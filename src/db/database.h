@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "db/value.h"
+#include "util/fnv.h"
 
 namespace rescq {
 
@@ -68,16 +69,26 @@ class Database {
   std::string TupleToString(TupleId id) const;
 
  private:
+  // FNV-1a over the value ids (the shared util/fnv implementation) —
+  // the exact-match row index is on the update hot path (every
+  // insert/delete resolves through it), so rows hash directly instead
+  // of being serialized into string keys.
+  struct RowHash {
+    size_t operator()(const std::vector<Value>& values) const {
+      Fnv1a h;
+      for (Value v : values) h.MixU32(static_cast<uint32_t>(v));
+      return static_cast<size_t>(h.digest());
+    }
+  };
+
   struct RelationData {
     std::string name;
     int arity = 0;
     std::vector<std::vector<Value>> rows;
     std::vector<bool> active;
     // Exact-match index for FindTuple / duplicate suppression.
-    std::unordered_map<std::string, int> row_index;
+    std::unordered_map<std::vector<Value>, int, RowHash> row_index;
   };
-
-  static std::string KeyOf(const std::vector<Value>& values);
 
   std::vector<std::string> value_names_;
   std::unordered_map<std::string, Value> value_ids_;

@@ -1,0 +1,83 @@
+#include "db/delta.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace rescq {
+
+size_t UpdateLog::size() const {
+  size_t n = 0;
+  for (const Epoch& e : epochs) n += e.updates.size();
+  return n;
+}
+
+bool ValidateUpdateLog(const UpdateLog& log, const Database& db,
+                       std::string* error) {
+  // Arity of every relation seen so far: the database's relations first,
+  // then relations the log itself introduces.
+  std::unordered_map<std::string, int> arity;
+  for (int rel = 0; rel < db.num_relations(); ++rel) {
+    arity[db.relation_name(rel)] = db.relation_arity(rel);
+  }
+  int epoch_no = 0;
+  for (const Epoch& epoch : log.epochs) {
+    ++epoch_no;
+    for (const Update& u : epoch.updates) {
+      if (u.relation.empty() || u.constants.empty()) {
+        *error = "epoch " + std::to_string(epoch_no) +
+                 ": update with an empty relation or no constants";
+        return false;
+      }
+      auto [it, inserted] =
+          arity.emplace(u.relation, static_cast<int>(u.constants.size()));
+      if (!inserted && it->second != static_cast<int>(u.constants.size())) {
+        *error = "epoch " + std::to_string(epoch_no) + ": relation '" +
+                 u.relation + "' used with arity " +
+                 std::to_string(u.constants.size()) +
+                 ", but its other facts have arity " +
+                 std::to_string(it->second);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<TupleId> ApplyUpdate(const Update& u, Database* db) {
+  RESCQ_CHECK(!u.relation.empty() && !u.constants.empty());
+  if (u.kind == UpdateKind::kDelete && db->RelationId(u.relation) < 0) {
+    return std::nullopt;  // nothing to delete
+  }
+  std::vector<Value> row;
+  row.reserve(u.constants.size());
+  for (const std::string& c : u.constants) row.push_back(db->Intern(c));
+
+  if (u.kind == UpdateKind::kInsert) {
+    std::optional<TupleId> existing = db->FindTuple(u.relation, row);
+    if (existing.has_value()) {
+      if (db->IsActive(*existing)) return std::nullopt;
+      db->SetActive(*existing, true);
+      return existing;
+    }
+    return db->AddTuple(u.relation, row);
+  }
+
+  std::optional<TupleId> existing = db->FindTuple(u.relation, row);
+  if (!existing.has_value() || !db->IsActive(*existing)) return std::nullopt;
+  db->SetActive(*existing, false);
+  return existing;
+}
+
+AppliedEpoch ApplyEpoch(const Epoch& epoch, Database* db) {
+  AppliedEpoch applied;
+  for (const Update& u : epoch.updates) {
+    std::optional<TupleId> id = ApplyUpdate(u, db);
+    if (!id.has_value()) continue;
+    (u.kind == UpdateKind::kInsert ? applied.inserted : applied.deleted)
+        .push_back(*id);
+  }
+  return applied;
+}
+
+}  // namespace rescq

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "util/string_util.h"
@@ -20,6 +21,42 @@ std::string LineError(const std::string& origin, int lineno,
   return out.str();
 }
 
+/// Parses one "R(a, b)" fact (comments already stripped, line already
+/// trimmed and non-empty) into a relation name and constant names.
+/// Returns false with a position-free message on malformed input.
+bool ParseFact(std::string_view line, std::string* relation,
+               std::vector<std::string>* constants, std::string* message) {
+  size_t open = line.find('(');
+  size_t close = line.rfind(')');
+  if (open == std::string_view::npos || close != line.size() - 1 ||
+      close < open) {
+    *message = "expected a single fact like R(a,b)";
+    return false;
+  }
+  *relation = std::string(Trim(line.substr(0, open)));
+  if (relation->empty() ||
+      !std::isupper(static_cast<unsigned char>((*relation)[0]))) {
+    *message = "relation name must start upper-case";
+    return false;
+  }
+  constants->clear();
+  for (const std::string& piece :
+       Split(line.substr(open + 1, close - open - 1), ',')) {
+    std::string constant(Trim(piece));
+    if (constant.empty() ||
+        constant.find_first_of("() \t") != std::string::npos) {
+      *message = "bad constant '" + constant + "' in fact";
+      return false;
+    }
+    constants->push_back(std::move(constant));
+  }
+  if (constants->empty()) {
+    *message = "fact has no constants";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool ReadTuples(std::istream& in, const std::string& origin, Database* db,
@@ -33,34 +70,16 @@ bool ReadTuples(std::istream& in, const std::string& origin, Database* db,
     if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
     if (line.empty()) continue;
 
-    size_t open = line.find('(');
-    size_t close = line.rfind(')');
-    if (open == std::string_view::npos || close != line.size() - 1 ||
-        close < open) {
-      *error = LineError(origin, lineno, "expected a single fact like R(a,b)");
-      return false;
-    }
-    std::string relation(Trim(line.substr(0, open)));
-    if (relation.empty() ||
-        !std::isupper(static_cast<unsigned char>(relation[0]))) {
-      *error = LineError(origin, lineno, "relation name must start upper-case");
+    std::string relation, message;
+    std::vector<std::string> constants;
+    if (!ParseFact(line, &relation, &constants, &message)) {
+      *error = LineError(origin, lineno, message);
       return false;
     }
     std::vector<Value> row;
-    for (const std::string& piece :
-         Split(line.substr(open + 1, close - open - 1), ',')) {
-      std::string constant(Trim(piece));
-      if (constant.empty() ||
-          constant.find_first_of("() \t") != std::string::npos) {
-        *error = LineError(origin, lineno,
-                           "bad constant '" + constant + "' in fact");
-        return false;
-      }
+    row.reserve(constants.size());
+    for (const std::string& constant : constants) {
       row.push_back(db->Intern(constant));
-    }
-    if (row.empty()) {
-      *error = LineError(origin, lineno, "fact has no constants");
-      return false;
     }
     // Validate arity here: the input is untrusted, and Database treats an
     // arity mismatch as a programmer error (it aborts).
@@ -114,6 +133,105 @@ bool SaveTupleFile(const Database& db, const std::string& path,
     return false;
   }
   WriteTuples(db, out, header);
+  return true;
+}
+
+bool ReadUpdates(std::istream& in, const std::string& origin, UpdateLog* log,
+                 std::string* error) {
+  std::string raw;
+  int lineno = 0;
+  // Arity per relation across the whole log, so a self-inconsistent file
+  // is rejected at read time with a line number (a mismatch against a
+  // concrete database is ValidateUpdateLog's job).
+  std::unordered_map<std::string, size_t> arity;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string_view line = Trim(raw);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (StartsWith(line, "epoch")) {
+      // A trailing label is ignored ("epoch 3", "epoch warm-up"); only
+      // a fact smuggled onto the marker line is rejected.
+      std::string_view rest = Trim(line.substr(5));
+      if (rest.find('(') != std::string_view::npos) {
+        *error = LineError(origin, lineno,
+                           "epoch marker takes at most a label, not a fact");
+        return false;
+      }
+      log->epochs.emplace_back();
+      continue;
+    }
+
+    if (line[0] != '+' && line[0] != '-') {
+      *error = LineError(
+          origin, lineno,
+          "expected '+ R(a,b)', '- R(a,b)', or an 'epoch' marker");
+      return false;
+    }
+    Update u;
+    u.kind = line[0] == '+' ? UpdateKind::kInsert : UpdateKind::kDelete;
+    std::string message;
+    if (!ParseFact(Trim(line.substr(1)), &u.relation, &u.constants,
+                   &message)) {
+      *error = LineError(origin, lineno, message);
+      return false;
+    }
+    auto [it, inserted] = arity.emplace(u.relation, u.constants.size());
+    if (!inserted && it->second != u.constants.size()) {
+      std::ostringstream msg;
+      msg << "relation '" << u.relation << "' used with arity "
+          << u.constants.size() << ", but earlier updates have arity "
+          << it->second;
+      *error = LineError(origin, lineno, msg.str());
+      return false;
+    }
+    if (log->epochs.empty()) log->epochs.emplace_back();
+    log->epochs.back().updates.push_back(std::move(u));
+  }
+  return true;
+}
+
+bool LoadUpdateFile(const std::string& path, UpdateLog* log,
+                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open update file '" + path + "'";
+    return false;
+  }
+  return ReadUpdates(in, path, log, error);
+}
+
+void WriteUpdates(const UpdateLog& log, std::ostream& out,
+                  const std::string& header) {
+  if (!header.empty()) {
+    for (const std::string& line : Split(header, '\n')) {
+      out << "# " << line << "\n";
+    }
+  }
+  for (size_t e = 0; e < log.epochs.size(); ++e) {
+    out << "epoch " << (e + 1) << "\n";
+    for (const Update& u : log.epochs[e].updates) {
+      out << (u.kind == UpdateKind::kInsert ? "+ " : "- ") << u.relation
+          << "(";
+      for (size_t i = 0; i < u.constants.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << u.constants[i];
+      }
+      out << ")\n";
+    }
+  }
+}
+
+bool SaveUpdateFile(const UpdateLog& log, const std::string& path,
+                    const std::string& header, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    *error = "cannot create update file '" + path + "'";
+    return false;
+  }
+  WriteUpdates(log, out, header);
   return true;
 }
 

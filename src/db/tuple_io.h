@@ -5,6 +5,7 @@
 #include <string>
 
 #include "db/database.h"
+#include "db/delta.h"
 
 namespace rescq {
 
@@ -31,6 +32,45 @@ void WriteTuples(const Database& db, std::ostream& out,
 /// file cannot be created.
 bool SaveTupleFile(const Database& db, const std::string& path,
                    const std::string& header, std::string* error);
+
+// --- Update files -----------------------------------------------------------
+//
+// An update file is a tuple file with signs and epoch markers:
+//
+//     # comment
+//     epoch 1
+//     + R(a, b)
+//     - S(c)
+//     epoch 2
+//     + R(b, c)
+//
+// `epoch` lines start a new epoch (a trailing label is ignored on read
+// and written as a running number for readability); a signed fact before
+// any marker implicitly opens the first epoch. Signs may be attached
+// ("+R(a,b)") or spaced. WriteUpdates/ReadUpdates round-trip exactly up
+// to comments and whitespace.
+
+/// Parses an update file from `in`. Returns false and fills *error (with
+/// `origin`:line) on the first malformed line or an arity inconsistency
+/// *within the log*; consistency against a concrete database is checked
+/// separately by ValidateUpdateLog.
+bool ReadUpdates(std::istream& in, const std::string& origin, UpdateLog* log,
+                 std::string* error);
+
+/// ReadUpdates over the named file. Fails (with *error set) if the file
+/// cannot be opened.
+bool LoadUpdateFile(const std::string& path, UpdateLog* log,
+                    std::string* error);
+
+/// Writes the log in the format above — the inverse of ReadUpdates.
+/// `header` (may be empty) is emitted first as '#'-prefixed comments.
+void WriteUpdates(const UpdateLog& log, std::ostream& out,
+                  const std::string& header = "");
+
+/// WriteUpdates to the named file. Returns false (with *error set) if
+/// the file cannot be created.
+bool SaveUpdateFile(const UpdateLog& log, const std::string& path,
+                    const std::string& header, std::string* error);
 
 }  // namespace rescq
 

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/check.h"
 
 namespace rescq {
 
 namespace {
+
+using TupleIdSet = std::unordered_set<TupleId, TupleIdHash>;
 
 // Per-relation index: for each column, value -> row ids (active rows are
 // not distinguished here; activity is checked at probe time so the index
@@ -18,42 +21,143 @@ struct ColumnIndex {
   std::vector<std::unordered_map<Value, std::vector<int>>> by_column;
 };
 
+// Streaming witness enumerator. Prepare() resolves relations and builds
+// the column indexes once; RunAll() enumerates every witness, and
+// RunPinned() enumerates only witnesses whose *first* changed atom (in
+// query order) is a given (atom, tuple) pair — the building block of
+// ForEachDeltaWitness, sharing the prepared indexes across pins.
 struct Enumerator {
+  Enumerator(const Query& query, const Database& database)
+      : q(query), db(database) {}
+
   const Query& q;
   const Database& db;
-  const std::function<bool(const Witness&)>& visit;
 
   std::vector<int> atom_rel;              // db relation id per atom
+  std::vector<ColumnIndex> indexes;       // per db relation id
   std::vector<int> order;                 // atom visit order
   std::vector<Value> binding;             // per VarId, -1 if unbound
   std::vector<TupleId> matched;           // per atom (query order)
-  std::vector<ColumnIndex> indexes;       // per db relation id
   Witness scratch;                        // reused between Emit calls
+  const std::function<bool(const Witness&)>* visit = nullptr;
+  // Delta pinning: atom `pinned_atom` must match exactly `pinned_tuple`,
+  // and atoms before it (query order) must avoid every tuple in
+  // `changed` — so each incident witness is emitted by exactly one pin.
+  int pinned_atom = -1;
+  TupleId pinned_tuple;
+  const TupleIdSet* changed = nullptr;
+  bool order_cached = false;
 
-  bool Run() {
-    // Resolve relations; a missing relation means no witnesses.
+  // Scratch reused across runs: delta maintenance fires thousands of
+  // tiny pinned runs per epoch, so per-run allocations add up.
+  std::vector<bool> placed_scratch;
+  std::vector<bool> var_bound_scratch;
+  std::vector<std::vector<VarId>> newly_bound_stack;  // per recursion depth
+
+  bool prepared = false;
+  std::vector<int> indexed_rows;  // per db relation id: rows indexed so far
+
+  /// False when some query relation is absent or has the wrong arity in
+  /// the database: no witness can exist and no Run* call is needed.
+  /// Retryable — an update stream may create the relation later.
+  bool Prepare() {
     atom_rel.resize(static_cast<size_t>(q.num_atoms()));
     for (int i = 0; i < q.num_atoms(); ++i) {
       int rel = db.RelationId(q.atom(i).relation);
-      if (rel < 0) return true;
-      if (db.relation_arity(rel) != q.atom(i).arity()) return true;
+      if (rel < 0) return false;
+      if (db.relation_arity(rel) != q.atom(i).arity()) return false;
       atom_rel[static_cast<size_t>(i)] = rel;
     }
-    BuildOrder();
     BuildIndexes();
+    prepared = true;
+    return true;
+  }
+
+  /// Appends rows added since BuildIndexes / the last sync to the
+  /// posting lists (only for relations the query touches); retries the
+  /// full Prepare when it failed before.
+  void SyncIndexes() {
+    if (!prepared) {
+      Prepare();
+      return;
+    }
+    std::set<int> needed(atom_rel.begin(), atom_rel.end());
+    for (int rel : needed) {
+      ColumnIndex& idx = indexes[static_cast<size_t>(rel)];
+      int arity = db.relation_arity(rel);
+      for (int row = indexed_rows[static_cast<size_t>(rel)];
+           row < db.NumRows(rel); ++row) {
+        const std::vector<Value>& t = db.Row(TupleId{rel, row});
+        for (int c = 0; c < arity; ++c) {
+          idx.by_column[static_cast<size_t>(c)][t[static_cast<size_t>(c)]]
+              .push_back(row);
+        }
+      }
+      indexed_rows[static_cast<size_t>(rel)] = db.NumRows(rel);
+    }
+  }
+
+  bool RunAll(const std::function<bool(const Witness&)>& v) {
+    visit = &v;
+    pinned_atom = -1;
+    changed = nullptr;
+    order_cached = false;
+    BuildOrder();
     binding.assign(static_cast<size_t>(q.num_vars()), -1);
     matched.assign(static_cast<size_t>(q.num_atoms()), TupleId{});
+    if (newly_bound_stack.size() < static_cast<size_t>(q.num_atoms())) {
+      newly_bound_stack.resize(static_cast<size_t>(q.num_atoms()));
+    }
     return Recurse(0);
   }
+
+  bool RunPinned(int atom, TupleId tuple, const TupleIdSet& changed_set,
+                 const std::function<bool(const Witness&)>& v) {
+    visit = &v;
+    pinned_tuple = tuple;
+    changed = &changed_set;
+    if (pinned_atom != atom || !order_cached) {
+      // The visit order depends only on the pinned atom (row counts are
+      // fixed within one delta call), so consecutive pins of one atom —
+      // the common case, RunDelta iterates atom-major — reuse it.
+      pinned_atom = atom;
+      BuildOrder();
+      order_cached = true;
+    }
+    binding.assign(static_cast<size_t>(q.num_vars()), -1);
+    matched.assign(static_cast<size_t>(q.num_atoms()), TupleId{});
+    // Sized up front: a resize mid-recursion would dangle the per-frame
+    // references into it.
+    if (newly_bound_stack.size() < static_cast<size_t>(q.num_atoms())) {
+      newly_bound_stack.resize(static_cast<size_t>(q.num_atoms()));
+    }
+    return Recurse(0);
+  }
+
+  /// Row counts changed (or a fresh delta call begins): cached visit
+  /// orders are stale.
+  void InvalidateOrder() { order_cached = false; }
 
   void BuildOrder() {
     // Greedy: start from the atom with the fewest rows, then repeatedly
     // take the connected atom with the fewest rows (connected = shares a
-    // variable with an already-ordered atom).
+    // variable with an already-ordered atom). A pinned atom goes first —
+    // it has exactly one candidate tuple, making it the most selective
+    // anchor possible.
     int n = q.num_atoms();
-    std::vector<bool> placed(static_cast<size_t>(n), false);
-    std::vector<bool> var_bound(static_cast<size_t>(q.num_vars()), false);
-    for (int step = 0; step < n; ++step) {
+    order.clear();
+    placed_scratch.assign(static_cast<size_t>(n), false);
+    var_bound_scratch.assign(static_cast<size_t>(q.num_vars()), false);
+    std::vector<bool>& placed = placed_scratch;
+    std::vector<bool>& var_bound = var_bound_scratch;
+    if (pinned_atom >= 0) {
+      placed[static_cast<size_t>(pinned_atom)] = true;
+      for (VarId v : q.atom(pinned_atom).vars) {
+        var_bound[static_cast<size_t>(v)] = true;
+      }
+      order.push_back(pinned_atom);
+    }
+    for (int step = static_cast<int>(order.size()); step < n; ++step) {
       int best = -1;
       bool best_connected = false;
       int best_rows = 0;
@@ -78,7 +182,8 @@ struct Enumerator {
   }
 
   void BuildIndexes() {
-    indexes.resize(static_cast<size_t>(db.num_relations()));
+    indexes.assign(static_cast<size_t>(db.num_relations()), ColumnIndex{});
+    indexed_rows.assign(static_cast<size_t>(db.num_relations()), 0);
     std::set<int> needed(atom_rel.begin(), atom_rel.end());
     for (int rel : needed) {
       ColumnIndex& idx = indexes[static_cast<size_t>(rel)];
@@ -91,6 +196,7 @@ struct Enumerator {
               .push_back(row);
         }
       }
+      indexed_rows[static_cast<size_t>(rel)] = db.NumRows(rel);
     }
   }
 
@@ -104,18 +210,25 @@ struct Enumerator {
     // Probe the index on the bound column with the smallest posting
     // list — any bound column is sound, the smallest one is the fewest
     // candidate rows to unify. A bound value absent from its column
-    // means no row can match at all. With no bound column, scan.
+    // means no row can match at all. With no bound column, scan. A
+    // pinned atom has exactly one candidate row.
     const std::vector<int>* rows = nullptr;
     std::vector<int> all_rows;
-    for (int c = 0; c < atom.arity(); ++c) {
-      Value v = binding[static_cast<size_t>(atom.vars[static_cast<size_t>(c)])];
-      if (v == -1) continue;
-      const auto& column =
-          indexes[static_cast<size_t>(rel)].by_column[static_cast<size_t>(c)];
-      auto it = column.find(v);
-      if (it == column.end()) return true;  // no matching row exists
-      if (rows == nullptr || it->second.size() < rows->size()) {
-        rows = &it->second;
+    if (ai == pinned_atom) {
+      all_rows.push_back(pinned_tuple.row);
+      rows = &all_rows;
+    } else {
+      for (int c = 0; c < atom.arity(); ++c) {
+        Value v =
+            binding[static_cast<size_t>(atom.vars[static_cast<size_t>(c)])];
+        if (v == -1) continue;
+        const auto& column =
+            indexes[static_cast<size_t>(rel)].by_column[static_cast<size_t>(c)];
+        auto it = column.find(v);
+        if (it == column.end()) return true;  // no matching row exists
+        if (rows == nullptr || it->second.size() < rows->size()) {
+          rows = &it->second;
+        }
       }
     }
     if (rows == nullptr) {
@@ -129,9 +242,15 @@ struct Enumerator {
     for (int row : *rows) {
       TupleId id{rel, row};
       if (!db.IsActive(id)) continue;
+      // Delta dedup: the pinned atom must be the first (query-order)
+      // atom matching a changed tuple, so earlier atoms avoid them all.
+      if (changed != nullptr && ai < pinned_atom && changed->count(id) > 0) {
+        continue;
+      }
       const std::vector<Value>& t = db.Row(id);
       // Unify.
-      std::vector<VarId> newly_bound;
+      std::vector<VarId>& newly_bound = newly_bound_stack[depth];
+      newly_bound.clear();
       bool ok = true;
       for (int c = 0; c < atom.arity() && ok; ++c) {
         VarId v = atom.vars[static_cast<size_t>(c)];
@@ -165,16 +284,71 @@ struct Enumerator {
     scratch.endo_tuples.erase(
         std::unique(scratch.endo_tuples.begin(), scratch.endo_tuples.end()),
         scratch.endo_tuples.end());
-    return visit(scratch);
+    return (*visit)(scratch);
   }
 };
+
+// Pin-loop shared by the one-shot ForEachDeltaWitness and
+// WitnessIndex::ForEachDelta; `e` must be prepared.
+bool RunDelta(Enumerator& e, const std::vector<TupleId>& changed,
+              const std::function<bool(const Witness&)>& visit) {
+  // Deduplicate and order the changed tuples: the pin loop must try each
+  // tuple once, and a deterministic order keeps enumeration reproducible.
+  TupleIdSet changed_set(changed.begin(), changed.end());
+  std::vector<TupleId> pins(changed_set.begin(), changed_set.end());
+  std::sort(pins.begin(), pins.end());
+  // Atom-major so consecutive pins share one cached visit order.
+  e.InvalidateOrder();
+  for (int i = 0; i < e.q.num_atoms(); ++i) {
+    for (TupleId t : pins) {
+      if (e.atom_rel[static_cast<size_t>(i)] != t.relation) continue;
+      if (!e.db.IsActive(t)) continue;
+      if (!e.RunPinned(i, t, changed_set, visit)) return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
 bool ForEachWitness(const Query& q, const Database& db,
                     const std::function<bool(const Witness&)>& visit) {
-  Enumerator e{q, db, visit, {}, {}, {}, {}, {}, {}};
-  return e.Run();
+  Enumerator e{q, db};
+  if (!e.Prepare()) return true;  // a missing relation means no witnesses
+  return e.RunAll(visit);
+}
+
+bool ForEachDeltaWitness(const Query& q, const Database& db,
+                         const std::vector<TupleId>& changed,
+                         const std::function<bool(const Witness&)>& visit) {
+  if (changed.empty()) return true;
+  Enumerator e{q, db};
+  if (!e.Prepare()) return true;
+  return RunDelta(e, changed, visit);
+}
+
+struct WitnessIndex::Impl {
+  Impl(const Query& q, const Database& db) : e(q, db) { e.Prepare(); }
+  Enumerator e;
+};
+
+WitnessIndex::WitnessIndex(const Query& q, const Database& db)
+    : impl_(new Impl(q, db)) {}
+
+WitnessIndex::~WitnessIndex() = default;
+
+void WitnessIndex::SyncNewRows() { impl_->e.SyncIndexes(); }
+
+bool WitnessIndex::ForEach(const std::function<bool(const Witness&)>& visit) {
+  if (!impl_->e.prepared) return true;
+  return impl_->e.RunAll(visit);
+}
+
+bool WitnessIndex::ForEachDelta(
+    const std::vector<TupleId>& changed,
+    const std::function<bool(const Witness&)>& visit) {
+  if (!impl_->e.prepared || changed.empty()) return true;
+  return RunDelta(impl_->e, changed, visit);
 }
 
 std::vector<Witness> EnumerateWitnesses(const Query& q, const Database& db,

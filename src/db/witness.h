@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cq/query.h"
@@ -70,6 +71,57 @@ struct WitnessFamily {
 /// kNoWitnessLimit for an unbounded collection.
 WitnessFamily CollectWitnessFamily(const Query& q, const Database& db,
                                    size_t witness_limit);
+
+/// Streams only the witnesses *incident* to `changed` — those matching
+/// at least one changed tuple in some atom — to `visit`. This is the
+/// delta form of ForEachWitness: after inserting tuples, the witness
+/// family gains exactly the witnesses incident to them; before deleting
+/// tuples (while they are still active), it loses exactly the incident
+/// ones. Each incident witness is visited exactly once, even when it
+/// uses several changed tuples or one changed tuple in several atoms
+/// (enumeration is anchored at the first atom, in query order, whose
+/// match is changed). Changed tuples that are inactive or whose relation
+/// the query does not mention contribute nothing. Same callback contract
+/// as ForEachWitness; returns true iff enumeration ran to completion.
+bool ForEachDeltaWitness(const Query& q, const Database& db,
+                         const std::vector<TupleId>& changed,
+                         const std::function<bool(const Witness&)>& visit);
+
+/// A persistent enumeration context over one (query, database) pair:
+/// relation resolution and the per-column posting lists are built once
+/// and *patched* as the database grows, instead of rebuilt on every
+/// enumeration — the hot-loop form ForEachWitness / ForEachDeltaWitness
+/// are one-shot wrappers around. This is what keeps incremental
+/// maintenance sublinear per epoch: activity flips need no index work at
+/// all (activity is checked at probe time), and appended rows are
+/// indexed by SyncNewRows in time proportional to the append.
+///
+/// The referenced query and database must outlive the index, and every
+/// database mutation between enumerations must be followed by
+/// SyncNewRows() (a cheap no-op when nothing was appended).
+class WitnessIndex {
+ public:
+  WitnessIndex(const Query& q, const Database& db);
+  ~WitnessIndex();
+  WitnessIndex(const WitnessIndex&) = delete;
+  WitnessIndex& operator=(const WitnessIndex&) = delete;
+
+  /// Appends rows added since construction (or the last sync) to the
+  /// posting lists. Also resolves relations that did not exist yet when
+  /// the index was built (an update stream may create them).
+  void SyncNewRows();
+
+  /// ForEachWitness over the prepared index.
+  bool ForEach(const std::function<bool(const Witness&)>& visit);
+
+  /// ForEachDeltaWitness over the prepared index.
+  bool ForEachDelta(const std::vector<TupleId>& changed,
+                    const std::function<bool(const Witness&)>& visit);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// The distinct endogenous tuple-sets of all witnesses (deduplicated;
 /// each set sorted). Resilience is the minimum hitting set of this

@@ -564,6 +564,22 @@ HittingSetResult SolveMinHittingSet(
   return SolveMinHittingSet(sets, ExactOptions{}, nullptr);
 }
 
+int HittingSetLowerBound(const std::vector<std::vector<int>>& sets) {
+  if (sets.empty()) return 0;
+  std::vector<std::vector<int>> reduced = ReduceFamily(sets);
+  while (EliminateDominatedElements(&reduced)) {
+    reduced = ReduceFamily(std::move(reduced));
+  }
+  SearchCtx ctx;
+  Solver solver;
+  solver.ctx = &ctx;
+  solver.InitReduced(std::move(reduced));
+  // Both bounds with nothing chosen yet (every set open); the flow bound
+  // subsumes the packing one only on 2-set-heavy families, so take the
+  // max.
+  return std::max(solver.PackingLowerBound(), solver.FlowLowerBound());
+}
+
 HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
                                     const ExactOptions& options,
                                     ExactStats* stats) {

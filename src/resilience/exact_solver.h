@@ -76,6 +76,16 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
                                     const ExactOptions& options,
                                     ExactStats* stats);
 
+/// Root-level lower bound on the minimum hitting set of `sets`, without
+/// searching: the family is reduced exactly as SolveMinHittingSet would
+/// (dedup / supersets / element domination to fixpoint, all
+/// value-preserving) and the branch-and-bound's packing and
+/// fractional-matching flow bounds are evaluated once at the root.
+/// Always <= SolveMinHittingSet(sets).size; 0 for an empty family. This
+/// is what keeps incremental sessions warm: when it meets a feasible
+/// upper bound, the exact search need not run at all.
+int HittingSetLowerBound(const std::vector<std::vector<int>>& sets);
+
 /// Exact resilience of q over the active tuples of db: stream witnesses
 /// (deduplicating their endogenous tuple-sets on the fly), then solve
 /// minimum hitting set over the family. Works for every conjunctive

@@ -1,0 +1,211 @@
+#ifndef RESCQ_RESILIENCE_INCREMENTAL_H_
+#define RESCQ_RESILIENCE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "db/delta.h"
+#include "db/witness.h"
+#include "resilience/engine.h"
+#include "util/fnv.h"
+
+namespace rescq {
+
+/// Everything one epoch application reports. Epoch 0 is the initial full
+/// build; later epochs are incremental.
+struct EpochOutcome {
+  int epoch = 0;
+  int inserted = 0;            // tuples whose activity actually flipped on
+  int deleted = 0;             // ... and off
+  size_t delta_witnesses = 0;  // witnesses streamed this epoch (epoch 0:
+                               // the full enumeration)
+  size_t family_sets = 0;      // live distinct endogenous sets afterwards
+  /// Certified interval around the answer: `upper_bound` is the size of
+  /// the maintained feasible contingency set (= `resilience`), and
+  /// `lower_bound` the sum of per-component proven optima and duals.
+  /// They are equal whenever every component's proof is complete; they
+  /// separate only when an exact_node_budget stopped some component's
+  /// search.
+  int lower_bound = 0;
+  int upper_bound = 0;
+  bool resolved = false;  // some component re-ran the exact search
+  bool unbreakable = false;
+  int resilience = 0;
+  std::vector<TupleId> contingency;  // a minimum contingency set
+  /// True when a budget stopped this epoch; `error` says which. A
+  /// witness budget poisons the session (the family is incomplete, so
+  /// every later epoch reports the same error); an exhausted node budget
+  /// keeps a feasible `resilience` that is only an upper bound.
+  bool budget_exceeded = false;
+  std::string error;
+  double wall_ms = 0;
+};
+
+/// Incremental resilience under an update stream.
+///
+/// The session owns a Database and the deduplicated endogenous
+/// set-family of (q, D) *with per-set witness support counts*: by the
+/// witness-based formulation, an epoch of base-table updates only adds
+/// witnesses incident to inserted tuples and only removes witnesses
+/// incident to deleted ones, so the family is maintained from a
+/// persistent WitnessIndex's delta streams instead of re-enumerated. A
+/// set leaves the family when its last supporting witness dies; the
+/// empty set's support count is the number of unbreakable witnesses.
+///
+/// On top of the family the session maintains the *hitting-set
+/// decomposition itself* incrementally: the family's connected
+/// components (sets sharing no element are independent, so minima add)
+/// are kept as labelled component records with per-element labels.
+/// An epoch dissolves only the components its set additions/removals
+/// actually touch, re-partitions that region, and answers each new
+/// piece through a tier of warm paths — closed forms for one-set,
+/// two-set, and common-element (star) components; an incumbent repaired
+/// from the dissolved components' solutions, certified by a greedy
+/// packing dual; and, last, the branch-and-bound core (whose own
+/// domination / flow-bound machinery then runs on that component
+/// alone). Untouched components cost nothing, so epoch work scales with
+/// the churn's footprint, not the database.
+///
+/// EngineOptions budgets thread through: `witness_limit` caps the
+/// witness stream per epoch (exceeding it is a structured error, never
+/// a silently wrong answer) and `exact_node_budget` caps each
+/// per-component re-solve (an unproven component keeps its feasible
+/// upper bound and retries when next touched).
+class IncrementalSession {
+ public:
+  /// Builds the family for `q` over `base` (the epoch-0 full build) and
+  /// solves it once. The session owns its copy of the database.
+  IncrementalSession(const Query& q, Database base, EngineOptions options = {});
+
+  // The witness index and component records hold pointers into the
+  // session's own structures.
+  IncrementalSession(const IncrementalSession&) = delete;
+  IncrementalSession& operator=(const IncrementalSession&) = delete;
+
+  const Query& query() const { return q_; }
+  const Database& db() const { return db_; }
+  const EngineOptions& options() const { return options_; }
+  int epochs_applied() const { return epoch_count_; }
+
+  /// The latest outcome (epoch 0's right after construction).
+  const EpochOutcome& current() const { return last_; }
+
+  /// Applies the epoch's updates, maintains family and decomposition
+  /// from delta witness streams, and re-answers only the touched
+  /// region. Returns (and remembers) the epoch's outcome.
+  EpochOutcome Apply(const Epoch& epoch);
+
+ private:
+  /// Per-set state in the support map: the witness support count, the
+  /// set in *dense element ids* (assigned grow-only when the set first
+  /// appears, so they are stable for the session's lifetime and the
+  /// component machinery never re-hashes TupleIds), and the set's
+  /// position in its component record (label -1 = pending, not yet
+  /// assigned to a component).
+  struct SetState {
+    int64_t count = 0;
+    std::vector<int> dense;
+    int label = -1;
+    int label_slot = -1;
+  };
+
+  struct TupleVecHash {
+    size_t operator()(const std::vector<TupleId>& v) const {
+      Fnv1a h;
+      for (TupleId t : v) {
+        h.MixU32(static_cast<uint32_t>(t.relation));
+        h.MixU32(static_cast<uint32_t>(t.row));
+      }
+      return static_cast<size_t>(h.digest());
+    }
+  };
+
+  /// One live component: its member sets (nullptr tombstones keep
+  /// label_slots stable; the record is dissolved and rebuilt whenever a
+  /// member set is added or removed), a feasible minimum-or-upper-bound
+  /// `size` with its solution, and the proven lower bound (`size` when
+  /// `proven`).
+  struct Component {
+    std::vector<const SetState*> sets;
+    int size = 0;
+    int lower = 0;
+    bool proven = true;
+    std::vector<int> solution;  // dense element ids
+  };
+
+  /// Interns a tuple into the dense id space.
+  int DenseId(TupleId t);
+
+  /// Shifts one witness's set support by `sign`, maintaining the dense
+  /// form, the affected-region lists, and the component tombstones.
+  void TouchSet(const std::vector<TupleId>& endo_tuples, int64_t sign);
+
+  /// Streams witnesses incident to `changed` and shifts their sets'
+  /// support by `sign`. Returns false when the epoch witness budget
+  /// tripped (the session is then poisoned).
+  bool ShiftSupport(const std::vector<TupleId>& changed, int64_t sign,
+                    EpochOutcome* out);
+
+  /// Dissolves the affected components, re-partitions their sets plus
+  /// the epoch's fresh ones, solves each new piece, and fills `out`.
+  void Refresh(EpochOutcome* out);
+
+  /// Installs a finished component record and updates the running
+  /// totals.
+  void AdoptComponent(int label, Component component);
+
+  Query q_;
+  Database db_;
+  EngineOptions options_;
+  std::unique_ptr<WitnessIndex> index_;
+
+  /// Witness support per endogenous tuple-set. Keys with support 0 are
+  /// erased eagerly; the empty key counts unbreakable witnesses.
+  std::unordered_map<std::vector<TupleId>, SetState, TupleVecHash> support_;
+
+  /// Grow-only dense id space over every endogenous tuple ever seen in
+  /// a set; ids of deleted tuples go stale harmlessly.
+  std::unordered_map<TupleId, int, TupleIdHash> dense_ids_;
+  std::vector<TupleId> dense_tuples_;
+
+  /// The current decomposition: label -> component record, where a
+  /// component's label is its minimum dense element id (so a label
+  /// always identifies the unique live component containing that
+  /// element), plus the per-element labels. `comp_label_` entries of
+  /// elements that dropped out of every set go stale; they are only
+  /// ever used to locate components to dissolve, and a stale label at
+  /// worst dissolves (and faithfully rebuilds) an extra component.
+  std::unordered_map<int, Component> components_;
+  std::vector<int> comp_label_;
+
+  // Running totals over `components_`.
+  int total_size_ = 0;
+  int total_lower_ = 0;
+  int unproven_components_ = 0;
+
+  // Epoch-scoped affected region, collected by TouchSet: labels of
+  // components that lost or gained... (gained = via fresh sets whose
+  // elements carry these labels), and the fresh sets themselves.
+  std::vector<int> affected_labels_;
+  std::vector<SetState*> fresh_sets_;
+
+  // Scratch reused across refreshes (slots are reset after each use, so
+  // the arrays stay clean between epochs and only grow with the
+  // universe).
+  std::vector<int> global_to_local_;
+
+  bool poisoned_ = false;  // witness budget tripped; family incomplete
+  std::string poison_error_;
+
+  int epoch_count_ = 0;
+  EpochOutcome last_;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_RESILIENCE_INCREMENTAL_H_

@@ -22,6 +22,13 @@ class Fnv1a {
     MixByte(0xff);
   }
 
+  /// Mixes a 32-bit word, little-endian byte order.
+  void MixU32(uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      MixByte(static_cast<unsigned char>((v >> shift) & 0xff));
+    }
+  }
+
   uint64_t digest() const { return hash_; }
 
  private:

@@ -7,8 +7,6 @@
 
 namespace rescq {
 
-namespace {
-
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -34,8 +32,6 @@ std::string JsonEscape(const std::string& s) {
 }
 
 const char* BoolName(bool b) { return b ? "true" : "false"; }
-
-}  // namespace
 
 void WriteReportCsv(const BatchReport& report, std::ostream& out) {
   out << "query,scenario,size,density,seed,tuples,domain,fingerprint,"

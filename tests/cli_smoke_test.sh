@@ -4,8 +4,10 @@
 # Usage: cli_smoke_test.sh <path-to-rescq-binary> <repo-source-dir>
 #
 # Covers every subcommand: classify and explain on one PTIME and one
-# NP-complete catalog query, the full catalog self-check, and a
-# resilience computation over the Section 2 example database.
+# NP-complete catalog query, the full catalog self-check, a resilience
+# computation over the Section 2 example database, and the incremental
+# stream pipeline (churn generation, update-file round trip, golden
+# table output).
 set -u
 
 RESCQ="${1:?usage: cli_smoke_test.sh <rescq-binary> <source-dir>}"
@@ -32,6 +34,28 @@ expect() {
     return
   fi
   echo "ok: $desc"
+}
+
+# expect_same <description> <file-a> <file-b>: byte equality, reported
+# with the unified diff on failure (not just exit 1), so a stale fixture
+# or golden file names exactly what drifted.
+expect_same() {
+  local desc="$1" a="$2" b="$3"
+  local delta
+  if delta="$(diff -u "$a" "$b" 2>&1)"; then
+    echo "ok: $desc"
+  else
+    echo "FAIL: $desc: files differ"
+    echo "$delta" | sed 's/^/    /'
+    failures=$((failures + 1))
+  fi
+}
+
+# normalize_times: volatile wall-clock fields become <t> so table output
+# can be compared against checked-in golden files; the spaces padding
+# them collapse too, since wider times shift the column.
+normalize_times() {
+  sed -E 's/ *[0-9]+\.[0-9]+/ <t>/g'
 }
 
 # classify: a PTIME catalog query (q_ACconf, Proposition 12) ...
@@ -111,15 +135,82 @@ else
   failures=$((failures + 1))
 fi
 # the checked-in fixture must match what `rescq gen --seed 1` emits
-# today (compare facts only, so future header tweaks don't break this).
-if diff -q <(grep -v '^#' "$gen_a") \
-        <(grep -v '^#' "$SRC/data/gen_vc_er.tuples") >/dev/null; then
-  echo "ok: checked-in gen_vc_er.tuples matches the generator"
+# today (compare facts only, so future header tweaks don't break this);
+# a mismatch prints the diff so the stale facts are named directly.
+facts_now="$(mktemp)" ; facts_repo="$(mktemp)"
+grep -v '^#' "$gen_a" > "$facts_now"
+grep -v '^#' "$SRC/data/gen_vc_er.tuples" > "$facts_repo"
+expect_same "checked-in gen_vc_er.tuples matches the generator" \
+    "$facts_repo" "$facts_now"
+rm -f "$gen_a" "$gen_b" "$facts_now" "$facts_repo"
+
+# The perm fixture gets the same freshness check.
+gen_perm="$(mktemp)" ; facts_now="$(mktemp)" ; facts_repo="$(mktemp)"
+"$RESCQ" gen --scenario perm --size 6 --seed 1 --out "$gen_perm" >/dev/null
+grep -v '^#' "$gen_perm" > "$facts_now"
+grep -v '^#' "$SRC/data/gen_perm_small.tuples" > "$facts_repo"
+expect_same "checked-in gen_perm_small.tuples matches the generator" \
+    "$facts_repo" "$facts_now"
+rm -f "$gen_perm" "$facts_now" "$facts_repo"
+
+# stream: incremental maintenance under churn. The generated stream is
+# deterministic, every epoch cross-checks against the from-scratch
+# oracle, and the table output matches the checked-in golden file after
+# timing normalization.
+expect "stream epochs match the oracle" "0 mismatch(es)" \
+    stream "R(x,y), R(y,z)" "$SRC/data/section2_chain.tuples" \
+    --churn mixed --epochs 4 --rate 0.25 --seed 7 --check-oracle
+stream_out="$(mktemp)"
+"$RESCQ" stream "R(x,y), R(y,z)" "$SRC/data/section2_chain.tuples" \
+    --churn mixed --epochs 4 --rate 0.25 --seed 7 --check-oracle \
+    | normalize_times > "$stream_out"
+expect_same "stream table matches the golden file" \
+    "$SRC/tests/golden/stream_chain.golden" "$stream_out"
+rm -f "$stream_out"
+
+# explain output is fully deterministic: compare verbatim.
+explain_out="$(mktemp)"
+"$RESCQ" explain --name q_vc > "$explain_out"
+expect_same "explain output matches the golden file" \
+    "$SRC/tests/golden/explain_q_vc.golden" "$explain_out"
+rm -f "$explain_out"
+
+# update-file round trip: a generated churn stream saved with
+# --emit-updates and replayed with --updates must produce the identical
+# report (and the file must survive a second round trip byte-for-byte).
+upd_a="$(mktemp)" ; upd_b="$(mktemp)" ; rep_a="$(mktemp)" ; rep_b="$(mktemp)"
+"$RESCQ" stream --name q_vc "$SRC/data/gen_vc_er.tuples" \
+    --churn hub --epochs 3 --rate 0.2 --seed 5 --check-oracle \
+    --emit-updates "$upd_a" | normalize_times > "$rep_a"
+"$RESCQ" stream --name q_vc "$SRC/data/gen_vc_er.tuples" \
+    --updates "$upd_a" --check-oracle --emit-updates "$upd_b" \
+    | normalize_times > "$rep_b"
+expect_same "replaying an emitted update file reproduces the report" \
+    "$rep_a" "$rep_b"
+if diff -q <(grep -v '^#' "$upd_a") <(grep -v '^#' "$upd_b") >/dev/null; then
+  echo "ok: update files round-trip byte-for-byte (modulo headers)"
 else
-  echo "FAIL: data/gen_vc_er.tuples is stale; regenerate with rescq gen"
+  echo "FAIL: update file changed across a read/write round trip"
+  diff -u <(grep -v '^#' "$upd_a") <(grep -v '^#' "$upd_b") | sed 's/^/    /'
   failures=$((failures + 1))
 fi
-rm -f "$gen_a" "$gen_b"
+rm -f "$upd_a" "$upd_b" "$rep_a" "$rep_b"
+
+# stream report files: the JSON carries the v4 schema and a zero
+# mismatch summary.
+stream_json="$(mktemp)"
+"$RESCQ" stream --name q_vc "$SRC/data/gen_vc_er.tuples" \
+    --churn mixed --epochs 3 --rate 0.2 --seed 2 --check-oracle \
+    --json "$stream_json" >/dev/null
+if grep -q '"schema": "rescq-stream-report/v4"' "$stream_json" \
+    && grep -q '"mismatches": 0' "$stream_json"; then
+  echo "ok: stream JSON report is v4 with 0 mismatches"
+else
+  echo "FAIL: stream JSON report lacks the v4 schema or reports mismatches"
+  sed 's/^/    /' "$stream_json"
+  failures=$((failures + 1))
+fi
+rm -f "$stream_json"
 
 # batch: a tiny smoke sweep over every scenario on 2 threads, with the
 # exact-solver cross-check on; the JSON report is left in the working
@@ -199,6 +290,21 @@ expect_usage_error "unknown scenario rejected" gen --scenario bogus
 expect_usage_error "gen without scenario rejected" gen --size 5
 expect_usage_error "unknown batch scenario rejected" batch --scenarios bogus
 expect_usage_error "unknown batch flag rejected" batch --frobnicate
+expect_usage_error "stream without a source of updates rejected" \
+    stream "R(x,y)" "$SRC/data/section2_chain.tuples"
+expect_usage_error "stream with unknown churn kind rejected" \
+    stream "R(x,y)" "$SRC/data/section2_chain.tuples" --churn bogus
+expect_usage_error "stream with both update sources rejected" \
+    stream "R(x,y)" "$SRC/data/section2_chain.tuples" --churn mixed \
+    --updates /nonexistent.updates
+tmpupd="$(mktemp)"
+printf 'R(a,b)\n' > "$tmpupd"  # unsigned fact: not an update file
+expect_usage_error "malformed update file rejected" \
+    stream "R(x,y)" "$SRC/data/section2_chain.tuples" --updates "$tmpupd"
+printf '+ R(a)\n' > "$tmpupd"  # arity clash with the base database
+expect_usage_error "arity-inconsistent update file rejected" \
+    stream "R(x,y)" "$SRC/data/section2_chain.tuples" --updates "$tmpupd"
+rm -f "$tmpupd"
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures smoke-test failure(s)"

@@ -17,11 +17,14 @@
 #include "complexity/patterns.h"
 #include "cq/parser.h"
 #include "db/database.h"
+#include "db/delta.h"
 #include "resilience/engine.h"
 #include "resilience/exact_solver.h"
+#include "resilience/incremental.h"
 #include "resilience/solver.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "workload/churn.h"
 #include "workload/generators.h"
 
 namespace rescq {
@@ -244,6 +247,60 @@ TEST(Fuzz, BudgetedEngineNeverMisreports) {
   // The sweep must exercise both outcomes.
   EXPECT_GT(errors_seen, 0);
   EXPECT_GT(answers_seen, 0);
+}
+
+TEST(Fuzz, IncrementalSessionDifferentialSweep) {
+  // Every named query of the paper × every churn generator × seeds:
+  // IncrementalSession after every epoch must agree exactly with
+  // ComputeResilienceExact from scratch over the session's database —
+  // the witness-delta maintenance, the component decomposition, and
+  // every warm path (closed forms, incumbent repair, packing certify,
+  // proof cache) all sit between those two answers.
+  for (const CatalogEntry& entry : PaperCatalog()) {
+    Query q = MustParseQuery(entry.text);
+    uint64_t seed_base = std::hash<std::string>()(entry.name);
+    for (const ChurnKind& kind : ChurnCatalog()) {
+      for (uint64_t seed = 1; seed <= 2; ++seed) {
+        ScenarioParams params;
+        params.size = 4;
+        params.density = 0.5;
+        params.seed = seed_base + seed;
+        Database base = GenerateUniform(q, params);
+
+        ChurnParams churn;
+        churn.epochs = 3;
+        churn.rate = 0.3;
+        churn.seed = seed_base ^ (seed * 0x9e3779b9u);
+        UpdateLog log = GenerateChurn(base, kind.name, churn);
+
+        IncrementalSession session(q, base, EngineOptions{});
+        int epoch = 0;
+        auto check = [&](const EpochOutcome& out) {
+          ResilienceResult exact =
+              ComputeResilienceExact(q, session.db());
+          ASSERT_EQ(out.unbreakable, exact.unbreakable)
+              << entry.name << " " << kind.name << " seed " << seed
+              << " epoch " << epoch;
+          if (exact.unbreakable) return;
+          ASSERT_EQ(out.resilience, exact.resilience)
+              << entry.name << " " << kind.name << " seed " << seed
+              << " epoch " << epoch;
+          Database copy = session.db();
+          ASSERT_TRUE(VerifyContingency(q, copy, out.contingency))
+              << entry.name << " " << kind.name << " seed " << seed
+              << " epoch " << epoch;
+        };
+        check(session.current());
+        if (::testing::Test::HasFatalFailure()) return;
+        for (const Epoch& e : log.epochs) {
+          ++epoch;
+          EpochOutcome out = session.Apply(e);
+          check(out);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
 }
 
 TEST(Fuzz, ResilienceIsMonotoneUnderTupleRemoval) {

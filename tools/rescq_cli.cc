@@ -27,6 +27,7 @@
 #include "complexity/classifier.h"
 #include "cq/parser.h"
 #include "db/database.h"
+#include "db/delta.h"
 #include "db/tuple_io.h"
 #include "db/witness.h"
 #include "resilience/engine.h"
@@ -34,8 +35,10 @@
 #include "resilience/solver.h"
 #include "util/string_util.h"
 #include "workload/batch.h"
+#include "workload/churn.h"
 #include "workload/generators.h"
 #include "workload/report.h"
+#include "workload/stream.h"
 
 namespace rescq {
 namespace {
@@ -89,6 +92,24 @@ int Usage(std::FILE* out) {
                "pool and\n"
                "      report per-cell resilience, solver, timing, and oracle "
                "checks.\n"
+               "  rescq stream (<query> | --name <catalog-name>) "
+               "<tuples-file>\n"
+               "              (--updates <file> | --churn "
+               "<insert|delete|mixed|hub>)\n"
+               "              [--epochs N] [--rate R] [--seed S] "
+               "[--emit-updates <file>]\n"
+               "              [--check-oracle] [--witness-limit N] "
+               "[--exact-node-budget N]\n"
+               "              [--csv <file>] [--json <file>]\n"
+               "      Maintain the resilience incrementally under an update "
+               "stream and\n"
+               "      report one row per epoch (bounds, re-solves, timings); "
+               "--updates\n"
+               "      replays an update file, --churn generates one "
+               "deterministically\n"
+               "      (--emit-updates saves it), --check-oracle diffs every "
+               "epoch against\n"
+               "      a from-scratch exact solve.\n"
                "  rescq help\n"
                "\n"
                "query syntax:   \"q :- R(x,y), S^x(y,z), A(x)\"   (head "
@@ -598,6 +619,131 @@ int CmdBatch(const std::vector<std::string>& args) {
   return report.mismatches == 0 ? 0 : 1;
 }
 
+int CmdStream(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  std::string updates_path, churn_kind, emit_path, csv_path, json_path;
+  ChurnParams churn;
+  StreamOptions options;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    const std::string* v = nullptr;
+    if (a == "--updates") {
+      if (!(v = value("--updates"))) return 2;
+      updates_path = *v;
+    } else if (a == "--churn") {
+      if (!(v = value("--churn"))) return 2;
+      churn_kind = *v;
+    } else if (a == "--epochs") {
+      if (!(v = value("--epochs")) || !ParseIntFlag(a, *v, &churn.epochs))
+        return 2;
+    } else if (a == "--rate") {
+      if (!(v = value("--rate"))) return 2;
+      if (!ParseProbability(*v, &churn.rate)) {
+        std::fprintf(stderr,
+                     "error: --rate needs a number in [0,1], got '%s'\n",
+                     v->c_str());
+        return 2;
+      }
+    } else if (a == "--seed") {
+      if (!(v = value("--seed")) || !ParseSeedFlag(a, *v, &churn.seed))
+        return 2;
+    } else if (a == "--emit-updates") {
+      if (!(v = value("--emit-updates"))) return 2;
+      emit_path = *v;
+    } else if (a == "--check-oracle") {
+      options.check_oracle = true;
+    } else if (a == "--witness-limit") {
+      uint64_t limit = 0;
+      if (!(v = value("--witness-limit")) || !ParseSeedFlag(a, *v, &limit))
+        return 2;
+      options.witness_limit = static_cast<size_t>(limit);
+    } else if (a == "--exact-node-budget") {
+      if (!(v = value("--exact-node-budget")) ||
+          !ParseSeedFlag(a, *v, &options.exact_node_budget))
+        return 2;
+    } else if (a == "--csv") {
+      if (!(v = value("--csv"))) return 2;
+      csv_path = *v;
+    } else if (a == "--json") {
+      if (!(v = value("--json"))) return 2;
+      json_path = *v;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  size_t consumed = 0;
+  std::optional<Query> q = ResolveQuery(positional, &consumed);
+  if (!q) return 2;
+  if (positional.size() != consumed + 1) {
+    std::fprintf(stderr, "error: expected exactly one tuple file argument\n");
+    return 2;
+  }
+  if (updates_path.empty() == churn_kind.empty()) {
+    std::fprintf(stderr,
+                 "error: stream needs exactly one of --updates <file> or "
+                 "--churn <kind>\n");
+    return 2;
+  }
+  if (!churn_kind.empty() && !IsChurnKind(churn_kind)) {
+    std::fprintf(stderr, "error: unknown churn kind '%s' (one of:",
+                 churn_kind.c_str());
+    for (const ChurnKind& k : ChurnCatalog()) {
+      std::fprintf(stderr, " %s", k.name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+
+  Database db;
+  if (!LoadTuples(positional[consumed], &db)) return 2;
+
+  UpdateLog log;
+  std::string error;
+  if (!updates_path.empty()) {
+    if (!LoadUpdateFile(updates_path, &log, &error) ||
+        !ValidateUpdateLog(log, db, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  } else {
+    log = GenerateChurn(db, churn_kind, churn);
+  }
+  if (!emit_path.empty()) {
+    std::string header = StrFormat(
+        "generated by: rescq stream --churn %s --epochs %d --rate %g "
+        "--seed %llu\nbase: %s (%d tuples)\n%zu update(s) in %zu epoch(s)",
+        churn_kind.c_str(), churn.epochs, churn.rate,
+        static_cast<unsigned long long>(churn.seed),
+        positional[consumed].c_str(), db.NumActiveTuples(), log.size(),
+        log.epochs.size());
+    if (churn_kind.empty()) header = "replayed from: " + updates_path;
+    if (!SaveUpdateFile(log, emit_path, header, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  std::string query_name = positional[0] == "--name" ? positional[1] : "query";
+  StreamReport report = RunStream(*q, query_name, db, log, options);
+  PrintStreamTable(report, stdout);
+  if (!csv_path.empty() && !SaveStreamCsv(report, csv_path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!json_path.empty() && !SaveStreamJson(report, json_path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  return report.mismatches == 0 ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage(stderr);
   std::string cmd = argv[1];
@@ -609,6 +755,7 @@ int Run(int argc, char** argv) {
   if (cmd == "catalog") return CmdCatalog(args);
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "batch") return CmdBatch(args);
+  if (cmd == "stream") return CmdStream(args);
   std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
   return Usage(stderr);
 }
