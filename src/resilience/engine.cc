@@ -22,6 +22,7 @@ ExactOptions MakeExactOptions(const EngineOptions& options) {
   exact.witness_limit =
       options.witness_limit == 0 ? kNoWitnessLimit : options.witness_limit;
   exact.node_budget = options.exact_node_budget;
+  exact.solver_threads = options.solver_threads;
   return exact;
 }
 

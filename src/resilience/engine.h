@@ -44,6 +44,15 @@ struct EngineOptions {
   /// contingency set that may not be minimum — with
   /// SolveOutcome::exact.node_budget_exceeded set.
   uint64_t exact_node_budget = 0;
+  /// Workers for the exact solver's per-component fan-out (<= 1 =
+  /// serial). The default keeps every existing result byte-identical;
+  /// with more workers the resilience value stays deterministic across
+  /// any thread count but search counters (and which minimum
+  /// contingency set is reported) may vary — see
+  /// ExactOptions::solver_threads. Each Solve spins its workers up and
+  /// down on its own, so concurrent Solve calls on one engine stay
+  /// independent.
+  int solver_threads = 1;
 };
 
 /// Counters for the plan cache, monotone over the engine's lifetime.
@@ -84,6 +93,17 @@ struct SolveOutcome {
 /// the cached plan and only pays for the data-dependent work. Plans are
 /// shared_ptr<const> — hold one engine per batch run and call it from
 /// any number of threads.
+///
+/// Concurrency contract: every public method is safe to call from any
+/// number of threads on one engine instance. The only mutable state is
+/// the plan cache — LRU splices, inserts, evictions, and the hit/miss
+/// counters all happen under mu_, while plan *construction* happens
+/// outside it (a racing duplicate build is benign; first insert wins).
+/// All per-call state (SolveOutcome, ExactStats, timings) lives on the
+/// caller's stack, so Solve calls never share accumulators. With
+/// options.solver_threads > 1 each Solve additionally runs its own
+/// private worker fan-out; concurrent Solves just nest independent
+/// pools. tests/engine_test.cc stress-tests this under TSan.
 class ResilienceEngine {
  public:
   /// `registry` defaults to DefaultRegistry(); it must outlive the

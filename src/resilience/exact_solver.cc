@@ -1,6 +1,7 @@
 #include "resilience/exact_solver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "flow/max_flow.h"
 #include "util/check.h"
 #include "util/disjoint_set.h"
+#include "util/parallel.h"
 
 namespace rescq {
 
@@ -26,24 +28,39 @@ void ExactStats::Merge(const ExactStats& other) {
 
 namespace {
 
-// Node-budget accounting shared by all components of one solve. Once the
-// budget trips, every further Search() call returns immediately and the
-// incumbents (seeded by the greedy upper bounds, so always feasible)
-// stand as the answer.
+// Node-budget accounting shared by all components of one solve — and,
+// when components fan out to a worker pool, by all workers at once, so
+// the counters are atomics. Relaxed ordering suffices: the counters
+// only gate heuristics (the budget, the flow-bound warmup) and feed the
+// stats report; they never publish data between threads. Once the
+// budget trips, every further Search() on any worker returns
+// immediately and the incumbents (seeded by the greedy upper bounds, so
+// always feasible) stand as the answer. Under contention the node count
+// may overshoot the budget by at most one per worker (each worker
+// checks, then increments). The serial path touches the same atomics
+// from one thread, so its check-then-increment semantics are identical
+// to the old plain-integer version.
 struct SearchCtx {
   uint64_t node_budget = 0;  // 0 = unlimited
-  uint64_t nodes = 0;
-  uint64_t packing_prunes = 0;
-  uint64_t flow_prunes = 0;
-  bool node_budget_exceeded = false;
+  std::atomic<uint64_t> nodes{0};
+  std::atomic<uint64_t> packing_prunes{0};
+  std::atomic<uint64_t> flow_prunes{0};
+  std::atomic<bool> node_budget_exceeded{false};
 
   bool TakeNode() {
-    if (node_budget != 0 && nodes >= node_budget) {
-      node_budget_exceeded = true;
+    if (node_budget != 0 &&
+        nodes.load(std::memory_order_relaxed) >= node_budget) {
+      node_budget_exceeded.store(true, std::memory_order_relaxed);
       return false;
     }
-    ++nodes;
+    nodes.fetch_add(1, std::memory_order_relaxed);
     return true;
+  }
+
+  uint64_t Nodes() const { return nodes.load(std::memory_order_relaxed); }
+
+  bool BudgetExceeded() const {
+    return node_budget_exceeded.load(std::memory_order_relaxed);
   }
 };
 
@@ -134,6 +151,37 @@ struct Solver {
   std::vector<int> current;      // chosen stack
   std::vector<int> best;
   int best_size = 0;
+
+  // Cross-component shared incumbent, set only by the parallel dispatch
+  // (null in serial, where AllowedSize() degenerates to best_size and
+  // the search is byte-identical to the pre-parallel code).
+  // *shared_total holds U = the sum of every in-flight component's
+  // current feasible incumbent size; others_lower holds the sum of the
+  // sibling components' static root lower bounds. Pruning a node when
+  // current + lb >= U - others_lower is sound: completing this subtree
+  // below that threshold is the only way the *total* could drop below
+  // U, and each sibling j can never finish below its root bound lb_j.
+  // It also keeps every component exact — if an optimal subtree of
+  // component i were pruned, min_i >= U_final - others_lower >= best_i
+  // (each sibling's final best >= its lb), contradicting best_i > min_i
+  // — which is what makes the resilience value thread-count invariant.
+  // Stale reads of U are conservative (U only decreases), so relaxed
+  // atomics are enough.
+  std::atomic<int>* shared_total = nullptr;
+  int others_lower = 0;
+
+  int AllowedSize() const {
+    if (shared_total == nullptr) return best_size;
+    return std::min(best_size,
+                    shared_total->load(std::memory_order_relaxed) -
+                        others_lower);
+  }
+
+  void PublishImprovement(int delta) {
+    if (shared_total != nullptr && delta > 0) {
+      shared_total->fetch_sub(delta, std::memory_order_relaxed);
+    }
+  }
 
   void Init(const std::vector<std::vector<int>>& input) {
     InitReduced(ReduceFamily(input));
@@ -287,24 +335,27 @@ struct Solver {
     int branch_set = PickBranchSet();
     if (branch_set < 0) {
       if (static_cast<int>(current.size()) < best_size) {
+        int delta = best_size - static_cast<int>(current.size());
         best = current;
         best_size = static_cast<int>(current.size());
+        PublishImprovement(delta);
       }
       return;
     }
     int lb = PackingLowerBound();
-    if (static_cast<int>(current.size()) + lb >= best_size) {
-      ++ctx->packing_prunes;
+    int allowed = AllowedSize();
+    if (static_cast<int>(current.size()) + lb >= allowed) {
+      ctx->packing_prunes.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     // The flow bound costs a Dinic run, so it only fires where the cheap
     // packing bound failed to prune and the search is demonstrably
     // non-trivial — exactly the nodes worth cutting.
-    if (ctx->nodes >= kFlowBoundMinNodes) {
+    if (ctx->Nodes() >= kFlowBoundMinNodes) {
       int flow_lb = FlowLowerBound();
       if (flow_lb > lb &&
-          static_cast<int>(current.size()) + flow_lb >= best_size) {
-        ++ctx->flow_prunes;
+          static_cast<int>(current.size()) + flow_lb >= allowed) {
+        ctx->flow_prunes.fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -320,7 +371,7 @@ struct Solver {
       Choose(e);
       Search();
       Unchoose(e);
-      if (ctx->node_budget_exceeded) return;
+      if (ctx->BudgetExceeded()) return;
     }
   }
 };
@@ -390,6 +441,23 @@ struct VcSolver {
   std::vector<int> cover;   // current partial cover
   std::vector<int> best;
   size_t best_size = ~size_t{0};
+
+  // Cross-component shared incumbent; same scheme and soundness
+  // argument as Solver::shared_total, except that `cover`/`best_size`
+  // here exclude the component's forced singleton elements while the
+  // shared total counts whole-component sizes, so size_offset (the
+  // forced count) converts between the two units.
+  std::atomic<int>* shared_total = nullptr;
+  int others_lower = 0;
+  int size_offset = 0;
+
+  size_t AllowedSize() const {
+    if (shared_total == nullptr) return best_size;
+    int slack = shared_total->load(std::memory_order_relaxed) -
+                others_lower - size_offset;
+    if (slack < 0) slack = 0;
+    return std::min(best_size, static_cast<size_t>(slack));
+  }
 
   void TakeVertex(int v) {
     cover.push_back(v);
@@ -481,20 +549,26 @@ struct VcSolver {
     }
     if (branch < 0) {
       if (cover.size() < best_size) {
+        size_t delta = best_size - cover.size();
         best = cover;
         best_size = cover.size();
+        if (shared_total != nullptr) {
+          shared_total->fetch_sub(static_cast<int>(delta),
+                                  std::memory_order_relaxed);
+        }
       }
       return;
     }
     size_t lb = MatchingLowerBound();
-    if (cover.size() + lb >= best_size) {
-      ++ctx->packing_prunes;
+    size_t allowed = AllowedSize();
+    if (cover.size() + lb >= allowed) {
+      ctx->packing_prunes.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    if (ctx->nodes >= kFlowBoundMinNodes) {
+    if (ctx->Nodes() >= kFlowBoundMinNodes) {
       size_t flow_lb = FlowLowerBound();
-      if (flow_lb > lb && cover.size() + flow_lb >= best_size) {
-        ++ctx->flow_prunes;
+      if (flow_lb > lb && cover.size() + flow_lb >= allowed) {
+        ctx->flow_prunes.fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -506,7 +580,7 @@ struct VcSolver {
     Search();
     adj = saved_adj;
     cover.resize(saved_cover);
-    if (ctx->node_budget_exceeded) return;
+    if (ctx->BudgetExceeded()) return;
     // Branch 2: all neighbors of v in the cover.
     std::set<int> neighbors = adj[static_cast<size_t>(branch)];
     for (int u : neighbors) TakeVertex(u);
@@ -516,31 +590,50 @@ struct VcSolver {
   }
 };
 
-// Solves one hitting-set component as vertex cover; `sets` must all have
-// size 1 or 2 (deduplicated). Singleton sets are forced.
-std::vector<int> SolveAsVertexCover(const std::vector<std::vector<int>>& sets,
-                                    int num_elements, SearchCtx* ctx) {
+// A vertex-cover component split into its solver and the elements the
+// singleton sets force: the forced part needs no search, and the
+// parallel dispatch needs the two halves separately to seed the shared
+// incumbent in whole-component units before any search starts.
+struct VcInstance {
+  VcSolver vc;
+  std::vector<int> forced;  // ascending element ids forced by 1-sets
+};
+
+// Builds the cover instance for one component; `sets` must all have
+// size 1 or 2 (deduplicated). Edges touching a forced element are
+// already hit and stay out of the graph.
+VcInstance BuildVcInstance(const std::vector<std::vector<int>>& sets,
+                           int num_elements) {
   std::vector<bool> forced(static_cast<size_t>(num_elements), false);
   for (const std::vector<int>& s : sets) {
     if (s.size() == 1) forced[static_cast<size_t>(s[0])] = true;
   }
-  VcSolver vc;
-  vc.ctx = ctx;
-  vc.adj.resize(static_cast<size_t>(num_elements));
+  VcInstance inst;
+  inst.vc.adj.resize(static_cast<size_t>(num_elements));
   for (const std::vector<int>& s : sets) {
     if (s.size() != 2) continue;
     if (forced[static_cast<size_t>(s[0])] || forced[static_cast<size_t>(s[1])]) {
       continue;  // already hit
     }
-    vc.adj[static_cast<size_t>(s[0])].insert(s[1]);
-    vc.adj[static_cast<size_t>(s[1])].insert(s[0]);
+    inst.vc.adj[static_cast<size_t>(s[0])].insert(s[1]);
+    inst.vc.adj[static_cast<size_t>(s[1])].insert(s[0]);
   }
-  vc.GreedySeed();
-  vc.Search();
-  std::vector<int> chosen = vc.best;
   for (int e = 0; e < num_elements; ++e) {
-    if (forced[static_cast<size_t>(e)]) chosen.push_back(e);
+    if (forced[static_cast<size_t>(e)]) inst.forced.push_back(e);
   }
+  return inst;
+}
+
+// Solves one hitting-set component as vertex cover; `sets` must all have
+// size 1 or 2 (deduplicated). Singleton sets are forced.
+std::vector<int> SolveAsVertexCover(const std::vector<std::vector<int>>& sets,
+                                    int num_elements, SearchCtx* ctx) {
+  VcInstance inst = BuildVcInstance(sets, num_elements);
+  inst.vc.ctx = ctx;
+  inst.vc.GreedySeed();
+  inst.vc.Search();
+  std::vector<int> chosen = inst.vc.best;
+  chosen.insert(chosen.end(), inst.forced.begin(), inst.forced.end());
   return chosen;
 }
 
@@ -613,52 +706,153 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
     groups[components.Find(s[0])].push_back(&s);
   }
 
-  SearchCtx ctx;
-  ctx.node_budget = options.node_budget;
-  std::vector<int> global_to_local(static_cast<size_t>(num_elements), -1);
-  for (const auto& [root, group] : groups) {
-    // Dense local ids keep each component's solver small.
+  // Localize every component up front (serial, in deterministic
+  // map-of-roots order): dense local ids keep each component's solver
+  // small, and a flat task vector is what the worker pool fans out over.
+  struct ComponentTask {
     std::vector<int> local_to_global;
     std::vector<std::vector<int>> local_sets;
     bool all_small = true;
-    local_sets.reserve(group.size());
+  };
+  std::vector<ComponentTask> tasks;
+  tasks.reserve(groups.size());
+  std::vector<int> global_to_local(static_cast<size_t>(num_elements), -1);
+  for (const auto& [root, group] : groups) {
+    ComponentTask task;
+    task.local_sets.reserve(group.size());
     for (const std::vector<int>* s : group) {
       std::vector<int> local;
       local.reserve(s->size());
       for (int e : *s) {
         int& slot = global_to_local[static_cast<size_t>(e)];
         if (slot < 0) {
-          slot = static_cast<int>(local_to_global.size());
-          local_to_global.push_back(e);
+          slot = static_cast<int>(task.local_to_global.size());
+          task.local_to_global.push_back(e);
         }
         local.push_back(slot);
       }
-      all_small = all_small && local.size() <= 2;
-      local_sets.push_back(std::move(local));
+      task.all_small = task.all_small && local.size() <= 2;
+      task.local_sets.push_back(std::move(local));
     }
-    std::vector<int> chosen =
-        all_small ? SolveAsVertexCover(local_sets,
-                                       static_cast<int>(local_to_global.size()),
-                                       &ctx)
-                  : SolveComponent(std::move(local_sets), &ctx);
-    for (int e : chosen) {
-      result.chosen.push_back(local_to_global[static_cast<size_t>(e)]);
-    }
-    for (int e : local_to_global) {
+    for (int e : task.local_to_global) {
       global_to_local[static_cast<size_t>(e)] = -1;
+    }
+    tasks.push_back(std::move(task));
+  }
+
+  SearchCtx ctx;
+  ctx.node_budget = options.node_budget;
+  std::vector<std::vector<int>> chosen(tasks.size());  // local ids per task
+
+  int threads = std::max(1, options.solver_threads);
+  if (threads <= 1 || tasks.size() <= 1) {
+    // Serial path: same calls in the same order as the pre-parallel
+    // solver, so every counter and every chosen set is byte-identical.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      ComponentTask& task = tasks[i];
+      chosen[i] =
+          task.all_small
+              ? SolveAsVertexCover(
+                    task.local_sets,
+                    static_cast<int>(task.local_to_global.size()), &ctx)
+              : SolveComponent(std::move(task.local_sets), &ctx);
+    }
+  } else {
+    // Parallel path, two phases over one reused pool.
+    //
+    // Phase A seeds every component's greedy incumbent (size ub_i) and
+    // evaluates its root lower bound lb_i, with no search nodes taken.
+    // Phase B then searches every component with the shared incumbent
+    // total U = sum ub_i: component i prunes any node whose completion
+    // cannot bring the total below U given that each sibling j never
+    // finishes below lb_j, and subtracts from U whenever it improves
+    // its own incumbent — so one component's tight bound prunes
+    // siblings still in flight. See Solver::shared_total for why this
+    // keeps every component exact.
+    struct ParallelState {
+      Solver solver;  // used when !all_small
+      VcInstance vc;  // used when all_small
+      int ub = 0;     // whole-component incumbent size after seeding
+      int lb = 0;     // whole-component root lower bound
+    };
+    std::vector<ParallelState> states(tasks.size());
+    WorkerPool pool(static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(threads), tasks.size())));
+    pool.Run(tasks.size(), [&](size_t i) {
+      ComponentTask& task = tasks[i];
+      ParallelState& st = states[i];
+      if (task.all_small) {
+        st.vc = BuildVcInstance(
+            task.local_sets, static_cast<int>(task.local_to_global.size()));
+        st.vc.vc.ctx = &ctx;
+        st.vc.vc.GreedySeed();
+        int forced = static_cast<int>(st.vc.forced.size());
+        st.ub = static_cast<int>(st.vc.vc.best_size) + forced;
+        st.lb = forced +
+                static_cast<int>(std::max(st.vc.vc.MatchingLowerBound(),
+                                          st.vc.vc.FlowLowerBound()));
+      } else {
+        st.solver.ctx = &ctx;
+        st.solver.InitReduced(std::move(task.local_sets));
+        st.solver.best_size = 1 << 30;
+        st.solver.GreedyUpperBound();
+        st.ub = st.solver.best_size;
+        st.lb = std::max(st.solver.PackingLowerBound(),
+                         st.solver.FlowLowerBound());
+      }
+    });
+    int total_ub = 0;
+    int total_lb = 0;
+    for (const ParallelState& st : states) {
+      total_ub += st.ub;
+      total_lb += st.lb;
+    }
+    std::atomic<int> shared_total{total_ub};
+    pool.Run(tasks.size(), [&](size_t i) {
+      ParallelState& st = states[i];
+      if (tasks[i].all_small) {
+        st.vc.vc.shared_total = &shared_total;
+        st.vc.vc.others_lower = total_lb - st.lb;
+        st.vc.vc.size_offset = static_cast<int>(st.vc.forced.size());
+        st.vc.vc.Search();
+      } else {
+        st.solver.shared_total = &shared_total;
+        st.solver.others_lower = total_lb - st.lb;
+        st.solver.Search();
+      }
+    });
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      ParallelState& st = states[i];
+      if (tasks[i].all_small) {
+        chosen[i] = std::move(st.vc.vc.best);
+        chosen[i].insert(chosen[i].end(), st.vc.forced.begin(),
+                         st.vc.forced.end());
+      } else {
+        chosen[i] = std::move(st.solver.best);
+      }
+    }
+  }
+
+  // Deterministic component-index-ordered merge (the final sort makes
+  // the member order canonical regardless of which worker finished
+  // first).
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (int e : chosen[i]) {
+      result.chosen.push_back(
+          tasks[i].local_to_global[static_cast<size_t>(e)]);
     }
   }
   std::sort(result.chosen.begin(), result.chosen.end());
   result.size = static_cast<int>(result.chosen.size());
-  result.proven_optimal = !ctx.node_budget_exceeded;
+  result.proven_optimal = !ctx.BudgetExceeded();
 
   if (stats != nullptr) {
     ExactStats search;
     search.components = static_cast<int>(groups.size());
-    search.nodes = ctx.nodes;
-    search.packing_prunes = ctx.packing_prunes;
-    search.flow_prunes = ctx.flow_prunes;
-    search.node_budget_exceeded = ctx.node_budget_exceeded;
+    search.nodes = ctx.Nodes();
+    search.packing_prunes = ctx.packing_prunes.load(std::memory_order_relaxed);
+    search.flow_prunes = ctx.flow_prunes.load(std::memory_order_relaxed);
+    search.node_budget_exceeded = ctx.BudgetExceeded();
     stats->Merge(search);
   }
   return result;

@@ -24,8 +24,21 @@ struct ExactOptions {
   /// unlimited). When exhausted, the incumbent is returned: a valid
   /// hitting set / contingency set that may not be minimum
   /// (HittingSetResult::proven_optimal false,
-  /// ExactStats::node_budget_exceeded set).
+  /// ExactStats::node_budget_exceeded set). With solver_threads > 1 the
+  /// budget is shared by all workers: one worker tripping it stops the
+  /// others, and the node count may overshoot by at most one node per
+  /// worker.
   uint64_t node_budget = 0;
+  /// Workers for the per-component branch-and-bound fan-out (<= 1 =
+  /// serial, the default; the serial path is byte-identical to the
+  /// pre-parallel solver). Parallel solves keep the resilience value,
+  /// the chosen-set size, witness/set/component counts, and
+  /// proven_optimal deterministic across any thread count — each
+  /// component is still solved to its exact minimum — but nodes /
+  /// packing_prunes / flow_prunes and the particular minimum set chosen
+  /// may vary run to run, because components prune against a shared
+  /// incumbent total whose updates race benignly.
+  int solver_threads = 1;
 };
 
 /// Search counters reported by the exact path. Monotone within one

@@ -443,6 +443,27 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
       if (g >= 0) group_seeds[static_cast<size_t>(g)].push_back(e);
     }
 
+    // The rebuild is three passes so the hard solves can fan out to a
+    // worker pool without touching shared session state:
+    //  1. (serial) label assignment, comp_label_/SetState mutation, and
+    //     the closed-form tiers — all the passes that write shared
+    //     structures are cheap;
+    //  2. (parallel when solver_threads > 1) the hard sub-components —
+    //     each task reads only its own comp.sets / seeds and writes
+    //     only its own GroupTask slot, with the nested exact solve kept
+    //     serial (the pool is not reentrant);
+    //  3. (serial, partition order) adoption into components_ and the
+    //     running totals.
+    // Pass 2 tasks are self-contained and internally serial, so every
+    // epoch outcome is byte-identical to the serial session.
+    struct GroupTask {
+      int label = -1;
+      Component comp;
+      bool done = false;      // a pass-1 closed form finished it
+      bool resolved = false;  // a pass-2 search tier ran
+    };
+    std::vector<GroupTask> tasks(group_sets.size());
+
     for (size_t g = 0; g < group_sets.size(); ++g) {
       const std::vector<int>& members = group_sets[g];
       // The label is the component's minimum dense element: unique per
@@ -451,7 +472,7 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
           region_local[static_cast<size_t>(members[0])].begin(),
           region_local[static_cast<size_t>(members[0])].end());
       label = local_to_dense[static_cast<size_t>(label)];
-      Component comp;
+      Component& comp = tasks[g].comp;
       comp.sets.reserve(members.size());
       for (size_t k = 0; k < members.size(); ++k) {
         const SetState* s = region[static_cast<size_t>(members[k])];
@@ -466,6 +487,7 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
         s->label_slot = static_cast<int>(k);
         for (int e : s->dense) comp_label_[static_cast<size_t>(e)] = label;
       }
+      tasks[g].label = label;
 
       // Tiered solve. Closed forms first: one set (any element), two
       // sets (a shared element or one of each), a common element across
@@ -521,15 +543,24 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
         comp.lower = comp.size;
         comp.proven = true;
         std::sort(comp.solution.begin(), comp.solution.end());
-        AdoptComponent(label, std::move(comp));
-        continue;
+        tasks[g].done = true;
       }
+    }
 
-      // General sub-component: compact local ids, repair the dissolved
-      // incumbent for the upper bound, certify with the packing dual,
-      // and only a remaining gap pays for the branch-and-bound core
-      // (whose own domination / flow machinery then runs on this
-      // component alone).
+    // Pass 2: the hard sub-components. Each task is self-contained —
+    // compact local ids, repair the dissolved incumbent for the upper
+    // bound, certify with the packing dual, and only a remaining gap
+    // pays for the branch-and-bound core (whose own domination / flow
+    // machinery then runs on this component alone).
+    std::vector<size_t> hard;
+    for (size_t g = 0; g < tasks.size(); ++g) {
+      if (!tasks[g].done) hard.push_back(g);
+    }
+    auto solve_hard = [&](size_t idx) {
+      const size_t g = hard[idx];
+      GroupTask& task = tasks[g];
+      Component& comp = task.comp;
+      const size_t count = comp.sets.size();
       std::vector<int> sub_to_dense;
       std::vector<std::vector<int>> local_sets;
       local_sets.reserve(count);
@@ -567,7 +598,7 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
             comp.solution.push_back(sub_to_dense[static_cast<size_t>(e)]);
           }
         } else if (TinyEligible(local_sets)) {
-          out->resolved = true;
+          task.resolved = true;
           TinySolver tiny{local_sets,
                           std::vector<bool>(sub_to_dense.size(), false),
                           {},
@@ -590,10 +621,15 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
             comp.solution.push_back(sub_to_dense[static_cast<size_t>(e)]);
           }
         } else {
-          out->resolved = true;
+          task.resolved = true;
           ExactOptions exact;
           exact.witness_limit = kNoWitnessLimit;  // stream already budgeted
           exact.node_budget = options_.exact_node_budget;
+          // Deliberately serial (the default): this task already runs
+          // on a pool worker and the pool is not reentrant, and a
+          // serial inner solve keeps the component's answer — size,
+          // proof, and chosen set — byte-identical to the serial
+          // session.
           ExactStats stats;
           HittingSetResult hs = SolveMinHittingSet(local_sets, exact, &stats);
           if (!hs.proven_optimal && upper < hs.size) {
@@ -611,7 +647,19 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
         }
       }
       std::sort(comp.solution.begin(), comp.solution.end());
-      AdoptComponent(label, std::move(comp));
+    };
+    const int threads = std::max(1, options_.solver_threads);
+    if (threads > 1 && hard.size() > 1) {
+      if (pool_ == nullptr) pool_.reset(new WorkerPool(threads));
+      pool_->Run(hard.size(), solve_hard);
+    } else {
+      for (size_t idx = 0; idx < hard.size(); ++idx) solve_hard(idx);
+    }
+
+    // Pass 3: adopt in partition order.
+    for (GroupTask& task : tasks) {
+      out->resolved = out->resolved || task.resolved;
+      AdoptComponent(task.label, std::move(task.comp));
     }
     for (int e : local_to_dense) {
       global_to_local_[static_cast<size_t>(e)] = -1;

@@ -13,6 +13,7 @@
 #include "db/witness.h"
 #include "resilience/engine.h"
 #include "util/fnv.h"
+#include "util/parallel.h"
 
 namespace rescq {
 
@@ -76,6 +77,17 @@ struct EpochOutcome {
 /// a silently wrong answer) and `exact_node_budget` caps each
 /// per-component re-solve (an unproven component keeps its feasible
 /// upper bound and retries when next touched).
+///
+/// With `EngineOptions::solver_threads > 1` an epoch's hard
+/// sub-components (those the closed forms don't finish) re-answer in
+/// parallel on a worker pool the session keeps warm across epochs.
+/// Every per-component solve is self-contained and runs serially
+/// inside its worker (the nested exact solve stays at one thread —
+/// the pool is not reentrant), and components are adopted in
+/// partition order afterwards, so every epoch outcome — including the
+/// contingency set — is byte-identical to the serial session at any
+/// thread count. A session object itself is single-threaded: Apply
+/// from one thread at a time.
 class IncrementalSession {
  public:
   /// Builds the family for `q` over `base` (the epoch-0 full build) and
@@ -198,6 +210,10 @@ class IncrementalSession {
   // the arrays stay clean between epochs and only grow with the
   // universe).
   std::vector<int> global_to_local_;
+
+  // Lazily created when solver_threads > 1 and an epoch leaves more
+  // than one hard sub-component; kept warm across epochs.
+  std::unique_ptr<WorkerPool> pool_;
 
   bool poisoned_ = false;  // witness budget tripped; family incomplete
   std::string poison_error_;

@@ -1,0 +1,90 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+namespace rescq {
+
+WorkerPool::WorkerPool(int threads) {
+  int spawn = std::max(1, threads) - 1;
+  workers_.reserve(static_cast<size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::WorkerMain() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void(size_t)>* job = job_;
+    const size_t count = count_;
+    lock.unlock();
+    for (;;) {
+      // Relaxed is enough: the job state was published under mu_ before
+      // the generation bump, and completion is published back under mu_
+      // via running_. The cursor only partitions indices.
+      size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*job)(i);
+    }
+    lock.lock();
+    if (--running_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    count_ = count;
+    cursor_.store(0, std::memory_order_relaxed);
+    running_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is the last worker: it drains the same cursor, then
+  // waits for the spawned workers to finish their in-flight items.
+  for (;;) {
+    size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void ParallelFor(int threads, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (threads <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  WorkerPool pool(static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), count)));
+  pool.Run(count, fn);
+}
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace rescq

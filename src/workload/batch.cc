@@ -1,12 +1,10 @@
 #include "workload/batch.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 
 #include "complexity/catalog.h"
@@ -14,6 +12,7 @@
 #include "resilience/engine.h"
 #include "resilience/solver.h"
 #include "util/fnv.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 #include "workload/generators.h"
 
@@ -253,6 +252,8 @@ bool ParsePlanFile(const std::string& path, BatchPlan* plan,
       options->witness_limit = static_cast<size_t>(limit);
     } else if (key == "exact_node_budget") {
       ok = ParseUint64(value, &options->exact_node_budget);
+    } else if (key == "solver_threads") {
+      ok = ParsePositiveInt(value, &options->solver_threads);
     } else {
       *error = StrFormat("%s:%d: unknown plan key '%s'", path.c_str(), lineno,
                          key.c_str());
@@ -280,23 +281,13 @@ BatchReport RunBatch(const std::vector<BatchJob>& jobs,
   EngineOptions engine_options;
   engine_options.witness_limit = options.witness_limit;
   engine_options.exact_node_budget = options.exact_node_budget;
+  engine_options.solver_threads = options.solver_threads;
   ResilienceEngine engine(engine_options);
-  std::atomic<size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) return;
-      report.cells[i] = RunCell(jobs[i], options, &engine, &memo);
-    }
-  };
 
   auto start = std::chrono::steady_clock::now();
-  int threads = std::max(1, options.threads);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads - 1));
-  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();  // the caller is the last worker
-  for (std::thread& t : pool) t.join();
+  ParallelFor(std::max(1, options.threads), jobs.size(), [&](size_t i) {
+    report.cells[i] = RunCell(jobs[i], options, &engine, &memo);
+  });
   report.elapsed_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();

@@ -47,6 +47,10 @@ struct BatchOptions {
   /// Branch-and-bound node budget per exact component solve (0 =
   /// unlimited); exhausted budgets return the verified incumbent.
   uint64_t exact_node_budget = 0;
+  /// Workers *inside* each exact solve (EngineOptions::solver_threads);
+  /// independent of `threads`, which fans out across cells. Resilience
+  /// values stay identical for any setting.
+  int solver_threads = 1;
 };
 
 /// Expands the plan into the job matrix. Returns false and fills *error
@@ -57,8 +61,8 @@ bool ExpandPlan(const BatchPlan& plan, std::vector<BatchJob>* jobs,
 /// Parses a `key = value` plan file (docs/WORKLOADS.md). Recognized
 /// keys: scenarios, queries, sizes, seeds, density, threads,
 /// check_oracle, oracle_cutoff, memoize, witness_limit,
-/// exact_node_budget; '#' starts a comment. Unknown keys and
-/// unparseable values are errors.
+/// exact_node_budget, solver_threads; '#' starts a comment. Unknown
+/// keys and unparseable values are errors.
 bool ParsePlanFile(const std::string& path, BatchPlan* plan,
                    BatchOptions* options, std::string* error);
 

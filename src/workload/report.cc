@@ -52,13 +52,14 @@ void WriteReportCsv(const BatchReport& report, std::ostream& out) {
 }
 
 void WriteReportJson(const BatchReport& report, std::ostream& out) {
-  out << "{\n  \"schema\": \"rescq-batch-report/v3\",\n";
+  out << "{\n  \"schema\": \"rescq-batch-report/v4\",\n";
   out << "  \"options\": {\"threads\": " << report.options.threads
       << ", \"check_oracle\": " << BoolName(report.options.check_oracle)
       << ", \"oracle_cutoff\": " << report.options.oracle_cutoff
       << ", \"memoize\": " << BoolName(report.options.memoize)
       << ", \"witness_limit\": " << report.options.witness_limit
       << ", \"exact_node_budget\": " << report.options.exact_node_budget
+      << ", \"solver_threads\": " << report.options.solver_threads
       << "},\n";
   out << "  \"summary\": {\"cells\": " << report.cells.size()
       << ", \"mismatches\": " << report.mismatches

@@ -23,7 +23,8 @@ const char* BoolName(bool b);
 /// legitimately vary between runs.
 void WriteReportCsv(const BatchReport& report, std::ostream& out);
 
-/// JSON document (`rescq-batch-report/v2`):
+/// JSON document (`rescq-batch-report/v4` — v4 added
+/// `options.solver_threads`):
 /// {"schema", "options", "summary" (incl. plan_cache), "cells": [...]}.
 void WriteReportJson(const BatchReport& report, std::ostream& out);
 

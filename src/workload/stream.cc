@@ -67,6 +67,7 @@ StreamReport RunStream(const Query& q, const std::string& query_name,
   EngineOptions engine_options;
   engine_options.witness_limit = options.witness_limit;
   engine_options.exact_node_budget = options.exact_node_budget;
+  engine_options.solver_threads = options.solver_threads;
   IncrementalSession session(q, base, engine_options);
 
   StreamRow row = RowFromOutcome(session.current(), session);
@@ -107,13 +108,14 @@ void WriteStreamCsv(const StreamReport& report, std::ostream& out) {
 }
 
 void WriteStreamJson(const StreamReport& report, std::ostream& out) {
-  out << "{\n  \"schema\": \"rescq-stream-report/v4\",\n";
+  out << "{\n  \"schema\": \"rescq-stream-report/v5\",\n";
   out << "  \"query\": \"" << JsonEscape(report.query)
       << "\", \"query_text\": \"" << JsonEscape(report.query_text) << "\",\n";
   out << "  \"options\": {\"check_oracle\": "
       << BoolName(report.options.check_oracle)
       << ", \"witness_limit\": " << report.options.witness_limit
       << ", \"exact_node_budget\": " << report.options.exact_node_budget
+      << ", \"solver_threads\": " << report.options.solver_threads
       << "},\n";
   out << "  \"summary\": {\"epochs\": " << report.rows.size()
       << ", \"mismatches\": " << report.mismatches

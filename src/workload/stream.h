@@ -23,6 +23,11 @@ struct StreamOptions {
   /// the same semantics as EngineOptions.
   size_t witness_limit = 0;
   uint64_t exact_node_budget = 0;
+  /// Workers for the session's per-epoch hard-component fan-out
+  /// (EngineOptions::solver_threads). Every report row is byte-identical
+  /// for any setting — the incremental parallel path is fully
+  /// deterministic.
+  int solver_threads = 1;
 };
 
 /// One report row: epoch 0 is the initial full build, later rows one
@@ -72,8 +77,8 @@ StreamReport RunStream(const Query& q, const std::string& query_name,
 /// the timing columns come last.
 void WriteStreamCsv(const StreamReport& report, std::ostream& out);
 
-/// JSON document (`rescq-stream-report/v4` — the report-schema lineage
-/// continues from the batch report's v3):
+/// JSON document (`rescq-stream-report/v5` — v5 added
+/// `options.solver_threads`):
 /// {"schema", "query", "options", "summary", "epochs": [...]}.
 void WriteStreamJson(const StreamReport& report, std::ostream& out);
 

@@ -196,17 +196,17 @@ else
 fi
 rm -f "$upd_a" "$upd_b" "$rep_a" "$rep_b"
 
-# stream report files: the JSON carries the v4 schema and a zero
+# stream report files: the JSON carries the v5 schema and a zero
 # mismatch summary.
 stream_json="$(mktemp)"
 "$RESCQ" stream --name q_vc "$SRC/data/gen_vc_er.tuples" \
     --churn mixed --epochs 3 --rate 0.2 --seed 2 --check-oracle \
     --json "$stream_json" >/dev/null
-if grep -q '"schema": "rescq-stream-report/v4"' "$stream_json" \
+if grep -q '"schema": "rescq-stream-report/v5"' "$stream_json" \
     && grep -q '"mismatches": 0' "$stream_json"; then
-  echo "ok: stream JSON report is v4 with 0 mismatches"
+  echo "ok: stream JSON report is v5 with 0 mismatches"
 else
-  echo "FAIL: stream JSON report lacks the v4 schema or reports mismatches"
+  echo "FAIL: stream JSON report lacks the v5 schema or reports mismatches"
   sed 's/^/    /' "$stream_json"
   failures=$((failures + 1))
 fi
@@ -224,14 +224,15 @@ else
   echo "FAIL: batch_report.json missing or reports mismatches"
   failures=$((failures + 1))
 fi
-# schema v3: the report must carry the plan-cache counters and the
-# budget-exceeded accounting added with the witness/node budgets.
-if grep -q '"schema": "rescq-batch-report/v3"' batch_report.json \
+# schema v4: the report must carry the plan-cache counters, the
+# budget-exceeded accounting, and the solver_threads option.
+if grep -q '"schema": "rescq-batch-report/v4"' batch_report.json \
     && grep -q '"plan_cache"' batch_report.json \
-    && grep -q '"budget_exceeded"' batch_report.json; then
-  echo "ok: batch JSON report is v3 with plan-cache and budget stats"
+    && grep -q '"budget_exceeded"' batch_report.json \
+    && grep -q '"solver_threads"' batch_report.json; then
+  echo "ok: batch JSON report is v4 with plan-cache, budget, and solver stats"
 else
-  echo "FAIL: batch_report.json lacks the v3 plan-cache/budget fields"
+  echo "FAIL: batch_report.json lacks the v4 plan-cache/budget/solver fields"
   failures=$((failures + 1))
 fi
 

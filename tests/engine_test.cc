@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <iterator>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "complexity/catalog.h"
@@ -354,6 +356,70 @@ TEST(Engine, AllowFallbackGatesTheExactFallback) {
 }
 
 // --- Explain -----------------------------------------------------------------
+
+// --- Engine sharing: concurrent Solve calls on one instance -----------------
+
+// The documented concurrency contract (engine.h): every public method is
+// safe from any number of threads; the only shared mutable state is the
+// mutex-guarded plan-cache LRU. This hammers one engine from 8 threads
+// over a working set larger than the cache (forcing concurrent splices,
+// inserts, and evictions) and checks every answer against serially
+// precomputed references. Runs under TSan via the `parallel` CI job's
+// unit label.
+void StressConcurrentSolves(EngineOptions options) {
+  options.plan_cache_capacity = 3;  // < working set: constant LRU churn
+  ResilienceEngine engine(options);
+  struct Case {
+    Query q;
+    Database db;
+    bool unbreakable;
+    int resilience;
+  };
+  std::vector<Case> cases;
+  const char* texts[] = {"R(x,y), R(y,x)", "R(x,y), R(y,z)",
+                         "R(x), S(x,y), R(y)", "R(x,y), S(y,z), T(z,x)",
+                         "A(x), R(x,y), R(y,x)", "R(x,y), R(y,z), S^x(z,w)"};
+  for (const char* text : texts) {
+    Case c;
+    c.q = MustParseQuery(text);
+    c.db = GenerateUniform(c.q, {4, 0.5, 7});
+    ResilienceResult reference = ComputeResilienceReference(c.q, c.db);
+    c.unbreakable = reference.unbreakable;
+    c.resilience = reference.resilience;
+    cases.push_back(std::move(c));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 30; ++i) {
+        const Case& c = cases[static_cast<size_t>(t + i) % cases.size()];
+        SolveOutcome out = engine.Solve(c.q, c.db);
+        bool ok = out.error.empty() &&
+                  out.result.unbreakable == c.unbreakable &&
+                  (c.unbreakable || out.result.resilience == c.resilience);
+        if (!ok) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 30u);
+  EXPECT_LE(stats.entries, 3u);
+}
+
+TEST(Engine, ConcurrentSolvesOnOneEngineAreSafe) {
+  StressConcurrentSolves(EngineOptions{});
+}
+
+TEST(Engine, ConcurrentSolvesComposeWithSolverWorkers) {
+  // Each Solve additionally spins up its own private solver fan-out:
+  // concurrent Solves nest independent pools without interference.
+  EngineOptions options;
+  options.solver_threads = 2;
+  StressConcurrentSolves(options);
+}
 
 TEST(Plan, ExplainNamesPipelineSolverAndCitation) {
   ResilienceEngine engine;

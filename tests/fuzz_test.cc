@@ -217,6 +217,105 @@ TEST(Fuzz, CatalogWideExactDifferentialSweep) {
   }
 }
 
+TEST(Fuzz, ParallelExactDifferentialSweep) {
+  // Randomized multi-component hitting-set instances: the parallel
+  // solver (2 and 4 workers, shared incumbent active) against the
+  // serial solver against the bound-free brute-force reference. Element
+  // ids are blocked per component so every instance genuinely fans out.
+  Rng rng(0x9A7A11E1);
+  for (int round = 0; round < 60; ++round) {
+    std::vector<std::vector<int>> sets;
+    int components = 2 + static_cast<int>(rng.Below(4));
+    int num_elements = 0;
+    for (int c = 0; c < components; ++c) {
+      int base = c * 8;
+      int family = 3 + static_cast<int>(rng.Below(6));
+      for (int s = 0; s < family; ++s) {
+        std::vector<int> set;
+        int arity = 1 + static_cast<int>(rng.Below(3));
+        for (int k = 0; k < arity; ++k) {
+          int e = base + static_cast<int>(rng.Below(6));
+          set.push_back(e);
+          num_elements = std::max(num_elements, e + 1);
+        }
+        sets.push_back(set);
+      }
+    }
+    int reference = ReferenceHittingSet(sets, num_elements);
+    HittingSetResult serial = SolveMinHittingSet(sets);
+    ASSERT_EQ(serial.size, reference) << "round " << round;
+    for (int threads : {2, 4}) {
+      ExactOptions options;
+      options.solver_threads = threads;
+      ExactStats stats;
+      HittingSetResult parallel = SolveMinHittingSet(sets, options, &stats);
+      ASSERT_EQ(parallel.size, reference)
+          << "round " << round << " threads " << threads;
+      ASSERT_TRUE(parallel.proven_optimal)
+          << "round " << round << " threads " << threads;
+      ASSERT_EQ(static_cast<int>(parallel.chosen.size()), parallel.size);
+      for (const std::vector<int>& s : sets) {
+        bool hit = false;
+        for (int e : s) {
+          for (int c : parallel.chosen) hit = hit || c == e;
+        }
+        ASSERT_TRUE(hit) << "round " << round << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(Fuzz, ParallelIncrementalChurnSweep) {
+  // Random queries under churn with solver_threads > 1: the parallel
+  // session must stay byte-identical to the serial session (the
+  // incremental contract keeps even the contingency deterministic) and
+  // both must agree with the from-scratch exact oracle.
+  Rng rng(0xC0FFEE);
+  EngineOptions parallel_options;
+  parallel_options.solver_threads = 3;
+  for (int round = 0; round < 25; ++round) {
+    Query q = RandomQuery(rng);
+    Database base = RandomDatabase(q, 4, 8, rng);
+    const ChurnKind& kind =
+        ChurnCatalog()[round % ChurnCatalog().size()];
+    ChurnParams churn;
+    churn.epochs = 3;
+    churn.rate = 0.3;
+    churn.seed = 0x5EED + static_cast<uint64_t>(round);
+    UpdateLog log = GenerateChurn(base, kind.name, churn);
+
+    IncrementalSession serial(q, base, EngineOptions{});
+    IncrementalSession parallel(q, base, parallel_options);
+    int epoch = 0;
+    auto check = [&](const EpochOutcome& a, const EpochOutcome& b) {
+      ASSERT_EQ(a.unbreakable, b.unbreakable)
+          << q.ToString() << " round " << round << " epoch " << epoch;
+      ASSERT_EQ(a.resilience, b.resilience)
+          << q.ToString() << " round " << round << " epoch " << epoch;
+      ASSERT_EQ(a.contingency, b.contingency)
+          << q.ToString() << " round " << round << " epoch " << epoch;
+      ASSERT_EQ(a.lower_bound, b.lower_bound)
+          << q.ToString() << " round " << round << " epoch " << epoch;
+      ResilienceResult exact = ComputeResilienceExact(q, parallel.db());
+      ASSERT_EQ(b.unbreakable, exact.unbreakable)
+          << q.ToString() << " round " << round << " epoch " << epoch;
+      if (!exact.unbreakable) {
+        ASSERT_EQ(b.resilience, exact.resilience)
+            << q.ToString() << " round " << round << " epoch " << epoch;
+      }
+    };
+    check(serial.current(), parallel.current());
+    if (::testing::Test::HasFatalFailure()) return;
+    for (const Epoch& e : log.epochs) {
+      ++epoch;
+      EpochOutcome a = serial.Apply(e);
+      EpochOutcome b = parallel.Apply(e);
+      check(a, b);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
 TEST(Fuzz, BudgetedEngineNeverMisreports) {
   // Random queries under a tiny witness budget: every outcome is either
   // a correct answer (error empty, agrees with the oracle) or a

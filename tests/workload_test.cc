@@ -120,6 +120,47 @@ TEST(Batch, ThreadCountDoesNotChangeResults) {
   }
 }
 
+TEST(Batch, CsvRowsStayInvariantAcrossCellAndSolverThreads) {
+  // Post-pool-migration regression: RunBatch now fans cells out via the
+  // shared WorkerPool machinery, and each cell's exact solve may itself
+  // use solver workers. The deterministic CSV prefix (columns 1-15,
+  // through oracle_resilience) must stay byte-identical for every
+  // combination — only memo/plan-cache attribution and timings (the
+  // trailing columns) may vary.
+  std::vector<BatchJob> jobs;
+  std::string error;
+  ASSERT_TRUE(ExpandPlan(SmallPlan(), &jobs, &error)) << error;
+  auto deterministic_prefix = [](const BatchReport& report) {
+    std::ostringstream csv;
+    WriteReportCsv(report, csv);
+    std::string out;
+    std::istringstream lines(csv.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      size_t pos = 0;
+      for (int commas = 0; commas < 15 && pos != std::string::npos; ++commas) {
+        pos = line.find(',', pos == 0 && commas == 0 ? 0 : pos + 1);
+      }
+      out += line.substr(0, pos) + "\n";
+    }
+    return out;
+  };
+  BatchOptions baseline;  // threads = 1, solver_threads = 1
+  std::string expected = deterministic_prefix(RunBatch(jobs, baseline));
+  struct Combo {
+    int threads;
+    int solver_threads;
+  };
+  for (Combo combo : {Combo{4, 1}, Combo{1, 4}, Combo{4, 2}}) {
+    BatchOptions options;
+    options.threads = combo.threads;
+    options.solver_threads = combo.solver_threads;
+    EXPECT_EQ(deterministic_prefix(RunBatch(jobs, options)), expected)
+        << "threads " << combo.threads << " solver_threads "
+        << combo.solver_threads;
+  }
+}
+
 TEST(Batch, MemoizationReusesRepeatedCells) {
   // The same (scenario, size, seed) twice: the second cell must hit the
   // memo on one thread and still report the same resilience.
@@ -298,7 +339,7 @@ TEST(Report, CsvAndJsonCarryEveryCell) {
   std::stringstream json;
   WriteReportJson(report, json);
   std::string json_text = json.str();
-  EXPECT_NE(json_text.find("\"schema\": \"rescq-batch-report/v3\""),
+  EXPECT_NE(json_text.find("\"schema\": \"rescq-batch-report/v4\""),
             std::string::npos);
   EXPECT_NE(json_text.find("\"scenario\": \"vc_path\""), std::string::npos);
   EXPECT_NE(json_text.find("\"mismatches\": 0"), std::string::npos);

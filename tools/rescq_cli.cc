@@ -55,7 +55,7 @@ int Usage(std::FILE* out) {
                "  rescq resilience (<query> | --name <catalog-name>) "
                "<tuples-file> [--exact]\n"
                "                   [--witness-limit N] "
-               "[--exact-node-budget N]\n"
+               "[--exact-node-budget N] [--solver-threads N]\n"
                "      Compute rho(q, D) over the tuple file; --exact forces "
                "the reference solver.\n"
                "      --witness-limit caps the streamed witness enumeration "
@@ -63,7 +63,10 @@ int Usage(std::FILE* out) {
                "      reported outcome, not a truncated answer); "
                "--exact-node-budget caps the\n"
                "      branch-and-bound search (the incumbent is returned as "
-               "an upper bound).\n"
+               "an upper bound);\n"
+               "      --solver-threads fans independent hitting-set "
+               "components out to workers\n"
+               "      (the resilience value is identical for any count).\n"
                "  rescq explain (<query> | --name <catalog-name>)\n"
                "      Print the reusable resilience plan: pipeline stages, "
                "per-component\n"
@@ -83,8 +86,8 @@ int Usage(std::FILE* out) {
                "[--plan <file>]\n"
                "              [--sizes 4,6,8 | --max-size N] [--seeds 1,2] "
                "[--density D]\n"
-               "              [--threads N] [--check-oracle] "
-               "[--oracle-cutoff N]\n"
+               "              [--threads N] [--solver-threads N] "
+               "[--check-oracle] [--oracle-cutoff N]\n"
                "              [--no-memoize] [--witness-limit N] "
                "[--exact-node-budget N]\n"
                "              [--csv <file>] [--json <file>]\n"
@@ -100,7 +103,8 @@ int Usage(std::FILE* out) {
                "[--emit-updates <file>]\n"
                "              [--check-oracle] [--witness-limit N] "
                "[--exact-node-budget N]\n"
-               "              [--csv <file>] [--json <file>]\n"
+               "              [--solver-threads N] [--csv <file>] "
+               "[--json <file>]\n"
                "      Maintain the resilience incrementally under an update "
                "stream and\n"
                "      report one row per epoch (bounds, re-solves, timings); "
@@ -196,6 +200,7 @@ int CmdResilience(const std::vector<std::string>& args) {
   bool exact = false;
   uint64_t witness_limit = 0;
   uint64_t node_budget = 0;
+  int solver_threads = 1;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--exact") {
@@ -208,6 +213,17 @@ int CmdResilience(const std::vector<std::string>& args) {
       uint64_t* dst = a == "--witness-limit" ? &witness_limit : &node_budget;
       if (!ParseUint64(args[i + 1], dst)) {
         std::fprintf(stderr, "error: %s needs an unsigned integer, got '%s'\n",
+                     a.c_str(), args[i + 1].c_str());
+        return 2;
+      }
+      ++i;
+    } else if (a == "--solver-threads") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
+        return 2;
+      }
+      if (!ParsePositiveInt(args[i + 1], &solver_threads)) {
+        std::fprintf(stderr, "error: %s needs a positive integer, got '%s'\n",
                      a.c_str(), args[i + 1].c_str());
         return 2;
       }
@@ -267,6 +283,7 @@ int CmdResilience(const std::vector<std::string>& args) {
   options.force_exact = exact;
   options.witness_limit = static_cast<size_t>(witness_limit);
   options.exact_node_budget = node_budget;
+  options.solver_threads = solver_threads;
   ResilienceEngine engine(options);
   SolveOutcome outcome = engine.Solve(*q, db);
   if (outcome.exact.witnesses > 0) {
@@ -555,6 +572,10 @@ int CmdBatch(const std::vector<std::string>& args) {
     } else if (a == "--threads") {
       if (!(v = value("--threads")) || !ParseIntFlag(a, *v, &options.threads))
         return 2;
+    } else if (a == "--solver-threads") {
+      if (!(v = value("--solver-threads")) ||
+          !ParseIntFlag(a, *v, &options.solver_threads))
+        return 2;
     } else if (a == "--check-oracle") {
       options.check_oracle = true;
     } else if (a == "--oracle-cutoff") {
@@ -659,6 +680,10 @@ int CmdStream(const std::vector<std::string>& args) {
       emit_path = *v;
     } else if (a == "--check-oracle") {
       options.check_oracle = true;
+    } else if (a == "--solver-threads") {
+      if (!(v = value("--solver-threads")) ||
+          !ParseIntFlag(a, *v, &options.solver_threads))
+        return 2;
     } else if (a == "--witness-limit") {
       uint64_t limit = 0;
       if (!(v = value("--witness-limit")) || !ParseSeedFlag(a, *v, &limit))
