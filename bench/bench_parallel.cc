@@ -22,6 +22,7 @@
 #include "bench_util.h"
 #include "cq/parser.h"
 #include "db/witness.h"
+#include "obs/metrics.h"
 #include "resilience/exact_solver.h"
 #include "resilience/incremental.h"
 #include "util/parallel.h"
@@ -246,6 +247,48 @@ void PrintChurnScaling() {
   }
 }
 
+// --- Table (c): worker-pool utilization -------------------------------------
+
+// Re-runs the largest solve case per thread count with the metrics
+// registry armed: every WorkerPool publishes pool.* counters on
+// destruction, so the registry delta around one solve shows how many
+// tasks the pool drained and how much wall time its workers spent
+// parked on the condition variables. Table-only — the snapshot schema
+// (rescq-bench-parallel/v1) is unchanged.
+void PrintPoolUtilization() {
+  bench::PrintHeader(
+      "E-parallel: worker-pool utilization (pool.* metrics registry "
+      "counters)",
+      "tasks = component solves drained across the pool's lifetime, "
+      "idle_ms = summed worker wait on the task / done condition "
+      "variables (slot 0 is the Run caller). High idle at 4 workers on "
+      "few components is expected: the pool parks whoever runs out of "
+      "components.");
+  std::vector<std::vector<int>> sets = MultiComponentFamily("vc_er", 24, 8);
+  std::printf("%-9s %7s | %8s %8s %10s\n", "workers", "runs", "tasks",
+              "workers", "idle_ms");
+  obs::SetMetricsEnabled(true);
+  for (int threads : kThreadCounts) {
+    obs::GlobalRegistry().Reset();
+    ExactOptions options;
+    options.solver_threads = threads;
+    ExactStats stats;
+    HittingSetResult result = SolveMinHittingSet(sets, options, &stats);
+    benchmark::DoNotOptimize(result);
+    auto counter = [](const char* name) -> uint64_t {
+      const obs::Counter* c = obs::GlobalRegistry().FindCounter(name);
+      return c == nullptr ? 0 : c->Value();
+    };
+    std::printf("%-9d %7llu | %8llu %8llu %10.3f\n", threads,
+                static_cast<unsigned long long>(counter("pool.runs")),
+                static_cast<unsigned long long>(counter("pool.tasks_run")),
+                static_cast<unsigned long long>(counter("pool.workers")),
+                static_cast<double>(counter("pool.idle_ns")) / 1e6);
+  }
+  obs::SetMetricsEnabled(false);
+  obs::GlobalRegistry().Reset();
+}
+
 // --- Machine-readable snapshot ----------------------------------------------
 
 void WriteSnapshot(const char* path) {
@@ -348,6 +391,7 @@ BENCHMARK(BM_HubChurnEpochs)
 int main(int argc, char** argv) {
   rescq::PrintSolveScaling();
   rescq::PrintChurnScaling();
+  rescq::PrintPoolUtilization();
   if (const char* path = std::getenv("RESCQ_BENCH_SNAPSHOT")) {
     rescq::WriteSnapshot(path);
   }

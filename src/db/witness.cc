@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/memstats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rescq {
@@ -271,6 +274,30 @@ struct Enumerator {
     return true;
   }
 
+  // Geometry-based heap accounting (obs/memstats.h): dominated by the
+  // posting lists, plus the resident per-enumeration scratch.
+  size_t ApproxBytes() const {
+    uint64_t bytes = obs::VectorBytes(indexes);
+    for (const ColumnIndex& idx : indexes) {
+      bytes += obs::VectorBytes(idx.by_column);
+      for (const auto& column : idx.by_column) {
+        bytes += obs::HashContainerBytes(column);
+        for (const auto& [value, rows_for_value] : column) {
+          bytes += obs::VectorBytes(rows_for_value);
+        }
+      }
+    }
+    bytes += obs::VectorBytes(atom_rel) + obs::VectorBytes(indexed_rows) +
+             obs::VectorBytes(order) + obs::VectorBytes(binding) +
+             obs::VectorBytes(matched) + obs::VectorBytes(placed_scratch) +
+             obs::VectorBytes(var_bound_scratch) +
+             obs::NestedVectorBytes(newly_bound_stack) +
+             obs::VectorBytes(scratch.assignment) +
+             obs::VectorBytes(scratch.atom_tuples) +
+             obs::VectorBytes(scratch.endo_tuples);
+    return static_cast<size_t>(bytes);
+  }
+
   bool Emit() {
     scratch.assignment = binding;
     scratch.atom_tuples = matched;
@@ -351,6 +378,8 @@ bool WitnessIndex::ForEachDelta(
   return RunDelta(impl_->e, changed, visit);
 }
 
+size_t WitnessIndex::ApproxBytes() const { return impl_->e.ApproxBytes(); }
+
 std::vector<Witness> EnumerateWitnesses(const Query& q, const Database& db,
                                         size_t limit) {
   std::vector<Witness> out;
@@ -368,6 +397,7 @@ bool QueryHolds(const Query& q, const Database& db) {
 
 WitnessFamily CollectWitnessFamily(const Query& q, const Database& db,
                                    size_t witness_limit) {
+  obs::Span span("enumerate", "witness");
   WitnessFamily family;
   std::set<std::vector<TupleId>> sets;
   ForEachWitness(q, db, [&](const Witness& w) {
@@ -388,6 +418,8 @@ WitnessFamily CollectWitnessFamily(const Query& q, const Database& db,
     return true;
   });
   family.sets.assign(sets.begin(), sets.end());
+  obs::Count("witness.enumerated", family.witnesses);
+  obs::Count("witness.families");
   return family;
 }
 

@@ -118,6 +118,12 @@ class WitnessIndex {
   bool ForEachDelta(const std::vector<TupleId>& changed,
                     const std::function<bool(const Witness&)>& visit);
 
+  /// Approximate heap bytes held by the index (posting lists plus the
+  /// enumerator's resident scratch), from container geometry — see
+  /// obs/memstats.h for the accounting convention. Walks the posting
+  /// maps, so call it per epoch (behind a metrics gate), not per probe.
+  size_t ApproxBytes() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

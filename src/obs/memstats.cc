@@ -1,0 +1,18 @@
+#include "obs/memstats.h"
+
+namespace rescq::obs {
+
+void PublishMemBreakdown(const MemBreakdown& breakdown) {
+  if (!MetricsEnabled()) return;
+  SetGauge("mem.index_bytes", static_cast<double>(breakdown.index_bytes));
+  SetGauge("mem.family_bytes", static_cast<double>(breakdown.family_bytes));
+  SetGauge("mem.component_bytes",
+           static_cast<double>(breakdown.component_bytes));
+  SetGauge("mem.total_bytes", static_cast<double>(breakdown.TotalBytes()));
+  SetGauge("mem.tuples", static_cast<double>(breakdown.tuples));
+  SetGauge("mem.witness_sets", static_cast<double>(breakdown.witness_sets));
+  SetGauge("mem.bytes_per_tuple", breakdown.BytesPerTuple());
+  SetGauge("mem.bytes_per_witness", breakdown.BytesPerWitness());
+}
+
+}  // namespace rescq::obs

@@ -1,0 +1,156 @@
+#ifndef RESCQ_OBS_METRICS_H_
+#define RESCQ_OBS_METRICS_H_
+
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// latency histograms. Instrumented code calls the inline helpers
+// (Count / SetGauge / ObserveLatencyMs), whose first instruction is one
+// relaxed load of the global enabled flag — when no sink is installed
+// (the default) every call inlines to that single test-and-return, so
+// the hot paths pay nothing. When a sink is enabled (a --metrics-json
+// flag, a report's metrics block, or a test), updates are relaxed
+// atomics on registry-owned slots: safe from any thread, never a
+// synchronization point. Snapshots serialize to the stable
+// `rescq-metrics/v1` JSON schema with keys in sorted order, so
+// snapshots diff cleanly run over run.
+//
+// Metric names are dot-separated lowercase paths ("exact.nodes",
+// "mem.bytes_per_tuple"); docs/OBSERVABILITY.md is the catalog.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rescq::obs {
+
+/// Monotone event count. Updates are relaxed atomic adds.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (bytes, ratios, pool sizes).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]
+/// (the first bound that fits claims the observation); larger values
+/// land in the overflow bucket. Bounds are fixed at registration so
+/// snapshots from different runs are bucket-compatible.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t BucketCount(size_t i) const;
+  uint64_t OverflowCount() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> overflow_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Owns every metric; registration is mutex-protected and returns a
+/// stable reference (map nodes never move), so updates after lookup are
+/// lock-free. Standalone registries serve the tests; instrumented code
+/// uses the process-wide GlobalRegistry().
+class Registry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `upper_bounds` applies on first registration only; later calls with
+  /// the same name return the existing histogram unchanged.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& upper_bounds);
+
+  /// Read-only lookups; nullptr when the name was never registered.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Zeroes every value; registrations (and histogram bounds) survive.
+  void Reset();
+
+  /// The snapshot object body ("counters"/"gauges"/"histograms" fields,
+  /// no surrounding braces) indented by `indent` spaces — shared by the
+  /// standalone document and the report embeddings.
+  void AppendSnapshotFields(std::string* out, int indent) const;
+
+  /// Full `rescq-metrics/v1` document.
+  std::string SnapshotJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+Registry& GlobalRegistry();
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace internal
+
+/// True when some sink (CLI flag, report writer, test) asked for
+/// metrics. Instrumentation helpers no-op when false.
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled);
+
+/// Default latency buckets (milliseconds) shared by every *_ms
+/// histogram so traces from different stages line up.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+/// Instrumentation helpers against the global registry. One relaxed
+/// bool load when disabled.
+inline void Count(const char* name, uint64_t n = 1) {
+  if (!MetricsEnabled()) return;
+  GlobalRegistry().GetCounter(name).Add(n);
+}
+
+inline void SetGauge(const char* name, double value) {
+  if (!MetricsEnabled()) return;
+  GlobalRegistry().GetGauge(name).Set(value);
+}
+
+inline void ObserveLatencyMs(const char* name, double ms) {
+  if (!MetricsEnabled()) return;
+  GlobalRegistry().GetHistogram(name, DefaultLatencyBucketsMs()).Observe(ms);
+}
+
+/// Writes the registry's `rescq-metrics/v1` snapshot; false on I/O
+/// failure.
+bool WriteMetricsJson(const Registry& registry, const std::string& path);
+
+}  // namespace rescq::obs
+
+#endif  // RESCQ_OBS_METRICS_H_

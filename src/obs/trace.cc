@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace rescq::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  int64_t ts;   // microseconds since the trace epoch
+  int64_t dur;  // microseconds
+  int tid;
+};
+
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  int next_tid = 1;
+};
+
+TraceBuffer& Buffer() {
+  static TraceBuffer* buffer = new TraceBuffer();  // leaked: outlives threads
+  return *buffer;
+}
+
+// Small sequential per-thread track ids — stable for the thread's
+// lifetime, assigned under the buffer mutex on the thread's first span.
+int ThreadTrackId() {
+  thread_local int tid = 0;
+  if (tid == 0) {
+    TraceBuffer& buffer = Buffer();
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    tid = buffer.next_tid++;
+  }
+  return tid;
+}
+
+}  // namespace
+
+namespace internal {
+
+int64_t TraceNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Buffer().epoch)
+      .count();
+}
+
+void RecordSpan(const char* name, const char* cat, int64_t start_us,
+                int64_t end_us) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts = start_us;
+  event.dur = end_us >= start_us ? end_us - start_us : 0;
+  event.tid = ThreadTrackId();
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(event);
+}
+
+}  // namespace internal
+
+void StartTrace() {
+  TraceBuffer& buffer = Buffer();
+  {
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    buffer.events.clear();
+    buffer.epoch = std::chrono::steady_clock::now();
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void StopTrace() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+size_t TraceEventCount() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  return buffer.events.size();
+}
+
+std::string TraceJson() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  std::string out;
+  out.append("{\n  \"traceEvents\": [");
+  for (size_t i = 0; i < buffer.events.size(); ++i) {
+    const TraceEvent& e = buffer.events[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    { \"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %lld, \"dur\": %lld, \"pid\": 1, \"tid\": %d }",
+                  e.name, e.cat, static_cast<long long>(e.ts),
+                  static_cast<long long>(e.dur), e.tid);
+    out.append(line);
+  }
+  if (!buffer.events.empty()) out.append("\n  ");
+  out.append("],\n  \"displayTimeUnit\": \"ms\"\n}\n");
+  return out;
+}
+
+bool WriteTraceJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = TraceJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace rescq::obs

@@ -1,0 +1,80 @@
+#ifndef RESCQ_OBS_TRACE_H_
+#define RESCQ_OBS_TRACE_H_
+
+// Solve tracing: RAII spans that record Chrome trace_event-format
+// complete events ("ph":"X"), so a solve or stream run can be opened in
+// chrome://tracing or https://ui.perfetto.dev. Tracing is off by
+// default; a Span constructed while tracing is off costs one relaxed
+// bool load and records nothing. When tracing is on, the span's
+// destructor appends one event under a mutex — span placement is
+// coarse (plan / enumerate / reduce / component-solve / epoch-apply /
+// adopt, see docs/OBSERVABILITY.md for the taxonomy), so the lock is
+// never on a per-node path.
+//
+// Thread nesting is correct by construction: events carry the real
+// wall-clock interval plus a small per-thread id assigned on first use,
+// so spans opened inside WorkerPool workers stack under their worker's
+// track in the viewer.
+//
+// `name` and `cat` must be string literals (or otherwise outlive the
+// trace buffer): events store the pointers, not copies.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rescq::obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+int64_t TraceNowMicros();
+void RecordSpan(const char* name, const char* cat, int64_t start_us,
+                int64_t end_us);
+}  // namespace internal
+
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Clears any buffered events, re-bases the trace clock, and enables
+/// span recording.
+void StartTrace();
+
+/// Stops recording; buffered events survive for TraceJson/WriteTraceJson.
+void StopTrace();
+
+/// Number of buffered events (tests and sanity checks).
+size_t TraceEventCount();
+
+/// The buffered events as a `{"traceEvents": [...]}` document.
+std::string TraceJson();
+
+/// Writes TraceJson() to `path`; false on I/O failure.
+bool WriteTraceJson(const std::string& path);
+
+/// RAII span: measures construction-to-destruction and records one
+/// complete event on the calling thread's track. Inert (start_us_ < 0)
+/// when tracing was off at construction.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "solve")
+      : name_(name),
+        cat_(cat),
+        start_us_(TraceEnabled() ? internal::TraceNowMicros() : -1) {}
+  ~Span() {
+    if (start_us_ >= 0 && TraceEnabled()) {
+      internal::RecordSpan(name_, cat_, start_us_, internal::TraceNowMicros());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  int64_t start_us_;
+};
+
+}  // namespace rescq::obs
+
+#endif  // RESCQ_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "db/witness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resilience/exact_solver.h"
 #include "util/check.h"
 
@@ -48,18 +50,23 @@ std::shared_ptr<const ResiliencePlan> ResilienceEngine::PlanInternal(
       ++stats_.hits;
       *cache_hit = true;
       lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      obs::Count("engine.plan_cache_hits");
       return it->second->second;
     }
     ++stats_.misses;
     *cache_hit = false;
   }
+  obs::Count("engine.plan_cache_misses");
   // Build outside the lock: planning can be expensive (isomorphism
   // probes) and concurrent workers planning distinct queries should not
   // serialize. A racing duplicate build is benign — the first insert
   // wins and the losing thread's build is discarded (both builds still
   // count as cache misses).
-  auto plan =
-      std::make_shared<const ResiliencePlan>(BuildPlan(q, *registry_));
+  std::shared_ptr<const ResiliencePlan> plan;
+  {
+    obs::Span span("plan", "engine");
+    plan = std::make_shared<const ResiliencePlan>(BuildPlan(q, *registry_));
+  }
   if (options_.plan_cache_capacity == 0) return plan;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -112,6 +119,8 @@ SolveOutcome ResilienceEngine::Solve(
     const std::shared_ptr<const ResiliencePlan>& plan,
     const Database& db) const {
   RESCQ_CHECK(plan != nullptr);
+  obs::Span span("solve", "engine");
+  obs::Count("engine.solves");
   SolveOutcome out;
   out.plan = plan;
   Clock::time_point start = Clock::now();
@@ -176,7 +185,10 @@ SolveOutcome ResilienceEngine::Solve(
     if (best.unbreakable || r.resilience < best.resilience) best = r;
   }
   out.result = std::move(best);
-  if (options_.collect_stats) out.solve_ms = MsSince(start);
+  if (options_.collect_stats) {
+    out.solve_ms = MsSince(start);
+    obs::ObserveLatencyMs("engine.solve_ms", out.solve_ms);
+  }
   return out;
 }
 

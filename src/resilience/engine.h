@@ -45,13 +45,12 @@ struct EngineOptions {
   /// SolveOutcome::exact.node_budget_exceeded set.
   uint64_t exact_node_budget = 0;
   /// Workers for the exact solver's per-component fan-out (<= 1 =
-  /// serial). The default keeps every existing result byte-identical;
-  /// with more workers the resilience value stays deterministic across
-  /// any thread count but search counters (and which minimum
-  /// contingency set is reported) may vary — see
-  /// ExactOptions::solver_threads. Each Solve spins its workers up and
-  /// down on its own, so concurrent Solve calls on one engine stay
-  /// independent.
+  /// serial). Every Solve output — the resilience value, the reported
+  /// contingency set, and the search counters in SolveOutcome::exact —
+  /// is byte-identical across any thread count (un-budgeted; see
+  /// ExactOptions::solver_threads for the node-budget exception). Each
+  /// Solve spins its workers up and down on its own, so concurrent
+  /// Solve calls on one engine stay independent.
   int solver_threads = 1;
 };
 

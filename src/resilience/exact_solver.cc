@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "flow/max_flow.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/disjoint_set.h"
 #include "util/parallel.h"
@@ -28,39 +30,48 @@ void ExactStats::Merge(const ExactStats& other) {
 
 namespace {
 
-// Node-budget accounting shared by all components of one solve — and,
-// when components fan out to a worker pool, by all workers at once, so
-// the counters are atomics. Relaxed ordering suffices: the counters
-// only gate heuristics (the budget, the flow-bound warmup) and feed the
-// stats report; they never publish data between threads. Once the
-// budget trips, every further Search() on any worker returns
-// immediately and the incumbents (seeded by the greedy upper bounds, so
-// always feasible) stand as the answer. Under contention the node count
-// may overshoot the budget by at most one per worker (each worker
-// checks, then increments). The serial path touches the same atomics
-// from one thread, so its check-then-increment semantics are identical
-// to the old plain-integer version.
+// Node-budget state shared by all components of one solve — and, when
+// components fan out to a worker pool, by all workers at once, so its
+// fields are atomics. Relaxed ordering suffices: the budget only gates
+// a heuristic cutoff, never publishes data between threads. Once it
+// trips, every further Search() on any worker returns immediately and
+// the incumbents (seeded by the greedy upper bounds, so always
+// feasible) stand as the answer. Under contention the taken count may
+// overshoot the limit by at most one per worker (each worker checks,
+// then increments). With no budget set (limit 0, the default) the
+// atomics are never touched at all.
+struct NodeBudget {
+  uint64_t limit = 0;  // 0 = unlimited
+  std::atomic<uint64_t> taken{0};
+  std::atomic<bool> exceeded{false};
+};
+
+// Per-component search counters. Exactly one worker owns a component,
+// so the counters are plain integers: summing them in partition order
+// afterwards makes ExactStats byte-identical at any thread count —
+// there is no shared mutable reporting state for schedules to race on.
+// Only the budget (when set) crosses components.
 struct SearchCtx {
-  uint64_t node_budget = 0;  // 0 = unlimited
-  std::atomic<uint64_t> nodes{0};
-  std::atomic<uint64_t> packing_prunes{0};
-  std::atomic<uint64_t> flow_prunes{0};
-  std::atomic<bool> node_budget_exceeded{false};
+  NodeBudget* budget = nullptr;
+  uint64_t nodes = 0;
+  uint64_t packing_prunes = 0;
+  uint64_t flow_prunes = 0;
 
   bool TakeNode() {
-    if (node_budget != 0 &&
-        nodes.load(std::memory_order_relaxed) >= node_budget) {
-      node_budget_exceeded.store(true, std::memory_order_relaxed);
-      return false;
+    if (budget->limit != 0) {
+      if (budget->taken.load(std::memory_order_relaxed) >= budget->limit) {
+        budget->exceeded.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      budget->taken.fetch_add(1, std::memory_order_relaxed);
     }
-    nodes.fetch_add(1, std::memory_order_relaxed);
+    ++nodes;
     return true;
   }
 
-  uint64_t Nodes() const { return nodes.load(std::memory_order_relaxed); }
-
   bool BudgetExceeded() const {
-    return node_budget_exceeded.load(std::memory_order_relaxed);
+    return budget->limit != 0 &&
+           budget->exceeded.load(std::memory_order_relaxed);
   }
 };
 
@@ -69,10 +80,12 @@ struct SearchCtx {
 // dispatch such instances in a handful of nodes.
 constexpr size_t kFlowBoundMinEdges = 8;
 
-// The flow bound also waits until the search has expanded this many
-// nodes: a solve that finishes earlier was never going to repay a Dinic
-// run per node, while a search still alive past the threshold is exactly
-// where the stronger bound cuts whole subtrees.
+// The flow bound also waits until the component's search has expanded
+// this many nodes: a component that finishes earlier was never going to
+// repay a Dinic run per node, while a search still alive past the
+// threshold is exactly where the stronger bound cuts whole subtrees.
+// The gate reads the component-local counter, so whether it fires never
+// depends on sibling components or on the worker schedule.
 constexpr uint64_t kFlowBoundMinNodes = 32;
 
 // LP-dual lower bound over size-2 sets: a maximum *fractional* matching
@@ -151,37 +164,6 @@ struct Solver {
   std::vector<int> current;      // chosen stack
   std::vector<int> best;
   int best_size = 0;
-
-  // Cross-component shared incumbent, set only by the parallel dispatch
-  // (null in serial, where AllowedSize() degenerates to best_size and
-  // the search is byte-identical to the pre-parallel code).
-  // *shared_total holds U = the sum of every in-flight component's
-  // current feasible incumbent size; others_lower holds the sum of the
-  // sibling components' static root lower bounds. Pruning a node when
-  // current + lb >= U - others_lower is sound: completing this subtree
-  // below that threshold is the only way the *total* could drop below
-  // U, and each sibling j can never finish below its root bound lb_j.
-  // It also keeps every component exact — if an optimal subtree of
-  // component i were pruned, min_i >= U_final - others_lower >= best_i
-  // (each sibling's final best >= its lb), contradicting best_i > min_i
-  // — which is what makes the resilience value thread-count invariant.
-  // Stale reads of U are conservative (U only decreases), so relaxed
-  // atomics are enough.
-  std::atomic<int>* shared_total = nullptr;
-  int others_lower = 0;
-
-  int AllowedSize() const {
-    if (shared_total == nullptr) return best_size;
-    return std::min(best_size,
-                    shared_total->load(std::memory_order_relaxed) -
-                        others_lower);
-  }
-
-  void PublishImprovement(int delta) {
-    if (shared_total != nullptr && delta > 0) {
-      shared_total->fetch_sub(delta, std::memory_order_relaxed);
-    }
-  }
 
   void Init(const std::vector<std::vector<int>>& input) {
     InitReduced(ReduceFamily(input));
@@ -335,27 +317,24 @@ struct Solver {
     int branch_set = PickBranchSet();
     if (branch_set < 0) {
       if (static_cast<int>(current.size()) < best_size) {
-        int delta = best_size - static_cast<int>(current.size());
         best = current;
         best_size = static_cast<int>(current.size());
-        PublishImprovement(delta);
       }
       return;
     }
     int lb = PackingLowerBound();
-    int allowed = AllowedSize();
-    if (static_cast<int>(current.size()) + lb >= allowed) {
-      ctx->packing_prunes.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<int>(current.size()) + lb >= best_size) {
+      ++ctx->packing_prunes;
       return;
     }
     // The flow bound costs a Dinic run, so it only fires where the cheap
     // packing bound failed to prune and the search is demonstrably
     // non-trivial — exactly the nodes worth cutting.
-    if (ctx->Nodes() >= kFlowBoundMinNodes) {
+    if (ctx->nodes >= kFlowBoundMinNodes) {
       int flow_lb = FlowLowerBound();
       if (flow_lb > lb &&
-          static_cast<int>(current.size()) + flow_lb >= allowed) {
-        ctx->flow_prunes.fetch_add(1, std::memory_order_relaxed);
+          static_cast<int>(current.size()) + flow_lb >= best_size) {
+        ++ctx->flow_prunes;
         return;
       }
     }
@@ -441,23 +420,6 @@ struct VcSolver {
   std::vector<int> cover;   // current partial cover
   std::vector<int> best;
   size_t best_size = ~size_t{0};
-
-  // Cross-component shared incumbent; same scheme and soundness
-  // argument as Solver::shared_total, except that `cover`/`best_size`
-  // here exclude the component's forced singleton elements while the
-  // shared total counts whole-component sizes, so size_offset (the
-  // forced count) converts between the two units.
-  std::atomic<int>* shared_total = nullptr;
-  int others_lower = 0;
-  int size_offset = 0;
-
-  size_t AllowedSize() const {
-    if (shared_total == nullptr) return best_size;
-    int slack = shared_total->load(std::memory_order_relaxed) -
-                others_lower - size_offset;
-    if (slack < 0) slack = 0;
-    return std::min(best_size, static_cast<size_t>(slack));
-  }
 
   void TakeVertex(int v) {
     cover.push_back(v);
@@ -549,26 +511,20 @@ struct VcSolver {
     }
     if (branch < 0) {
       if (cover.size() < best_size) {
-        size_t delta = best_size - cover.size();
         best = cover;
         best_size = cover.size();
-        if (shared_total != nullptr) {
-          shared_total->fetch_sub(static_cast<int>(delta),
-                                  std::memory_order_relaxed);
-        }
       }
       return;
     }
     size_t lb = MatchingLowerBound();
-    size_t allowed = AllowedSize();
-    if (cover.size() + lb >= allowed) {
-      ctx->packing_prunes.fetch_add(1, std::memory_order_relaxed);
+    if (cover.size() + lb >= best_size) {
+      ++ctx->packing_prunes;
       return;
     }
-    if (ctx->Nodes() >= kFlowBoundMinNodes) {
+    if (ctx->nodes >= kFlowBoundMinNodes) {
       size_t flow_lb = FlowLowerBound();
-      if (flow_lb > lb && cover.size() + flow_lb >= allowed) {
-        ctx->flow_prunes.fetch_add(1, std::memory_order_relaxed);
+      if (flow_lb > lb && cover.size() + flow_lb >= best_size) {
+        ++ctx->flow_prunes;
         return;
       }
     }
@@ -591,9 +547,7 @@ struct VcSolver {
 };
 
 // A vertex-cover component split into its solver and the elements the
-// singleton sets force: the forced part needs no search, and the
-// parallel dispatch needs the two halves separately to seed the shared
-// incumbent in whole-component units before any search starts.
+// singleton sets force: the forced part needs no search.
 struct VcInstance {
   VcSolver vc;
   std::vector<int> forced;  // ascending element ids forced by 1-sets
@@ -663,9 +617,7 @@ int HittingSetLowerBound(const std::vector<std::vector<int>>& sets) {
   while (EliminateDominatedElements(&reduced)) {
     reduced = ReduceFamily(std::move(reduced));
   }
-  SearchCtx ctx;
-  Solver solver;
-  solver.ctx = &ctx;
+  Solver solver;  // ctx stays null: the root bounds never take a node
   solver.InitReduced(std::move(reduced));
   // Both bounds with nothing chosen yet (every set open); the flow bound
   // subsumes the packing one only on 2-set-heavy families, so take the
@@ -688,9 +640,13 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
   // per-component minima. Components shrink the branching factor *and*
   // let small parts finish instantly while the search budget
   // concentrates on the hard core.
-  std::vector<std::vector<int>> reduced = ReduceFamily(sets);
-  while (EliminateDominatedElements(&reduced)) {
-    reduced = ReduceFamily(std::move(reduced));
+  std::vector<std::vector<int>> reduced;
+  {
+    obs::Span span("reduce", "exact");
+    reduced = ReduceFamily(sets);
+    while (EliminateDominatedElements(&reduced)) {
+      reduced = ReduceFamily(std::move(reduced));
+    }
   }
   int num_elements = 0;
   for (const std::vector<int>& s : reduced) {
@@ -740,97 +696,36 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
     tasks.push_back(std::move(task));
   }
 
-  SearchCtx ctx;
-  ctx.node_budget = options.node_budget;
+  // One budget for the whole solve, one counter slot per component.
+  // Components share no elements, so each solve below is a pure
+  // function of its task (plus, under a budget, the raced budget
+  // atomics) — which worker runs it cannot change its answer or its
+  // counters. That is what makes the parallel path byte-identical to
+  // the serial one: same per-component searches, same counter slots,
+  // merged in the same partition order.
+  NodeBudget budget;
+  budget.limit = options.node_budget;
+  std::vector<SearchCtx> ctxs(tasks.size());
+  for (SearchCtx& c : ctxs) c.budget = &budget;
   std::vector<std::vector<int>> chosen(tasks.size());  // local ids per task
 
+  auto solve_component = [&](size_t i) {
+    obs::Span span("component-solve", "exact");
+    ComponentTask& task = tasks[i];
+    chosen[i] =
+        task.all_small
+            ? SolveAsVertexCover(task.local_sets,
+                                 static_cast<int>(task.local_to_global.size()),
+                                 &ctxs[i])
+            : SolveComponent(std::move(task.local_sets), &ctxs[i]);
+  };
   int threads = std::max(1, options.solver_threads);
   if (threads <= 1 || tasks.size() <= 1) {
-    // Serial path: same calls in the same order as the pre-parallel
-    // solver, so every counter and every chosen set is byte-identical.
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      ComponentTask& task = tasks[i];
-      chosen[i] =
-          task.all_small
-              ? SolveAsVertexCover(
-                    task.local_sets,
-                    static_cast<int>(task.local_to_global.size()), &ctx)
-              : SolveComponent(std::move(task.local_sets), &ctx);
-    }
+    for (size_t i = 0; i < tasks.size(); ++i) solve_component(i);
   } else {
-    // Parallel path, two phases over one reused pool.
-    //
-    // Phase A seeds every component's greedy incumbent (size ub_i) and
-    // evaluates its root lower bound lb_i, with no search nodes taken.
-    // Phase B then searches every component with the shared incumbent
-    // total U = sum ub_i: component i prunes any node whose completion
-    // cannot bring the total below U given that each sibling j never
-    // finishes below lb_j, and subtracts from U whenever it improves
-    // its own incumbent — so one component's tight bound prunes
-    // siblings still in flight. See Solver::shared_total for why this
-    // keeps every component exact.
-    struct ParallelState {
-      Solver solver;  // used when !all_small
-      VcInstance vc;  // used when all_small
-      int ub = 0;     // whole-component incumbent size after seeding
-      int lb = 0;     // whole-component root lower bound
-    };
-    std::vector<ParallelState> states(tasks.size());
     WorkerPool pool(static_cast<int>(
         std::min<size_t>(static_cast<size_t>(threads), tasks.size())));
-    pool.Run(tasks.size(), [&](size_t i) {
-      ComponentTask& task = tasks[i];
-      ParallelState& st = states[i];
-      if (task.all_small) {
-        st.vc = BuildVcInstance(
-            task.local_sets, static_cast<int>(task.local_to_global.size()));
-        st.vc.vc.ctx = &ctx;
-        st.vc.vc.GreedySeed();
-        int forced = static_cast<int>(st.vc.forced.size());
-        st.ub = static_cast<int>(st.vc.vc.best_size) + forced;
-        st.lb = forced +
-                static_cast<int>(std::max(st.vc.vc.MatchingLowerBound(),
-                                          st.vc.vc.FlowLowerBound()));
-      } else {
-        st.solver.ctx = &ctx;
-        st.solver.InitReduced(std::move(task.local_sets));
-        st.solver.best_size = 1 << 30;
-        st.solver.GreedyUpperBound();
-        st.ub = st.solver.best_size;
-        st.lb = std::max(st.solver.PackingLowerBound(),
-                         st.solver.FlowLowerBound());
-      }
-    });
-    int total_ub = 0;
-    int total_lb = 0;
-    for (const ParallelState& st : states) {
-      total_ub += st.ub;
-      total_lb += st.lb;
-    }
-    std::atomic<int> shared_total{total_ub};
-    pool.Run(tasks.size(), [&](size_t i) {
-      ParallelState& st = states[i];
-      if (tasks[i].all_small) {
-        st.vc.vc.shared_total = &shared_total;
-        st.vc.vc.others_lower = total_lb - st.lb;
-        st.vc.vc.size_offset = static_cast<int>(st.vc.forced.size());
-        st.vc.vc.Search();
-      } else {
-        st.solver.shared_total = &shared_total;
-        st.solver.others_lower = total_lb - st.lb;
-        st.solver.Search();
-      }
-    });
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      ParallelState& st = states[i];
-      if (tasks[i].all_small) {
-        chosen[i] = std::move(st.vc.vc.best);
-        chosen[i].insert(chosen[i].end(), st.vc.forced.begin(),
-                         st.vc.forced.end());
-      } else {
-        chosen[i] = std::move(st.solver.best);
-      }
-    }
+    pool.Run(tasks.size(), solve_component);
   }
 
   // Deterministic component-index-ordered merge (the final sort makes
@@ -844,17 +739,27 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
   }
   std::sort(result.chosen.begin(), result.chosen.end());
   result.size = static_cast<int>(result.chosen.size());
-  result.proven_optimal = !ctx.BudgetExceeded();
 
-  if (stats != nullptr) {
-    ExactStats search;
-    search.components = static_cast<int>(groups.size());
-    search.nodes = ctx.Nodes();
-    search.packing_prunes = ctx.packing_prunes.load(std::memory_order_relaxed);
-    search.flow_prunes = ctx.flow_prunes.load(std::memory_order_relaxed);
-    search.node_budget_exceeded = ctx.BudgetExceeded();
-    stats->Merge(search);
+  // Partition-order merge of the per-component slots (the order is the
+  // deterministic map-of-roots order the tasks were built in).
+  ExactStats search;
+  search.components = static_cast<int>(groups.size());
+  for (const SearchCtx& c : ctxs) {
+    search.nodes += c.nodes;
+    search.packing_prunes += c.packing_prunes;
+    search.flow_prunes += c.flow_prunes;
   }
+  search.node_budget_exceeded =
+      budget.exceeded.load(std::memory_order_relaxed);
+  result.proven_optimal = !search.node_budget_exceeded;
+
+  obs::Count("exact.solves");
+  obs::Count("exact.components", static_cast<uint64_t>(search.components));
+  obs::Count("exact.nodes", search.nodes);
+  obs::Count("exact.packing_prunes", search.packing_prunes);
+  obs::Count("exact.flow_prunes", search.flow_prunes);
+
+  if (stats != nullptr) stats->Merge(search);
   return result;
 }
 

@@ -27,17 +27,18 @@ struct ExactOptions {
   /// ExactStats::node_budget_exceeded set). With solver_threads > 1 the
   /// budget is shared by all workers: one worker tripping it stops the
   /// others, and the node count may overshoot by at most one node per
-  /// worker.
+  /// worker. A budgeted parallel solve is the one place scheduling can
+  /// show: which nodes fit under the shared budget — and therefore the
+  /// counters and the returned incumbent — may vary run to run.
   uint64_t node_budget = 0;
   /// Workers for the per-component branch-and-bound fan-out (<= 1 =
-  /// serial, the default; the serial path is byte-identical to the
-  /// pre-parallel solver). Parallel solves keep the resilience value,
-  /// the chosen-set size, witness/set/component counts, and
-  /// proven_optimal deterministic across any thread count — each
-  /// component is still solved to its exact minimum — but nodes /
-  /// packing_prunes / flow_prunes and the particular minimum set chosen
-  /// may vary run to run, because components prune against a shared
-  /// incumbent total whose updates race benignly.
+  /// serial, the default). Components share no elements, so each one is
+  /// solved by exactly one worker as a pure function of the component
+  /// with its own counter slot; the slots are merged in partition
+  /// order. Every output — the resilience value, the chosen set, and
+  /// the nodes / packing_prunes / flow_prunes counters — is therefore
+  /// byte-identical across any thread count and identical to the
+  /// serial path (un-budgeted; see node_budget for the exception).
   int solver_threads = 1;
 };
 

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resilience/exact_solver.h"
 #include "util/check.h"
 #include "util/disjoint_set.h"
@@ -269,9 +271,13 @@ IncrementalSession::IncrementalSession(const Query& q, Database base,
   });
   Refresh(&last_);
   last_.wall_ms = MsSince(start);
+  if (obs::MetricsEnabled()) obs::PublishMemBreakdown(ApproxMemory());
 }
 
 EpochOutcome IncrementalSession::Apply(const Epoch& epoch) {
+  obs::Span span("epoch-apply", "incremental");
+  obs::Count("incremental.epochs");
+  obs::Count("incremental.updates", epoch.updates.size());
   Clock::time_point start = Clock::now();
   EpochOutcome out;
   out.epoch = ++epoch_count_;
@@ -352,8 +358,35 @@ EpochOutcome IncrementalSession::Apply(const Epoch& epoch) {
 
   Refresh(&out);
   out.wall_ms = MsSince(start);
+  obs::ObserveLatencyMs("incremental.epoch_ms", out.wall_ms);
+  if (obs::MetricsEnabled()) obs::PublishMemBreakdown(ApproxMemory());
   last_ = out;
   return out;
+}
+
+obs::MemBreakdown IncrementalSession::ApproxMemory() const {
+  obs::MemBreakdown mem;
+  mem.index_bytes = index_ != nullptr ? index_->ApproxBytes() : 0;
+
+  mem.family_bytes = obs::HashContainerBytes(support_);
+  for (const auto& [key, state] : support_) {
+    mem.family_bytes += obs::VectorBytes(key) + obs::VectorBytes(state.dense);
+  }
+  mem.family_bytes += obs::HashContainerBytes(dense_ids_);
+  mem.family_bytes += obs::VectorBytes(dense_tuples_);
+
+  mem.component_bytes = obs::HashContainerBytes(components_);
+  for (const auto& [label, comp] : components_) {
+    mem.component_bytes +=
+        obs::VectorBytes(comp.sets) + obs::VectorBytes(comp.solution);
+  }
+  mem.component_bytes += obs::VectorBytes(comp_label_);
+  mem.component_bytes += obs::VectorBytes(global_to_local_);
+
+  mem.tuples = static_cast<size_t>(db_.NumActiveTuples());
+  mem.witness_sets = support_.size();
+  if (support_.count({}) != 0) --mem.witness_sets;  // the unbreakable key
+  return mem;
 }
 
 void IncrementalSession::Refresh(EpochOutcome* out) {
@@ -648,6 +681,7 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
       }
       std::sort(comp.solution.begin(), comp.solution.end());
     };
+    obs::Count("incremental.hard_solves", hard.size());
     const int threads = std::max(1, options_.solver_threads);
     if (threads > 1 && hard.size() > 1) {
       if (pool_ == nullptr) pool_.reset(new WorkerPool(threads));
@@ -657,9 +691,12 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
     }
 
     // Pass 3: adopt in partition order.
-    for (GroupTask& task : tasks) {
-      out->resolved = out->resolved || task.resolved;
-      AdoptComponent(task.label, std::move(task.comp));
+    {
+      obs::Span adopt_span("adopt", "incremental");
+      for (GroupTask& task : tasks) {
+        out->resolved = out->resolved || task.resolved;
+        AdoptComponent(task.label, std::move(task.comp));
+      }
     }
     for (int e : local_to_dense) {
       global_to_local_[static_cast<size_t>(e)] = -1;

@@ -11,6 +11,7 @@
 #include "db/database.h"
 #include "db/delta.h"
 #include "db/witness.h"
+#include "obs/memstats.h"
 #include "resilience/engine.h"
 #include "util/fnv.h"
 #include "util/parallel.h"
@@ -111,6 +112,13 @@ class IncrementalSession {
   /// from delta witness streams, and re-answers only the touched
   /// region. Returns (and remembers) the epoch's outcome.
   EpochOutcome Apply(const Epoch& epoch);
+
+  /// Approximate heap footprint of the session's maintained state —
+  /// the witness index's posting lists, the set-family (support map +
+  /// dense id space), and the component records — from container
+  /// geometry (obs/memstats.h). Walks the maps, so it is computed per
+  /// epoch behind the metrics gate, never per update.
+  obs::MemBreakdown ApproxMemory() const;
 
  private:
   /// Per-set state in the support map: the witness support count, the

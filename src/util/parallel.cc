@@ -1,14 +1,30 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace rescq {
 
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
 WorkerPool::WorkerPool(int threads) {
   int spawn = std::max(1, threads) - 1;
+  stats_.resize(static_cast<size_t>(spawn) + 1);
   workers_.reserve(static_cast<size_t>(spawn));
   for (int i = 0; i < spawn; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    workers_.emplace_back(
+        [this, slot = static_cast<size_t>(i) + 1] { WorkerMain(slot); });
   }
 }
 
@@ -19,18 +35,33 @@ WorkerPool::~WorkerPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  if (obs::MetricsEnabled()) {
+    uint64_t tasks = 0;
+    uint64_t idle = 0;
+    for (const WorkerStats& s : stats_) {
+      tasks += s.tasks_run;
+      idle += s.idle_ns;
+    }
+    obs::Count("pool.runs", runs_);
+    obs::Count("pool.tasks_run", tasks);
+    obs::Count("pool.idle_ns", idle);
+    obs::Count("pool.workers", static_cast<uint64_t>(threads()));
+  }
 }
 
-void WorkerPool::WorkerMain() {
+void WorkerPool::WorkerMain(size_t slot) {
   uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    auto wait_start = std::chrono::steady_clock::now();
     work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    stats_[slot].idle_ns += ElapsedNs(wait_start);
     if (stop_) return;
     seen = generation_;
     const std::function<void(size_t)>* job = job_;
     const size_t count = count_;
     lock.unlock();
+    uint64_t drained = 0;
     for (;;) {
       // Relaxed is enough: the job state was published under mu_ before
       // the generation bump, and completion is published back under mu_
@@ -38,8 +69,10 @@ void WorkerPool::WorkerMain() {
       size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       (*job)(i);
+      ++drained;
     }
     lock.lock();
+    stats_[slot].tasks_run += drained;
     if (--running_ == 0) done_cv_.notify_all();
   }
 }
@@ -48,6 +81,8 @@ void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
     for (size_t i = 0; i < count; ++i) fn(i);
+    stats_[0].tasks_run += count;
+    ++runs_;
     return;
   }
   {
@@ -57,18 +92,29 @@ void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
     cursor_.store(0, std::memory_order_relaxed);
     running_ = static_cast<int>(workers_.size());
     ++generation_;
+    ++runs_;
   }
   work_cv_.notify_all();
   // The caller is the last worker: it drains the same cursor, then
   // waits for the spawned workers to finish their in-flight items.
+  uint64_t drained = 0;
   for (;;) {
     size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count) break;
     fn(i);
+    ++drained;
   }
+  auto wait_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return running_ == 0; });
+  stats_[0].idle_ns += ElapsedNs(wait_start);
+  stats_[0].tasks_run += drained;
   job_ = nullptr;
+}
+
+std::vector<WorkerPool::WorkerStats> WorkerPool::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 void ParallelFor(int threads, size_t count,

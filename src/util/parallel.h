@@ -35,10 +35,24 @@ namespace rescq {
 ///  - fn must not throw (the library is exception-free; see check.h).
 class WorkerPool {
  public:
+  /// Per-worker utilization counters. tasks_run counts the indices the
+  /// worker drained across every Run; idle_ns is the time it spent
+  /// parked — for a spawned worker, waiting on the work signal between
+  /// jobs; for the Run caller (slot 0), waiting for the spawned
+  /// workers' in-flight items after its own drain finished.
+  struct WorkerStats {
+    uint64_t tasks_run = 0;
+    uint64_t idle_ns = 0;
+  };
+
   /// A pool that Run()s work across `threads` workers total; values
   /// below 1 are clamped to 1 (no spawned threads — Run degenerates to
   /// an inline loop, byte-identical to serial execution).
   explicit WorkerPool(int threads);
+
+  /// Joins the workers and, when metrics are enabled, adds the pool's
+  /// lifetime totals to the global registry (pool.runs, pool.tasks_run,
+  /// pool.idle_ns, pool.workers).
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -49,19 +63,28 @@ class WorkerPool {
 
   void Run(size_t count, const std::function<void(size_t)>& fn);
 
- private:
-  void WorkerMain();
+  /// Snapshot of the per-worker counters, slot 0 = the Run caller,
+  /// slots 1.. = the spawned workers. Only call between Runs (Run's
+  /// completion handoff is what makes the workers' counts visible).
+  std::vector<WorkerStats> Stats() const;
 
-  std::mutex mu_;
+ private:
+  void WorkerMain(size_t slot);
+
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signals a new generation (or stop)
   std::condition_variable done_cv_;  // signals running_ reaching zero
   // All guarded by mu_; cursor_ is the only cross-worker hot word.
   const std::function<void(size_t)>* job_ = nullptr;
   size_t count_ = 0;
   uint64_t generation_ = 0;
+  uint64_t runs_ = 0;
   int running_ = 0;
   bool stop_ = false;
   std::atomic<size_t> cursor_{0};
+  // stats_[slot] is written by its owning worker only (idle_ns under
+  // mu_, tasks_run in the drain loop); Stats() copies between Runs.
+  std::vector<WorkerStats> stats_;
   std::vector<std::thread> workers_;
 };
 

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace rescq {
@@ -52,7 +53,7 @@ void WriteReportCsv(const BatchReport& report, std::ostream& out) {
 }
 
 void WriteReportJson(const BatchReport& report, std::ostream& out) {
-  out << "{\n  \"schema\": \"rescq-batch-report/v4\",\n";
+  out << "{\n  \"schema\": \"rescq-batch-report/v5\",\n";
   out << "  \"options\": {\"threads\": " << report.options.threads
       << ", \"check_oracle\": " << BoolName(report.options.check_oracle)
       << ", \"oracle_cutoff\": " << report.options.oracle_cutoff
@@ -72,6 +73,11 @@ void WriteReportJson(const BatchReport& report, std::ostream& out) {
       << "}, \"total_wall_ms\": " << StrFormat("%.3f", report.total_wall_ms)
       << ", \"elapsed_ms\": " << StrFormat("%.3f", report.elapsed_ms)
       << "},\n";
+  // v5: the global metrics registry's snapshot fields. Empty objects
+  // unless a sink (--metrics-json or a test) enabled collection.
+  std::string metrics;
+  obs::GlobalRegistry().AppendSnapshotFields(&metrics, 4);
+  out << "  \"metrics\": {\n" << metrics << "\n  },\n";
   out << "  \"cells\": [\n";
   for (size_t i = 0; i < report.cells.size(); ++i) {
     const BatchCell& c = report.cells[i];

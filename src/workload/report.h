@@ -23,9 +23,12 @@ const char* BoolName(bool b);
 /// legitimately vary between runs.
 void WriteReportCsv(const BatchReport& report, std::ostream& out);
 
-/// JSON document (`rescq-batch-report/v4` — v4 added
-/// `options.solver_threads`):
-/// {"schema", "options", "summary" (incl. plan_cache), "cells": [...]}.
+/// JSON document (`rescq-batch-report/v5` — v4 added
+/// `options.solver_threads`, v5 a `metrics` block holding the global
+/// registry's rescq-metrics/v1 snapshot fields, empty objects unless
+/// metrics collection was on):
+/// {"schema", "options", "summary" (incl. plan_cache), "metrics",
+/// "cells": [...]}.
 void WriteReportJson(const BatchReport& report, std::ostream& out);
 
 /// Writes the CSV/JSON to a file; false + *error if it cannot be

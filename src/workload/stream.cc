@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/metrics.h"
 #include "resilience/exact_solver.h"
 #include "util/string_util.h"
 #include "workload/report.h"
@@ -108,7 +109,7 @@ void WriteStreamCsv(const StreamReport& report, std::ostream& out) {
 }
 
 void WriteStreamJson(const StreamReport& report, std::ostream& out) {
-  out << "{\n  \"schema\": \"rescq-stream-report/v5\",\n";
+  out << "{\n  \"schema\": \"rescq-stream-report/v6\",\n";
   out << "  \"query\": \"" << JsonEscape(report.query)
       << "\", \"query_text\": \"" << JsonEscape(report.query_text) << "\",\n";
   out << "  \"options\": {\"check_oracle\": "
@@ -124,6 +125,11 @@ void WriteStreamJson(const StreamReport& report, std::ostream& out) {
       << ", \"total_wall_ms\": " << StrFormat("%.3f", report.total_wall_ms)
       << ", \"total_oracle_ms\": "
       << StrFormat("%.3f", report.total_oracle_ms) << "},\n";
+  // v6: the global metrics registry's snapshot fields. Empty objects
+  // unless a sink (--metrics-json or a test) enabled collection.
+  std::string metrics;
+  obs::GlobalRegistry().AppendSnapshotFields(&metrics, 4);
+  out << "  \"metrics\": {\n" << metrics << "\n  },\n";
   out << "  \"epochs\": [\n";
   for (size_t i = 0; i < report.rows.size(); ++i) {
     const StreamRow& r = report.rows[i];

@@ -77,9 +77,12 @@ StreamReport RunStream(const Query& q, const std::string& query_name,
 /// the timing columns come last.
 void WriteStreamCsv(const StreamReport& report, std::ostream& out);
 
-/// JSON document (`rescq-stream-report/v5` — v5 added
-/// `options.solver_threads`):
-/// {"schema", "query", "options", "summary", "epochs": [...]}.
+/// JSON document (`rescq-stream-report/v6` — v5 added
+/// `options.solver_threads`, v6 a `metrics` block holding the global
+/// registry's rescq-metrics/v1 snapshot fields, empty objects unless
+/// metrics collection was on):
+/// {"schema", "query", "options", "summary", "metrics",
+/// "epochs": [...]}.
 void WriteStreamJson(const StreamReport& report, std::ostream& out);
 
 bool SaveStreamCsv(const StreamReport& report, const std::string& path,

@@ -196,21 +196,71 @@ else
 fi
 rm -f "$upd_a" "$upd_b" "$rep_a" "$rep_b"
 
-# stream report files: the JSON carries the v5 schema and a zero
-# mismatch summary.
+# stream report files: the JSON carries the v6 schema (with a metrics
+# block) and a zero mismatch summary.
 stream_json="$(mktemp)"
 "$RESCQ" stream --name q_vc "$SRC/data/gen_vc_er.tuples" \
     --churn mixed --epochs 3 --rate 0.2 --seed 2 --check-oracle \
     --json "$stream_json" >/dev/null
-if grep -q '"schema": "rescq-stream-report/v5"' "$stream_json" \
+if grep -q '"schema": "rescq-stream-report/v6"' "$stream_json" \
+    && grep -q '"metrics"' "$stream_json" \
     && grep -q '"mismatches": 0' "$stream_json"; then
-  echo "ok: stream JSON report is v5 with 0 mismatches"
+  echo "ok: stream JSON report is v6 with metrics and 0 mismatches"
 else
-  echo "FAIL: stream JSON report lacks the v5 schema or reports mismatches"
+  echo "FAIL: stream JSON report lacks the v6 schema/metrics or has mismatches"
   sed 's/^/    /' "$stream_json"
   failures=$((failures + 1))
 fi
 rm -f "$stream_json"
+
+# observability sinks: --metrics-json and --trace-out on a stream run
+# must write valid JSON — the rescq-metrics/v1 snapshot with the
+# bytes/tuple and bytes/witness gauges, and a Chrome trace_event
+# document with at least one complete event. python3 -m json.tool is the
+# well-formedness oracle when python3 is available.
+metrics_json="$(mktemp)" ; trace_json="$(mktemp)"
+"$RESCQ" stream --name q_vc "$SRC/data/gen_vc_er.tuples" \
+    --churn hub --epochs 3 --rate 0.2 --seed 5 \
+    --metrics-json "$metrics_json" --trace-out "$trace_json" >/dev/null
+if grep -q '"schema": "rescq-metrics/v1"' "$metrics_json" \
+    && grep -q '"mem.bytes_per_tuple"' "$metrics_json" \
+    && grep -q '"mem.bytes_per_witness"' "$metrics_json" \
+    && grep -q '"incremental.epochs": 3' "$metrics_json"; then
+  echo "ok: --metrics-json writes a rescq-metrics/v1 snapshot with mem gauges"
+else
+  echo "FAIL: metrics snapshot lacks the v1 schema or the mem.* gauges"
+  sed 's/^/    /' "$metrics_json"
+  failures=$((failures + 1))
+fi
+if grep -q '"traceEvents"' "$trace_json" \
+    && grep -q '"ph": "X"' "$trace_json" \
+    && grep -q '"name": "epoch-apply"' "$trace_json"; then
+  echo "ok: --trace-out writes Chrome trace events incl. epoch-apply spans"
+else
+  echo "FAIL: trace output lacks traceEvents / epoch-apply spans"
+  sed 's/^/    /' "$trace_json"
+  failures=$((failures + 1))
+fi
+if command -v python3 >/dev/null 2>&1; then
+  if python3 -m json.tool "$metrics_json" >/dev/null \
+      && python3 -m json.tool "$trace_json" >/dev/null; then
+    echo "ok: metrics and trace files parse as JSON"
+  else
+    echo "FAIL: metrics or trace file is not valid JSON"
+    failures=$((failures + 1))
+  fi
+fi
+rm -f "$metrics_json" "$trace_json"
+
+# resilience --stats: the timing/counter block is golden-checked (the
+# counters are deterministic by the thread-invariance contract; the
+# wall-clock fields normalize to <t>).
+stats_out="$(mktemp)"
+"$RESCQ" resilience "R(x,y), R(y,z)" "$SRC/data/section2_chain.tuples" \
+    --stats | normalize_times > "$stats_out"
+expect_same "resilience --stats matches the golden file" \
+    "$SRC/tests/golden/resilience_stats_chain.golden" "$stats_out"
+rm -f "$stats_out"
 
 # batch: a tiny smoke sweep over every scenario on 2 threads, with the
 # exact-solver cross-check on; the JSON report is left in the working
@@ -224,15 +274,17 @@ else
   echo "FAIL: batch_report.json missing or reports mismatches"
   failures=$((failures + 1))
 fi
-# schema v4: the report must carry the plan-cache counters, the
-# budget-exceeded accounting, and the solver_threads option.
-if grep -q '"schema": "rescq-batch-report/v4"' batch_report.json \
+# schema v5: the report must carry the plan-cache counters, the
+# budget-exceeded accounting, the solver_threads option, and the
+# metrics block.
+if grep -q '"schema": "rescq-batch-report/v5"' batch_report.json \
     && grep -q '"plan_cache"' batch_report.json \
     && grep -q '"budget_exceeded"' batch_report.json \
-    && grep -q '"solver_threads"' batch_report.json; then
-  echo "ok: batch JSON report is v4 with plan-cache, budget, and solver stats"
+    && grep -q '"solver_threads"' batch_report.json \
+    && grep -q '"metrics"' batch_report.json; then
+  echo "ok: batch JSON report is v5 with plan-cache, budget, solver, metrics"
 else
-  echo "FAIL: batch_report.json lacks the v4 plan-cache/budget/solver fields"
+  echo "FAIL: batch_report.json lacks the v5 plan-cache/budget/solver/metrics fields"
   failures=$((failures + 1))
 fi
 

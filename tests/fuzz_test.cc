@@ -219,8 +219,8 @@ TEST(Fuzz, CatalogWideExactDifferentialSweep) {
 
 TEST(Fuzz, ParallelExactDifferentialSweep) {
   // Randomized multi-component hitting-set instances: the parallel
-  // solver (2 and 4 workers, shared incumbent active) against the
-  // serial solver against the bound-free brute-force reference. Element
+  // solver (2 and 4 workers, self-contained component searches) against
+  // the serial solver against the bound-free brute-force reference. Element
   // ids are blocked per component so every instance genuinely fans out.
   Rng rng(0x9A7A11E1);
   for (int round = 0; round < 60; ++round) {

@@ -555,7 +555,7 @@ TEST(Stream, RunStreamChecksOracleAndWritesSchemaV4) {
 
   std::ostringstream json, csv;
   WriteStreamJson(report, json);
-  EXPECT_NE(json.str().find("\"schema\": \"rescq-stream-report/v5\""),
+  EXPECT_NE(json.str().find("\"schema\": \"rescq-stream-report/v6\""),
             std::string::npos);
   EXPECT_NE(json.str().find("\"mismatches\": 0"), std::string::npos);
   WriteStreamCsv(report, csv);

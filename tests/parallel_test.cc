@@ -1,10 +1,12 @@
 // The component-parallel exact path: the WorkerPool contract, the
 // solver-threads invariance sweeps (every catalog query and workload
-// scenario must answer identically at 1/2/4 workers), shared-incumbent
-// correctness under forced contention, node-budget semantics when the
-// budget trips mid-flight, and the incremental session's byte-identical
-// parallel epochs. Carries the `parallel` CTest label and runs under
-// TSan in CI.
+// scenario must answer — and count — identically at 1/2/4 workers),
+// node-budget semantics when the budget trips mid-flight, and the
+// incremental session's byte-identical parallel epochs. Each component
+// solve is a pure function of its task (no cross-component state beyond
+// the optional node budget), so nodes / prune counters are asserted
+// byte-identical across thread counts, not just the answers. Carries
+// the `parallel` CTest label and runs under TSan in CI.
 
 #include <gtest/gtest.h>
 
@@ -101,7 +103,9 @@ bool HitsEverySet(const std::vector<std::vector<int>>& sets,
 
 // Asserts the parallel solve of `sets` at each thread count matches the
 // serial answer on everything the determinism contract promises: the
-// optimum size, feasibility, proof status, and the component count.
+// optimum size, feasibility, proof status, the chosen set, and — since
+// every component searches against only its own incumbent — the exact
+// node and prune counters.
 void ExpectThreadInvariantHittingSet(const std::vector<std::vector<int>>& sets,
                                      const std::string& label) {
   ExactStats serial_stats;
@@ -119,18 +123,25 @@ void ExpectThreadInvariantHittingSet(const std::vector<std::vector<int>>& sets,
     EXPECT_TRUE(out.proven_optimal) << label << " threads " << threads;
     EXPECT_TRUE(HitsEverySet(sets, out.chosen))
         << label << " threads " << threads;
+    EXPECT_EQ(out.chosen, serial.chosen) << label << " threads " << threads;
     EXPECT_EQ(stats.components, serial_stats.components)
+        << label << " threads " << threads;
+    EXPECT_EQ(stats.nodes, serial_stats.nodes)
+        << label << " threads " << threads;
+    EXPECT_EQ(stats.packing_prunes, serial_stats.packing_prunes)
+        << label << " threads " << threads;
+    EXPECT_EQ(stats.flow_prunes, serial_stats.flow_prunes)
         << label << " threads " << threads;
   }
 }
 
-// --- Shared incumbent under forced contention -------------------------------
+// --- Deterministic component fan-out ----------------------------------------
 
-TEST(SharedIncumbent, ManyEqualComponentsStayExact) {
-  // Forced contention: 20 structurally identical components, so every
-  // worker races to publish equal-quality incumbents into the shared
-  // total at the same time. 12 triangles (the vertex-cover path; each
-  // needs 2) and 8 three-element sets (the general path; each needs 1).
+TEST(ComponentParallel, ManyEqualComponentsStayExact) {
+  // Maximum fan-out pressure: 20 structurally identical components keep
+  // every worker busy simultaneously. 12 triangles (the vertex-cover
+  // path; each needs 2) and 8 three-element sets (the general path;
+  // each needs 1).
   std::vector<std::vector<int>> sets;
   int next = 0;
   for (int c = 0; c < 12; ++c) {
@@ -150,12 +161,11 @@ TEST(SharedIncumbent, ManyEqualComponentsStayExact) {
   ExpectThreadInvariantHittingSet(sets, "equal components");
 }
 
-TEST(SharedIncumbent, RandomMultiComponentInstancesStayExact) {
+TEST(ComponentParallel, RandomMultiComponentInstancesStayExact) {
   // Nontrivial per-component searches: each component is a random
-  // 3-uniform family, so the branch-and-bound actually descends and the
-  // cross-component incumbent total tightens while siblings are still
-  // in flight. Mixing a vertex-cover component in exercises the
-  // size_offset units conversion between the two search cores.
+  // 3-uniform family, so the branch-and-bound actually descends while
+  // siblings are still in flight. Mixing a vertex-cover component in
+  // exercises both search cores side by side.
   Rng rng(0x9A11E7);
   for (int round = 0; round < 20; ++round) {
     std::vector<std::vector<int>> sets;
@@ -245,10 +255,10 @@ TEST(NodeBudget, GenerousBudgetIsNeverTrippedInParallel) {
 
 // Solves one instance on the serial reference engine and at 2 and 4
 // solver threads, asserting everything the contract keeps deterministic:
-// the answer, the contingency size (and that it verifies), and the
-// witness / set / component counters. Node and prune counters are
-// explicitly NOT compared — the shared incumbent makes them racy by
-// design.
+// the answer, the contingency size (and that it verifies), and ALL the
+// search counters — witnesses, sets, components, nodes, and both prune
+// kinds. Un-budgeted component solves share no state, so even the node
+// counts are byte-identical at any thread count.
 void ExpectEngineInvariance(ResilienceEngine& serial, ResilienceEngine& two,
                             ResilienceEngine& four, const Query& q,
                             const Database& db, const std::string& label) {
@@ -271,6 +281,12 @@ void ExpectEngineInvariance(ResilienceEngine& serial, ResilienceEngine& two,
     EXPECT_EQ(out.exact.witness_sets, ref.exact.witness_sets)
         << label << " threads " << threads;
     EXPECT_EQ(out.exact.components, ref.exact.components)
+        << label << " threads " << threads;
+    EXPECT_EQ(out.exact.nodes, ref.exact.nodes)
+        << label << " threads " << threads;
+    EXPECT_EQ(out.exact.packing_prunes, ref.exact.packing_prunes)
+        << label << " threads " << threads;
+    EXPECT_EQ(out.exact.flow_prunes, ref.exact.flow_prunes)
         << label << " threads " << threads;
     if (!out.result.unbreakable) {
       Database copy = db;

@@ -339,7 +339,7 @@ TEST(Report, CsvAndJsonCarryEveryCell) {
   std::stringstream json;
   WriteReportJson(report, json);
   std::string json_text = json.str();
-  EXPECT_NE(json_text.find("\"schema\": \"rescq-batch-report/v4\""),
+  EXPECT_NE(json_text.find("\"schema\": \"rescq-batch-report/v5\""),
             std::string::npos);
   EXPECT_NE(json_text.find("\"scenario\": \"vc_path\""), std::string::npos);
   EXPECT_NE(json_text.find("\"mismatches\": 0"), std::string::npos);

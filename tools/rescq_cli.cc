@@ -30,6 +30,8 @@
 #include "db/delta.h"
 #include "db/tuple_io.h"
 #include "db/witness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resilience/engine.h"
 #include "resilience/result.h"
 #include "resilience/solver.h"
@@ -56,8 +58,16 @@ int Usage(std::FILE* out) {
                "<tuples-file> [--exact]\n"
                "                   [--witness-limit N] "
                "[--exact-node-budget N] [--solver-threads N]\n"
+               "                   [--stats] [--metrics-json <file>] "
+               "[--trace-out <file>]\n"
                "      Compute rho(q, D) over the tuple file; --exact forces "
                "the reference solver.\n"
+               "      --stats prints plan/solve timings and the "
+               "(deterministic) search counters;\n"
+               "      --metrics-json snapshots the metrics registry "
+               "(rescq-metrics/v1) and\n"
+               "      --trace-out records a Chrome trace_event file for "
+               "chrome://tracing / Perfetto.\n"
                "      --witness-limit caps the streamed witness enumeration "
                "(exceeding it is a\n"
                "      reported outcome, not a truncated answer); "
@@ -90,7 +100,8 @@ int Usage(std::FILE* out) {
                "[--check-oracle] [--oracle-cutoff N]\n"
                "              [--no-memoize] [--witness-limit N] "
                "[--exact-node-budget N]\n"
-               "              [--csv <file>] [--json <file>]\n"
+               "              [--csv <file>] [--json <file>] "
+               "[--metrics-json <file>] [--trace-out <file>]\n"
                "      Sweep (query x scenario x size x seed) across a worker "
                "pool and\n"
                "      report per-cell resilience, solver, timing, and oracle "
@@ -105,6 +116,7 @@ int Usage(std::FILE* out) {
                "[--exact-node-budget N]\n"
                "              [--solver-threads N] [--csv <file>] "
                "[--json <file>]\n"
+               "              [--metrics-json <file>] [--trace-out <file>]\n"
                "      Maintain the resilience incrementally under an update "
                "stream and\n"
                "      report one row per epoch (bounds, re-solves, timings); "
@@ -122,6 +134,40 @@ int Usage(std::FILE* out) {
                "starts a comment\n");
   return out == stdout ? 0 : 2;
 }
+
+/// Shared `--metrics-json` / `--trace-out` handling for the solving
+/// commands (resilience | batch | stream): either path arms its sink
+/// before the run (Arm) and writes the file after it (Flush). With
+/// neither flag the instrumentation stays disabled and costs one
+/// relaxed load per call site.
+struct ObsSinks {
+  std::string metrics_path;
+  std::string trace_path;
+
+  void Arm() const {
+    if (!metrics_path.empty()) obs::SetMetricsEnabled(true);
+    if (!trace_path.empty()) obs::StartTrace();
+  }
+
+  /// 0 on success, 2 on I/O failure (with a message printed).
+  int Flush() const {
+    if (!trace_path.empty()) {
+      obs::StopTrace();
+      if (!obs::WriteTraceJson(trace_path)) {
+        std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                     trace_path.c_str());
+        return 2;
+      }
+    }
+    if (!metrics_path.empty() &&
+        !obs::WriteMetricsJson(obs::GlobalRegistry(), metrics_path)) {
+      std::fprintf(stderr, "error: cannot write metrics file '%s'\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    return 0;
+  }
+};
 
 /// Resolves the query argument: either a literal query string or, after
 /// `--name`, a PaperCatalog() entry. Returns nullopt (with a message
@@ -198,13 +244,25 @@ int CmdClassify(const std::vector<std::string>& args) {
 int CmdResilience(const std::vector<std::string>& args) {
   std::vector<std::string> positional;
   bool exact = false;
+  bool stats = false;
   uint64_t witness_limit = 0;
   uint64_t node_budget = 0;
   int solver_threads = 1;
+  ObsSinks sinks;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--exact") {
       exact = true;
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--metrics-json" || a == "--trace-out") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a file path\n", a.c_str());
+        return 2;
+      }
+      (a == "--metrics-json" ? sinks.metrics_path : sinks.trace_path) =
+          args[i + 1];
+      ++i;
     } else if (a == "--witness-limit" || a == "--exact-node-budget") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
@@ -284,8 +342,28 @@ int CmdResilience(const std::vector<std::string>& args) {
   options.witness_limit = static_cast<size_t>(witness_limit);
   options.exact_node_budget = node_budget;
   options.solver_threads = solver_threads;
+  sinks.Arm();
   ResilienceEngine engine(options);
   SolveOutcome outcome = engine.Solve(*q, db);
+  if (stats) {
+    // Timings go through %.3f so golden tests can normalize every
+    // decimal number to <t>; the counters are deterministic (satellite
+    // of the per-component search: thread-count invariant).
+    std::printf("stats:\n");
+    std::printf("  plan:        %.3f ms (%s)\n", outcome.plan_ms,
+                exact              ? "skipped: --exact"
+                : outcome.plan_cache_hit ? "cache hit"
+                                         : "cache miss");
+    std::printf("  solve:       %.3f ms\n", outcome.solve_ms);
+    std::printf("  witnesses:   %zu streamed, %zu distinct sets\n",
+                outcome.exact.witnesses, outcome.exact.witness_sets);
+    std::printf("  search:      %d component(s), %llu node(s), "
+                "%llu packing / %llu flow prune(s)\n",
+                outcome.exact.components,
+                static_cast<unsigned long long>(outcome.exact.nodes),
+                static_cast<unsigned long long>(outcome.exact.packing_prunes),
+                static_cast<unsigned long long>(outcome.exact.flow_prunes));
+  }
   if (outcome.exact.witnesses > 0) {
     std::printf(
         "exact search: %zu witnesses -> %zu sets, %d component(s), "
@@ -301,6 +379,7 @@ int CmdResilience(const std::vector<std::string>& args) {
   }
   if (!outcome.error.empty()) {
     std::printf("resilience:  not computed — %s\n", outcome.error.c_str());
+    sinks.Flush();
     return 1;
   }
   const ResilienceResult& r = outcome.result;
@@ -308,7 +387,7 @@ int CmdResilience(const std::vector<std::string>& args) {
     std::printf(
         "resilience:  undefined — some witness uses only exogenous "
         "tuples, so no endogenous deletion can falsify q\n");
-    return 0;
+    return sinks.Flush();
   }
   std::printf("resilience:  rho(q, D) = %d  [solver: %s]\n", r.resilience,
               SolverKindName(r.solver));
@@ -322,6 +401,8 @@ int CmdResilience(const std::vector<std::string>& args) {
   bool broken = VerifyContingency(*q, db, r.contingency);
   std::printf("verified:    query %s after deleting the contingency set\n",
               broken ? "is false" : "IS STILL TRUE (solver bug!)");
+  int sink_rc = sinks.Flush();
+  if (sink_rc != 0) return sink_rc;
   return broken ? 0 : 1;
 }
 
@@ -511,6 +592,7 @@ int CmdBatch(const std::vector<std::string>& args) {
   plan.scenarios.clear();
   BatchOptions options;
   std::string csv_path, json_path;
+  ObsSinks sinks;
   int max_size = 0;
   bool sizes_set = false;
 
@@ -599,6 +681,12 @@ int CmdBatch(const std::vector<std::string>& args) {
     } else if (a == "--json") {
       if (!(v = value("--json"))) return 2;
       json_path = *v;
+    } else if (a == "--metrics-json") {
+      if (!(v = value("--metrics-json"))) return 2;
+      sinks.metrics_path = *v;
+    } else if (a == "--trace-out") {
+      if (!(v = value("--trace-out"))) return 2;
+      sinks.trace_path = *v;
     } else {
       std::fprintf(stderr, "error: unknown batch flag '%s'\n", a.c_str());
       return 2;
@@ -627,6 +715,7 @@ int CmdBatch(const std::vector<std::string>& args) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
+  sinks.Arm();
   BatchReport report = RunBatch(jobs, options);
   PrintReportTable(report, stdout);
   if (!csv_path.empty() && !SaveReportCsv(report, csv_path, &error)) {
@@ -637,6 +726,8 @@ int CmdBatch(const std::vector<std::string>& args) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
+  int sink_rc = sinks.Flush();
+  if (sink_rc != 0) return sink_rc;
   return report.mismatches == 0 ? 0 : 1;
 }
 
@@ -645,6 +736,7 @@ int CmdStream(const std::vector<std::string>& args) {
   std::string updates_path, churn_kind, emit_path, csv_path, json_path;
   ChurnParams churn;
   StreamOptions options;
+  ObsSinks sinks;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto value = [&](const char* flag) -> const std::string* {
@@ -699,6 +791,12 @@ int CmdStream(const std::vector<std::string>& args) {
     } else if (a == "--json") {
       if (!(v = value("--json"))) return 2;
       json_path = *v;
+    } else if (a == "--metrics-json") {
+      if (!(v = value("--metrics-json"))) return 2;
+      sinks.metrics_path = *v;
+    } else if (a == "--trace-out") {
+      if (!(v = value("--trace-out"))) return 2;
+      sinks.trace_path = *v;
     } else {
       positional.push_back(a);
     }
@@ -756,6 +854,7 @@ int CmdStream(const std::vector<std::string>& args) {
   }
 
   std::string query_name = positional[0] == "--name" ? positional[1] : "query";
+  sinks.Arm();
   StreamReport report = RunStream(*q, query_name, db, log, options);
   PrintStreamTable(report, stdout);
   if (!csv_path.empty() && !SaveStreamCsv(report, csv_path, &error)) {
@@ -766,6 +865,8 @@ int CmdStream(const std::vector<std::string>& args) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
+  int sink_rc = sinks.Flush();
+  if (sink_rc != 0) return sink_rc;
   return report.mismatches == 0 ? 0 : 1;
 }
 
