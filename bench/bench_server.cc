@@ -1,0 +1,224 @@
+// E-server: throughput and request latency of the rescq daemon. The
+// artifact table runs an in-process `rescq serve` (ephemeral port) and
+// drives it with the loadgen harness — concurrent sessions doing the
+// open -> churn -> query loop — at 1, 2, and 4 connection handler
+// threads, reporting sustained requests/sec and p50/p99 request
+// latency. Set RESCQ_BENCH_SNAPSHOT=<path> to also write the
+// machine-readable JSON snapshot (BENCH_server.json in the repo root is
+// a checked-in run; host.cores says how many cores it was taken on).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "resilience/engine.h"
+#include "server/client.h"
+#include "server/loadgen.h"
+#include "server/server.h"
+#include "util/parallel.h"
+
+namespace rescq {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 4};
+
+struct ServerRow {
+  int threads = 0;
+  int connections = 0;
+  uint64_t requests = 0;
+  double requests_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double epoch_p50_ms = 0;
+  double epoch_p99_ms = 0;
+  bool clean = true;  // no err replies, no transport errors
+};
+
+std::vector<ServerRow> g_rows;
+
+LoadgenOptions BaseLoadgen() {
+  LoadgenOptions options;
+  options.host = "127.0.0.1";
+  options.connections = 8;
+  options.scenario = "vc_er";
+  options.size = 10;
+  options.churn = "mixed";
+  options.epochs = 6;
+  options.rate = 0.15;
+  options.seed = 11;
+  return options;
+}
+
+void PrintThroughputScaling() {
+  std::printf(
+      "\n==== E-server: daemon throughput vs handler threads ====\n"
+      "An in-process `rescq serve` driven by the loadgen harness: 8 "
+      "concurrent\nconnections, each one session of open -> push -> "
+      "begin -> 6 churn epochs\n(with resilience + stats queries per "
+      "epoch). Handler threads bound how many\nrequests make progress "
+      "concurrently; the plan cache is shared across all\nsessions.\n\n");
+  std::printf("%-8s %6s %9s %12s | %8s %8s | %9s %9s\n", "threads", "conns",
+              "requests", "req_per_s", "p50_ms", "p99_ms", "ep_p50", "ep_p99");
+  for (int threads : kThreadCounts) {
+    ServerOptions soptions;
+    soptions.port = 0;
+    soptions.threads = threads;
+    ResilienceEngine engine;
+    ResilienceServer server(soptions, &engine);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "bench_server: %s\n", error.c_str());
+      return;
+    }
+    LoadgenOptions loptions = BaseLoadgen();
+    loptions.port = server.port();
+    // Warm up (plan cache, allocator, TCP stack), then measure.
+    loptions.session_prefix = "warm";
+    RunLoadgen(loptions);
+    loptions.session_prefix = "bench";
+    LoadgenReport report = RunLoadgen(loptions);
+    server.Stop();
+
+    ServerRow row;
+    row.threads = threads;
+    row.connections = loptions.connections;
+    row.requests = report.requests;
+    row.requests_per_sec = report.requests_per_sec;
+    row.p50_ms = report.latency.p50_ms;
+    row.p99_ms = report.latency.p99_ms;
+    row.epoch_p50_ms = report.epoch_latency.p50_ms;
+    row.epoch_p99_ms = report.epoch_latency.p99_ms;
+    row.clean = report.error.empty() && report.err_replies == 0;
+    g_rows.push_back(row);
+    std::printf("%-8d %6d %9llu %12.1f | %8.3f %8.3f | %9.3f %9.3f%s\n",
+                row.threads, row.connections,
+                static_cast<unsigned long long>(row.requests),
+                row.requests_per_sec, row.p50_ms, row.p99_ms,
+                row.epoch_p50_ms, row.epoch_p99_ms,
+                row.clean ? "" : "  UNCLEAN");
+  }
+}
+
+void WriteSnapshot(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_server: cannot write snapshot %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"rescq-bench-server/v1\",\n");
+  std::fprintf(f, "  \"host\": { \"cores\": %d },\n", HardwareThreads());
+  std::fprintf(f, "  \"workload\": { \"connections\": 8, \"scenario\": "
+                  "\"vc_er\", \"size\": 10, \"churn\": \"mixed\", "
+                  "\"epochs\": 6 },\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const ServerRow& r = g_rows[i];
+    std::fprintf(f,
+                 "    { \"threads\": %d, \"requests\": %llu, "
+                 "\"requests_per_sec\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"epoch_p50_ms\": %.3f, "
+                 "\"epoch_p99_ms\": %.3f, \"clean\": %s }%s\n",
+                 r.threads, static_cast<unsigned long long>(r.requests),
+                 r.requests_per_sec, r.p50_ms, r.p99_ms, r.epoch_p50_ms,
+                 r.epoch_p99_ms, r.clean ? "true" : "false",
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nsnapshot written: %s\n", path);
+}
+
+// --- Timing series ----------------------------------------------------------
+
+// Round-trip floor of the wire protocol: one connection, ping/pong.
+void BM_PingRoundTrip(benchmark::State& state) {
+  ServerOptions soptions;
+  soptions.port = 0;
+  soptions.threads = static_cast<int>(state.range(0));
+  ResilienceEngine engine;
+  ResilienceServer server(soptions, &engine);
+  std::string error;
+  if (!server.Start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  LineClient client;
+  std::string reply;
+  if (!client.Connect("127.0.0.1", server.port(), &error)) {
+    state.SkipWithError(error.c_str());
+    server.Stop();
+    return;
+  }
+  for (auto _ : state) {
+    if (!client.Request("ping", &reply, &error)) {
+      state.SkipWithError(error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(reply);
+  }
+  client.Close();
+  server.Stop();
+}
+BENCHMARK(BM_PingRoundTrip)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// One full served session per iteration: open, base, begin, one epoch,
+// resilience — the protocol cost on top of the incremental engine.
+void BM_ServedSession(benchmark::State& state) {
+  ServerOptions soptions;
+  soptions.port = 0;
+  soptions.threads = static_cast<int>(state.range(0));
+  ResilienceEngine engine;
+  ResilienceServer server(soptions, &engine);
+  std::string error;
+  if (!server.Start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  LineClient client;
+  std::string reply;
+  if (!client.Connect("127.0.0.1", server.port(), &error)) {
+    state.SkipWithError(error.c_str());
+    server.Stop();
+    return;
+  }
+  int i = 0;
+  for (auto _ : state) {
+    std::string name = "b" + std::to_string(i++);
+    bool ok = client.Request("open " + name + " R(x,y), S(y)", &reply, &error);
+    ok = ok && client.Request("push R(a, b)", &reply, &error);
+    ok = ok && client.Request("push S(b)", &reply, &error);
+    ok = ok && client.Request("begin", &reply, &error);
+    ok = ok && client.Request("+ S(c)", &reply, &error);
+    ok = ok && client.Request("+ R(b, c)", &reply, &error);
+    ok = ok && client.Request("epoch", &reply, &error);
+    ok = ok && client.Request("resilience", &reply, &error);
+    ok = ok && client.Request("close", &reply, &error);
+    if (!ok) {
+      state.SkipWithError(error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(reply);
+  }
+  client.Close();
+  server.Stop();
+}
+BENCHMARK(BM_ServedSession)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace rescq
+
+int main(int argc, char** argv) {
+  rescq::PrintThroughputScaling();
+  if (const char* path = std::getenv("RESCQ_BENCH_SNAPSHOT")) {
+    rescq::WriteSnapshot(path);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

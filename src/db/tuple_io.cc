@@ -21,22 +21,26 @@ std::string LineError(const std::string& origin, int lineno,
   return out.str();
 }
 
-/// Parses one "R(a, b)" fact (comments already stripped, line already
-/// trimmed and non-empty) into a relation name and constant names.
-/// Returns false with a position-free message on malformed input.
-bool ParseFact(std::string_view line, std::string* relation,
-               std::vector<std::string>* constants, std::string* message) {
+}  // namespace
+
+bool ParseFactLine(std::string_view line, std::string* relation,
+                   std::vector<std::string>* constants, std::string* error) {
+  line = Trim(line);
+  if (line.empty()) {
+    *error = "expected a single fact like R(a,b)";
+    return false;
+  }
   size_t open = line.find('(');
   size_t close = line.rfind(')');
   if (open == std::string_view::npos || close != line.size() - 1 ||
       close < open) {
-    *message = "expected a single fact like R(a,b)";
+    *error = "expected a single fact like R(a,b)";
     return false;
   }
   *relation = std::string(Trim(line.substr(0, open)));
   if (relation->empty() ||
       !std::isupper(static_cast<unsigned char>((*relation)[0]))) {
-    *message = "relation name must start upper-case";
+    *error = "relation name must start upper-case";
     return false;
   }
   constants->clear();
@@ -45,19 +49,55 @@ bool ParseFact(std::string_view line, std::string* relation,
     std::string constant(Trim(piece));
     if (constant.empty() ||
         constant.find_first_of("() \t") != std::string::npos) {
-      *message = "bad constant '" + constant + "' in fact";
+      *error = "bad constant '" + constant + "' in fact";
       return false;
     }
     constants->push_back(std::move(constant));
   }
   if (constants->empty()) {
-    *message = "fact has no constants";
+    *error = "fact has no constants";
     return false;
   }
   return true;
 }
 
-}  // namespace
+bool AddFactChecked(Database* db, const std::string& relation,
+                    const std::vector<std::string>& constants,
+                    std::string* error) {
+  if (relation.empty() || constants.empty()) {
+    *error = "fact with an empty relation or no constants";
+    return false;
+  }
+  int id = db->RelationId(relation);
+  if (id >= 0 &&
+      db->relation_arity(id) != static_cast<int>(constants.size())) {
+    std::ostringstream msg;
+    msg << "relation '" << relation << "' used with arity "
+        << constants.size() << ", but earlier facts have arity "
+        << db->relation_arity(id);
+    *error = msg.str();
+    return false;
+  }
+  std::vector<Value> row;
+  row.reserve(constants.size());
+  for (const std::string& constant : constants) {
+    row.push_back(db->Intern(constant));
+  }
+  db->AddTuple(relation, row);
+  return true;
+}
+
+bool ParseUpdateLine(std::string_view line, Update* update,
+                     std::string* error) {
+  line = Trim(line);
+  if (line.empty() || (line[0] != '+' && line[0] != '-')) {
+    *error = "expected '+ R(a,b)' or '- R(a,b)'";
+    return false;
+  }
+  update->kind = line[0] == '+' ? UpdateKind::kInsert : UpdateKind::kDelete;
+  return ParseFactLine(line.substr(1), &update->relation, &update->constants,
+                       error);
+}
 
 bool ReadTuples(std::istream& in, const std::string& origin, Database* db,
                 std::string* error) {
@@ -72,26 +112,14 @@ bool ReadTuples(std::istream& in, const std::string& origin, Database* db,
 
     std::string relation, message;
     std::vector<std::string> constants;
-    if (!ParseFact(line, &relation, &constants, &message)) {
+    // Parse, then validate arity before insertion: the input is
+    // untrusted, and Database treats an arity mismatch as a programmer
+    // error (it aborts).
+    if (!ParseFactLine(line, &relation, &constants, &message) ||
+        !AddFactChecked(db, relation, constants, &message)) {
       *error = LineError(origin, lineno, message);
       return false;
     }
-    std::vector<Value> row;
-    row.reserve(constants.size());
-    for (const std::string& constant : constants) {
-      row.push_back(db->Intern(constant));
-    }
-    // Validate arity here: the input is untrusted, and Database treats an
-    // arity mismatch as a programmer error (it aborts).
-    int id = db->RelationId(relation);
-    if (id >= 0 && db->relation_arity(id) != static_cast<int>(row.size())) {
-      std::ostringstream msg;
-      msg << "relation '" << relation << "' used with arity " << row.size()
-          << ", but earlier facts have arity " << db->relation_arity(id);
-      *error = LineError(origin, lineno, msg.str());
-      return false;
-    }
-    db->AddTuple(relation, row);
   }
   return true;
 }
@@ -164,18 +192,14 @@ bool ReadUpdates(std::istream& in, const std::string& origin, UpdateLog* log,
       continue;
     }
 
-    if (line[0] != '+' && line[0] != '-') {
+    Update u;
+    std::string message;
+    if (!ParseUpdateLine(line, &u, &message)) {
       *error = LineError(
           origin, lineno,
-          "expected '+ R(a,b)', '- R(a,b)', or an 'epoch' marker");
-      return false;
-    }
-    Update u;
-    u.kind = line[0] == '+' ? UpdateKind::kInsert : UpdateKind::kDelete;
-    std::string message;
-    if (!ParseFact(Trim(line.substr(1)), &u.relation, &u.constants,
-                   &message)) {
-      *error = LineError(origin, lineno, message);
+          line[0] != '+' && line[0] != '-'
+              ? "expected '+ R(a,b)', '- R(a,b)', or an 'epoch' marker"
+              : message);
       return false;
     }
     auto [it, inserted] = arity.emplace(u.relation, u.constants.size());

@@ -9,6 +9,30 @@
 
 namespace rescq {
 
+/// Parses one "R(a, b)" fact (no comment stripping; surrounding
+/// whitespace tolerated) into a relation name and constant names.
+/// Returns false with a position-free message on malformed input. The
+/// single fact grammar shared by tuple files, update files, and the
+/// server's `push` verb — untrusted text never reaches Database without
+/// passing through here.
+bool ParseFactLine(std::string_view line, std::string* relation,
+                   std::vector<std::string>* constants, std::string* error);
+
+/// Adds one already-parsed fact to db, first checking the arity against
+/// the relation's existing tuples (Database treats an arity mismatch as
+/// a programmer error and aborts, so untrusted facts are vetted here).
+/// Returns false with *error set on a mismatch; db is unchanged then.
+bool AddFactChecked(Database* db, const std::string& relation,
+                    const std::vector<std::string>& constants,
+                    std::string* error);
+
+/// Parses one update-file line that is not blank, a comment, or an
+/// "epoch" marker: "+ R(a,b)" or "- S(c)" (sign attached or spaced).
+/// Returns false with a position-free message on malformed input — the
+/// grammar the server's update verbs share with ReadUpdates.
+bool ParseUpdateLine(std::string_view line, Update* update,
+                     std::string* error);
+
 /// Reads facts ("R(a, b)", one per line, '#' comments, blank lines
 /// ignored) from `in` into db. `origin` labels error messages (a file
 /// path or "<string>"). Returns false and fills *error on the first

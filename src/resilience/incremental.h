@@ -87,8 +87,19 @@ struct EpochOutcome {
 /// the pool is not reentrant), and components are adopted in
 /// partition order afterwards, so every epoch outcome — including the
 /// contingency set — is byte-identical to the serial session at any
-/// thread count. A session object itself is single-threaded: Apply
-/// from one thread at a time.
+/// thread count.
+///
+/// Thread contract — one writer, concurrent readers of published
+/// answers: Apply is the only mutator and must be externally
+/// serialized (one Apply at a time, never concurrent with any other
+/// member). The read-only accessors — Peek/current, poisoned, db,
+/// query, options, epochs_applied, ApproxMemory — may be called from
+/// any number of threads concurrently with each other, provided the
+/// caller establishes a happens-before edge from the last Apply (the
+/// server's session registry does this with a per-session shared
+/// mutex: Apply under the exclusive lock, readers under the shared
+/// one). Peek never re-enters the solve path; it returns the answer
+/// the last epoch published.
 class IncrementalSession {
  public:
   /// Builds the family for `q` over `base` (the epoch-0 full build) and
@@ -107,6 +118,18 @@ class IncrementalSession {
 
   /// The latest outcome (epoch 0's right after construction).
   const EpochOutcome& current() const { return last_; }
+
+  /// Alias of current() under the name the serving path uses: a cheap
+  /// read-only view of the published answer for `resilience`/`stats`
+  /// style requests. Never solves, never touches the index — one
+  /// reference return (see the thread contract above).
+  const EpochOutcome& Peek() const { return last_; }
+
+  /// True once an epoch's witness budget tripped: the maintained family
+  /// is incomplete and every later Apply reports the same structured
+  /// error. (A node-budget stop does NOT poison — the session keeps a
+  /// feasible upper bound and retries the component when next touched.)
+  bool poisoned() const { return poisoned_; }
 
   /// Applies the epoch's updates, maintains family and decomposition
   /// from delta witness streams, and re-answers only the touched

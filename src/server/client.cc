@@ -1,0 +1,127 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace rescq {
+
+namespace {
+
+bool SendAll(int fd, const std::string& data, std::string* error) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// "ok explain 3" / "ok sessions 2" → 3 / 2; -1 for single-line replies.
+int PayloadLines(const std::string& header) {
+  std::vector<std::string> parts = SplitTrimmed(header, ' ');
+  if (parts.size() != 3 || parts[0] != "ok") return -1;
+  if (parts[1] != "explain" && parts[1] != "sessions") return -1;
+  uint64_t n = 0;
+  if (!ParseUint64(parts[2], &n) || n > 1000000) return -1;
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+LineClient::~LineClient() { Close(); }
+
+void LineClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+bool LineClient::Connect(const std::string& host, int port,
+                         std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host '" + host + "' (numeric IPv4 required)";
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool LineClient::ReadLine(std::string* line, std::string* error) {
+  char chunk[4096];
+  size_t newline;
+  while ((newline = buffer_.find('\n')) == std::string::npos) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      *error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (n == 0) {
+      *error = "server closed the connection";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  *line = buffer_.substr(0, newline);
+  buffer_.erase(0, newline + 1);
+  return true;
+}
+
+bool LineClient::Request(const std::string& line, std::string* reply,
+                         std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!SendAll(fd_, line + "\n", error)) {
+    Close();
+    return false;
+  }
+  std::string header;
+  if (!ReadLine(&header, error)) {
+    Close();
+    return false;
+  }
+  *reply = header;
+  int payload = PayloadLines(header);
+  for (int i = 0; i < payload; ++i) {
+    std::string extra;
+    if (!ReadLine(&extra, error)) {
+      Close();
+      return false;
+    }
+    *reply += "\n" + extra;
+  }
+  return true;
+}
+
+}  // namespace rescq

@@ -1,0 +1,46 @@
+#ifndef RESCQ_SERVER_CLIENT_H_
+#define RESCQ_SERVER_CLIENT_H_
+
+#include <string>
+
+namespace rescq {
+
+/// A blocking client for the rescq wire protocol (see
+/// server/protocol.h): connect, send one request line, read the framed
+/// reply. Used by `rescq loadgen`, the server tests, and anything else
+/// that wants to talk to a live `rescq serve` in-process.
+///
+/// Not thread-safe: one LineClient per thread (that is the protocol's
+/// natural shape — one connection, one outstanding request).
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects to a numeric IPv4 host:port. False with *error on failure.
+  bool Connect(const std::string& host, int port, std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends `line` (a newline is appended) and reads the complete reply
+  /// into *reply without its trailing newline — for the multi-line
+  /// `explain`/`sessions` verbs the payload lines follow the header,
+  /// '\n'-separated. False with *error on a socket error or a framing
+  /// violation; the connection is then closed.
+  bool Request(const std::string& line, std::string* reply,
+               std::string* error);
+
+ private:
+  bool ReadLine(std::string* line, std::string* error);
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_SERVER_CLIENT_H_

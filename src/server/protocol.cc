@@ -1,0 +1,553 @@
+#include "server/protocol.h"
+
+#include <chrono>
+#include <utility>
+
+#include "complexity/classifier.h"
+#include "cq/parser.h"
+#include "db/tuple_io.h"
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace rescq {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string Err(const char* code, const std::string& message) {
+  obs::Count("server.errors");
+  return std::string("err ") + code + " " + message + "\n";
+}
+
+/// Splits "verb rest-of-line" (rest may be empty).
+void SplitVerb(std::string_view line, std::string_view* verb,
+               std::string_view* rest) {
+  size_t space = line.find_first_of(" \t");
+  if (space == std::string_view::npos) {
+    *verb = line;
+    *rest = std::string_view();
+    return;
+  }
+  *verb = line.substr(0, space);
+  *rest = Trim(line.substr(space + 1));
+}
+
+/// Parses trailing "key=value" budget options ("witness_limit=100
+/// node_budget=50000"). Unmentioned keys keep their passed-in values;
+/// false + *error on an unknown key or a bad number.
+bool ParseBudgetOptions(std::string_view args, uint64_t* witness_limit,
+                        uint64_t* node_budget, std::string* error) {
+  for (const std::string& token : SplitTrimmed(args, ' ')) {
+    size_t eq = token.find('=');
+    std::string key = token.substr(0, eq == std::string::npos ? token.size()
+                                                              : eq);
+    if (eq == std::string::npos) {
+      *error = "expected key=value, got '" + token + "'";
+      return false;
+    }
+    uint64_t* dst = nullptr;
+    if (key == "witness_limit") dst = witness_limit;
+    if (key == "node_budget") dst = node_budget;
+    if (dst == nullptr) {
+      *error = "unknown option '" + key + "'";
+      return false;
+    }
+    if (!ParseUint64(token.substr(eq + 1), dst)) {
+      *error = key + " needs an unsigned integer, got '" +
+               token.substr(eq + 1) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Admission control for one budget knob: an explicit request beyond
+/// the max is rejected; an absent/unlimited request is clamped to the
+/// default, then to the max. Returns false (budget rejection) with
+/// *error set.
+bool AdmitBudget(const char* knob, uint64_t requested, bool requested_set,
+                 uint64_t def, uint64_t max, uint64_t* effective,
+                 std::string* error) {
+  uint64_t value = requested_set ? requested : def;
+  if (max != 0) {
+    if (requested_set && (requested == 0 || requested > max)) {
+      *error = StrFormat("%s %llu exceeds the server's max %llu", knob,
+                         static_cast<unsigned long long>(requested),
+                         static_cast<unsigned long long>(max));
+      return false;
+    }
+    if (value == 0) value = max;
+  }
+  *effective = value;
+  return true;
+}
+
+/// The key=value tail shared by the `begin` and `epoch` replies.
+std::string OutcomeFields(const EpochOutcome& o, int active_tuples) {
+  return StrFormat(
+      "n=%d resilience=%d unbreakable=%d lower=%d upper=%d inserted=%d "
+      "deleted=%d sets=%zu tuples=%d resolved=%d",
+      o.epoch, o.resilience, o.unbreakable ? 1 : 0, o.lower_bound,
+      o.upper_bound, o.inserted, o.deleted, o.family_sets, active_tuples,
+      o.resolved ? 1 : 0);
+}
+
+/// A session name: non-empty, no whitespace, and short enough that a
+/// hostile client cannot grow the registry's keys without bound.
+bool ValidSessionName(std::string_view name, std::string* error) {
+  if (name.empty() || name.size() > 128 ||
+      name.find_first_of(" \t") != std::string_view::npos) {
+    *error = "session names are 1-128 characters with no whitespace";
+    return false;
+  }
+  return true;
+}
+
+const char* RequestCounterName(std::string_view verb) {
+  if (verb == "open") return "server.requests.open";
+  if (verb == "use") return "server.requests.use";
+  if (verb == "push") return "server.requests.push";
+  if (verb == "load") return "server.requests.load";
+  if (verb == "begin") return "server.requests.begin";
+  if (verb == "+" || verb == "-") return "server.requests.update";
+  if (verb == "epoch") return "server.requests.epoch";
+  if (verb == "resilience") return "server.requests.resilience";
+  if (verb == "classify") return "server.requests.classify";
+  if (verb == "explain") return "server.requests.explain";
+  if (verb == "stats") return "server.requests.stats";
+  if (verb == "sessions") return "server.requests.sessions";
+  if (verb == "close") return "server.requests.close";
+  if (verb == "ping") return "server.requests.ping";
+  if (verb == "quit") return "server.requests.quit";
+  if (verb == "shutdown") return "server.requests.shutdown";
+  return "server.requests.unknown";
+}
+
+}  // namespace
+
+ProtocolHandler::ProtocolHandler(SessionRegistry* registry,
+                                 ResilienceEngine* engine,
+                                 const ServerLimits* limits)
+    : registry_(registry), engine_(engine), limits_(limits) {}
+
+ProtocolResult ProtocolHandler::Handle(std::string_view line) {
+  ProtocolResult result;
+  line = Trim(line);
+  if (line.empty() || line[0] == '#') return result;  // no reply
+
+  Clock::time_point start = Clock::now();
+  std::string_view verb, rest;
+  if (line[0] == '+' || line[0] == '-') {
+    verb = line.substr(0, 1);
+  } else {
+    SplitVerb(line, &verb, &rest);
+  }
+  obs::Count("server.requests");
+  obs::Count(RequestCounterName(verb));
+
+  if (verb == "ping") {
+    result.response = "ok pong\n";
+  } else if (verb == "quit") {
+    result.response = "ok bye\n";
+    result.close_connection = true;
+  } else if (verb == "shutdown") {
+    if (!limits_->allow_shutdown) {
+      result.response = Err("shutdown-disabled",
+                            "this server does not honor the shutdown verb");
+    } else {
+      result.response = "ok shutdown\n";
+      result.close_connection = true;
+      result.stop_server = true;
+    }
+  } else if (verb == "open") {
+    result.response = DoOpen(rest);
+  } else if (verb == "use") {
+    result.response = DoUse(rest);
+  } else if (verb == "push") {
+    result.response = DoPush(rest);
+  } else if (verb == "load") {
+    result.response = DoLoad(rest);
+  } else if (verb == "begin") {
+    result.response = DoBegin(rest);
+  } else if (verb == "+" || verb == "-") {
+    result.response = DoUpdate(line);
+  } else if (verb == "epoch") {
+    result.response = DoEpoch();
+    obs::ObserveLatencyMs("server.epoch_ms", MsSince(start));
+  } else if (verb == "resilience") {
+    result.response = DoResilience();
+  } else if (verb == "classify") {
+    result.response = DoClassify(rest);
+  } else if (verb == "explain") {
+    result.response = DoExplain();
+  } else if (verb == "stats") {
+    result.response = DoStats();
+  } else if (verb == "sessions") {
+    result.response = DoSessions();
+  } else if (verb == "close") {
+    result.response = DoClose(rest);
+  } else {
+    result.response =
+        Err("bad-request", "unknown verb '" + std::string(verb) + "'");
+  }
+  obs::ObserveLatencyMs("server.request_ms", MsSince(start));
+  return result;
+}
+
+std::shared_ptr<SessionEntry> ProtocolHandler::Current(std::string* error) {
+  if (current_ == nullptr) {
+    *error = "no session selected (open or use one first)";
+    return nullptr;
+  }
+  return current_;
+}
+
+std::string ProtocolHandler::DoOpen(std::string_view args) {
+  std::string_view name, query_text;
+  SplitVerb(args, &name, &query_text);
+  std::string error;
+  if (!ValidSessionName(name, &error)) return Err("bad-request", error);
+  if (query_text.empty()) {
+    return Err("bad-request", "open needs a query: open <session> <query>");
+  }
+  ParseResult parsed = ParseQuery(query_text);
+  if (!parsed.ok) return Err("parse", parsed.error);
+
+  std::shared_ptr<SessionEntry> entry;
+  if (!registry_->Open(std::string(name), &entry, &error)) {
+    if (error.find("already exists") != std::string::npos) {
+      return Err("session-exists", error);
+    }
+    obs::Count("server.rejected.limit");
+    return Err("limit", error);
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(entry->mu);
+    entry->query = parsed.query;
+    entry->query_text = parsed.query.ToString();
+  }
+  // Warm the shared plan cache: every session for an already-seen query
+  // (the loadgen steady state) plans exactly once per server lifetime.
+  engine_->Plan(parsed.query);
+  current_ = std::move(entry);
+  pending_.clear();
+  obs::SetGauge("server.active_sessions",
+                static_cast<double>(registry_->size()));
+  return "ok open " + std::string(name) + " staging\n";
+}
+
+std::string ProtocolHandler::DoUse(std::string_view args) {
+  std::string error;
+  if (!ValidSessionName(args, &error)) return Err("bad-request", error);
+  std::shared_ptr<SessionEntry> entry = registry_->Find(std::string(args));
+  if (entry == nullptr) {
+    return Err("no-session", "no session named '" + std::string(args) + "'");
+  }
+  current_ = std::move(entry);
+  pending_.clear();
+  std::shared_lock<std::shared_mutex> lock(current_->mu);
+  return "ok use " + current_->name +
+         (current_->live() ? " live\n" : " staging\n");
+}
+
+std::string ProtocolHandler::DoPush(std::string_view args) {
+  std::string error;
+  std::shared_ptr<SessionEntry> entry = Current(&error);
+  if (entry == nullptr) return Err("no-session", error);
+
+  std::string relation;
+  std::vector<std::string> constants;
+  if (!ParseFactLine(args, &relation, &constants, &error)) {
+    return Err("parse", error);
+  }
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
+  if (entry->closed) return Err("closed", "session was closed");
+  if (entry->live()) {
+    return Err("not-staging",
+               "session is live; push base facts before begin");
+  }
+  if (limits_->max_base_tuples != 0 &&
+      entry->staging_tuples >= limits_->max_base_tuples) {
+    obs::Count("server.rejected.limit");
+    return Err("limit",
+               StrFormat("base limit reached (max_base_tuples=%zu)",
+                         limits_->max_base_tuples));
+  }
+  if (!AddFactChecked(&entry->staging, relation, constants, &error)) {
+    return Err("parse", error);
+  }
+  entry->staging_tuples =
+      static_cast<size_t>(entry->staging.NumActiveTuples());
+  return StrFormat("ok push %zu\n", entry->staging_tuples);
+}
+
+std::string ProtocolHandler::DoLoad(std::string_view args) {
+  std::string error;
+  std::shared_ptr<SessionEntry> entry = Current(&error);
+  if (entry == nullptr) return Err("no-session", error);
+  if (!limits_->allow_load) {
+    return Err("bad-request", "this server does not honor the load verb");
+  }
+  if (args.empty()) return Err("bad-request", "load needs a file path");
+
+  // Read outside the session lock (file I/O can be slow), then swap in.
+  Database loaded;
+  if (!LoadTupleFile(std::string(args), &loaded, &error)) {
+    return Err("io", error);
+  }
+  size_t tuples = static_cast<size_t>(loaded.NumActiveTuples());
+  if (limits_->max_base_tuples != 0 && tuples > limits_->max_base_tuples) {
+    obs::Count("server.rejected.limit");
+    return Err("limit",
+               StrFormat("file has %zu tuples, over max_base_tuples=%zu",
+                         tuples, limits_->max_base_tuples));
+  }
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
+  if (entry->closed) return Err("closed", "session was closed");
+  if (entry->live()) {
+    return Err("not-staging", "session is live; load replaces a staged base");
+  }
+  entry->staging = std::move(loaded);
+  entry->staging_tuples = tuples;
+  return StrFormat("ok load %zu %zu\n", tuples, tuples);
+}
+
+std::string ProtocolHandler::DoBegin(std::string_view args) {
+  std::string error;
+  std::shared_ptr<SessionEntry> entry = Current(&error);
+  if (entry == nullptr) return Err("no-session", error);
+
+  uint64_t witness_req = 0, node_req = 0;
+  bool witness_set = args.find("witness_limit=") != std::string_view::npos;
+  bool node_set = args.find("node_budget=") != std::string_view::npos;
+  if (!ParseBudgetOptions(args, &witness_req, &node_req, &error)) {
+    return Err("bad-request", error);
+  }
+  uint64_t witness_limit = 0, node_budget = 0;
+  if (!AdmitBudget("witness_limit", witness_req, witness_set,
+                   limits_->default_witness_limit, limits_->max_witness_limit,
+                   &witness_limit, &error) ||
+      !AdmitBudget("node_budget", node_req, node_set,
+                   limits_->default_node_budget, limits_->max_node_budget,
+                   &node_budget, &error)) {
+    obs::Count("server.rejected.budget");
+    return Err("budget", error);
+  }
+
+  EngineOptions options;
+  options.witness_limit = static_cast<size_t>(witness_limit);
+  options.exact_node_budget = node_budget;
+  options.solver_threads = limits_->solver_threads;
+
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
+  if (entry->closed) return Err("closed", "session was closed");
+  if (entry->live()) return Err("not-staging", "session already began");
+  entry->session = std::make_unique<IncrementalSession>(
+      entry->query, std::move(entry->staging), options);
+  entry->staging = Database();
+  const EpochOutcome& outcome = entry->session->Peek();
+  if (entry->session->poisoned()) {
+    return Err("budget", outcome.error);
+  }
+  return "ok begin " +
+         OutcomeFields(outcome, entry->session->db().NumActiveTuples()) + "\n";
+}
+
+std::string ProtocolHandler::DoUpdate(std::string_view line) {
+  std::string error;
+  std::shared_ptr<SessionEntry> entry = Current(&error);
+  if (entry == nullptr) return Err("no-session", error);
+
+  Update update;
+  if (!ParseUpdateLine(line, &update, &error)) return Err("parse", error);
+  if (limits_->max_epoch_updates != 0 &&
+      pending_.size() >= limits_->max_epoch_updates) {
+    obs::Count("server.rejected.limit");
+    return Err("limit",
+               StrFormat("pending epoch limit reached (max_epoch_updates=%zu)",
+                         limits_->max_epoch_updates));
+  }
+
+  // Validate the whole pending batch plus the candidate against the live
+  // database's arities now, so the offending line (not the later
+  // `epoch`) gets the structured error.
+  UpdateLog probe;
+  probe.epochs.emplace_back();
+  probe.epochs.back().updates = pending_;
+  probe.epochs.back().updates.push_back(update);
+  {
+    std::shared_lock<std::shared_mutex> lock(entry->mu);
+    if (entry->closed) return Err("closed", "session was closed");
+    if (!entry->live()) {
+      return Err("not-live", "session has no base yet (begin first)");
+    }
+    if (!ValidateUpdateLog(probe, entry->session->db(), &error)) {
+      return Err("parse", error);
+    }
+  }
+  pending_.push_back(std::move(update));
+  return StrFormat("ok queued %zu\n", pending_.size());
+}
+
+std::string ProtocolHandler::DoEpoch() {
+  std::string error;
+  std::shared_ptr<SessionEntry> entry = Current(&error);
+  if (entry == nullptr) return Err("no-session", error);
+
+  Epoch epoch;
+  epoch.updates = std::move(pending_);
+  pending_.clear();
+
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
+  if (entry->closed) return Err("closed", "session was closed");
+  if (!entry->live()) {
+    return Err("not-live", "session has no base yet (begin first)");
+  }
+  if (entry->session->poisoned()) {
+    return Err("poisoned", entry->session->Peek().error);
+  }
+  // Re-validate under the exclusive lock: another connection may have
+  // reshaped the database since the updates were queued, and ApplyEpoch
+  // treats an arity mismatch as a programmer error.
+  UpdateLog probe;
+  probe.epochs.push_back(epoch);
+  if (!ValidateUpdateLog(probe, entry->session->db(), &error)) {
+    return Err("parse", error);
+  }
+  EpochOutcome outcome = entry->session->Apply(epoch);
+  if (entry->session->poisoned()) {
+    return Err("budget", outcome.error);
+  }
+  return "ok epoch " +
+         OutcomeFields(outcome, entry->session->db().NumActiveTuples()) + "\n";
+}
+
+std::string ProtocolHandler::DoResilience() {
+  std::string error;
+  std::shared_ptr<SessionEntry> entry = Current(&error);
+  if (entry == nullptr) return Err("no-session", error);
+
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  if (entry->closed) return Err("closed", "session was closed");
+  if (!entry->live()) {
+    return Err("not-live", "session has no base yet (begin first)");
+  }
+  if (entry->session->poisoned()) {
+    return Err("poisoned", entry->session->Peek().error);
+  }
+  const EpochOutcome& o = entry->session->Peek();
+  if (o.unbreakable) return "ok resilience unbreakable\n";
+  if (o.lower_bound < o.upper_bound) {
+    return StrFormat("ok resilience %d unproven\n", o.resilience);
+  }
+  return StrFormat("ok resilience %d\n", o.resilience);
+}
+
+std::string ProtocolHandler::DoClassify(std::string_view args) {
+  Query q;
+  if (!args.empty()) {
+    ParseResult parsed = ParseQuery(args);
+    if (!parsed.ok) return Err("parse", parsed.error);
+    q = parsed.query;
+  } else {
+    std::string error;
+    std::shared_ptr<SessionEntry> entry = Current(&error);
+    if (entry == nullptr) return Err("no-session", error);
+    std::shared_lock<std::shared_mutex> lock(entry->mu);
+    if (entry->closed) return Err("closed", "session was closed");
+    q = entry->query;
+  }
+  Classification c = ClassifyResilience(q);
+  return std::string("ok classify ") + ComplexityName(c.complexity) + " " +
+         c.pattern + "\n";
+}
+
+std::string ProtocolHandler::DoExplain() {
+  std::string error;
+  std::shared_ptr<SessionEntry> entry = Current(&error);
+  if (entry == nullptr) return Err("no-session", error);
+  Query q;
+  {
+    std::shared_lock<std::shared_mutex> lock(entry->mu);
+    if (entry->closed) return Err("closed", "session was closed");
+    q = entry->query;
+  }
+  // The shared engine's plan cache makes this a lookup after the first
+  // explain/open of the query, for any session.
+  std::shared_ptr<const ResiliencePlan> plan = engine_->Plan(q);
+  std::string text = plan->Explain(engine_->registry());
+  std::vector<std::string> lines = Split(text, '\n');
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  std::string reply = StrFormat("ok explain %zu\n", lines.size());
+  for (const std::string& l : lines) reply += l + "\n";
+  return reply;
+}
+
+std::string ProtocolHandler::DoStats() {
+  std::string error;
+  std::shared_ptr<SessionEntry> entry = Current(&error);
+  if (entry == nullptr) return Err("no-session", error);
+
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  if (entry->closed) return Err("closed", "session was closed");
+  if (!entry->live()) {
+    return StrFormat("ok stats session=%s state=staging tuples=%zu pending=%zu\n",
+                     entry->name.c_str(), entry->staging_tuples,
+                     pending_.size());
+  }
+  const EpochOutcome& o = entry->session->Peek();
+  return StrFormat(
+      "ok stats session=%s state=live epoch=%d tuples=%d sets=%zu "
+      "resilience=%d lower=%d upper=%d unbreakable=%d pending=%zu "
+      "poisoned=%d\n",
+      entry->name.c_str(), o.epoch, entry->session->db().NumActiveTuples(),
+      o.family_sets, o.resilience, o.lower_bound, o.upper_bound,
+      o.unbreakable ? 1 : 0, pending_.size(),
+      entry->session->poisoned() ? 1 : 0);
+}
+
+std::string ProtocolHandler::DoSessions() {
+  std::vector<std::shared_ptr<SessionEntry>> entries = registry_->List();
+  std::string reply = StrFormat("ok sessions %zu\n", entries.size());
+  for (const std::shared_ptr<SessionEntry>& entry : entries) {
+    std::shared_lock<std::shared_mutex> lock(entry->mu);
+    if (entry->live()) {
+      reply += StrFormat("%s live epoch=%d tuples=%d\n", entry->name.c_str(),
+                         entry->session->Peek().epoch,
+                         entry->session->db().NumActiveTuples());
+    } else {
+      reply += StrFormat("%s staging tuples=%zu\n", entry->name.c_str(),
+                         entry->staging_tuples);
+    }
+  }
+  return reply;
+}
+
+std::string ProtocolHandler::DoClose(std::string_view args) {
+  std::string name;
+  if (!args.empty()) {
+    name = std::string(args);
+  } else {
+    std::string error;
+    std::shared_ptr<SessionEntry> entry = Current(&error);
+    if (entry == nullptr) return Err("no-session", error);
+    name = entry->name;
+  }
+  std::string error;
+  if (!registry_->Close(name, &error)) return Err("no-session", error);
+  if (current_ != nullptr && current_->name == name) {
+    current_.reset();
+    pending_.clear();
+  }
+  obs::SetGauge("server.active_sessions",
+                static_cast<double>(registry_->size()));
+  return "ok close " + name + "\n";
+}
+
+}  // namespace rescq

@@ -1,0 +1,120 @@
+#ifndef RESCQ_SERVER_PROTOCOL_H_
+#define RESCQ_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/delta.h"
+#include "resilience/engine.h"
+#include "server/session_registry.h"
+
+namespace rescq {
+
+// The rescq wire protocol: one request line in, one reply out (blank
+// and '#'-comment lines are ignored without a reply, so update files
+// can be piped verbatim). Replies are a single line — `ok ...` or
+// `err <code> <message>` — except `explain` and `sessions`, whose first
+// line `ok <verb> <n>` announces n payload lines. The full grammar
+// lives in docs/SERVER.md; tests/golden/server_transcript.golden pins
+// the bytes.
+//
+//   open <session> <query>        create a named staging session
+//   use <session>                 switch this connection's session
+//   push R(a,b)                   add one base fact (staging only)
+//   load <path>                   replace the staged base from a
+//                                 server-side tuple file
+//   begin [witness_limit=N] [node_budget=N]
+//                                 build the IncrementalSession (epoch 0)
+//   + R(a,b)  /  - S(c)           queue an update into the pending epoch
+//   epoch                         apply the pending epoch incrementally
+//   resilience                    the maintained answer (never re-solves)
+//   classify [<query>]            complexity of the session (or inline) query
+//   explain                       the engine's resilience plan (multi-line)
+//   stats                         one-line session statistics
+//   sessions                      list open sessions (multi-line)
+//   close [<session>]             close the current (or named) session
+//   ping / quit / shutdown        health check / drop connection / stop server
+
+/// Admission-control and safety limits, fixed at server start. Zero
+/// always means "unlimited"/"no default".
+struct ServerLimits {
+  /// Concurrently open sessions (enforced by SessionRegistry).
+  size_t max_sessions = 0;
+  /// Active tuples a staged base may reach via push/load.
+  size_t max_base_tuples = 0;
+  /// Updates one pending epoch may queue.
+  size_t max_epoch_updates = 0;
+  /// Witness budget applied when `begin` does not ask for one; a `begin`
+  /// asking for more than `max_witness_limit` (or for unlimited when a
+  /// max is set — then clamped to the max) is admission-controlled.
+  size_t default_witness_limit = 0;
+  size_t max_witness_limit = 0;
+  /// Same scheme for the branch-and-bound node budget.
+  uint64_t default_node_budget = 0;
+  uint64_t max_node_budget = 0;
+  /// EngineOptions::solver_threads for every session's epoch fan-out.
+  int solver_threads = 1;
+  /// Gate the `load` (server-side file read) and `shutdown` verbs.
+  bool allow_load = true;
+  bool allow_shutdown = true;
+};
+
+/// What one handled request tells the transport to do.
+struct ProtocolResult {
+  std::string response;  // full reply bytes, '\n'-terminated (empty for
+                         // ignored blank/comment lines)
+  bool close_connection = false;
+  bool stop_server = false;
+};
+
+/// Per-connection protocol state machine. Holds the connection's
+/// current session handle and its pending (not yet applied) epoch;
+/// everything shared — the session registry, the plan-cache-bearing
+/// engine, the limits — is borrowed and must outlive the handler.
+///
+/// Thread contract: one handler belongs to one connection and is
+/// driven from one thread at a time; any number of handlers run
+/// concurrently against the same registry/engine (per-session
+/// shared_mutex + thread-safe engine). Handle never throws and never
+/// aborts on any input byte sequence — malformed requests come back as
+/// `err` lines.
+class ProtocolHandler {
+ public:
+  ProtocolHandler(SessionRegistry* registry, ResilienceEngine* engine,
+                  const ServerLimits* limits);
+
+  /// Handles one request line (without its trailing newline).
+  ProtocolResult Handle(std::string_view line);
+
+ private:
+  /// The connection's session if it is still open; err text otherwise.
+  std::shared_ptr<SessionEntry> Current(std::string* error);
+
+  std::string DoOpen(std::string_view args);
+  std::string DoUse(std::string_view args);
+  std::string DoPush(std::string_view args);
+  std::string DoLoad(std::string_view args);
+  std::string DoBegin(std::string_view args);
+  std::string DoUpdate(std::string_view line);
+  std::string DoEpoch();
+  std::string DoResilience();
+  std::string DoClassify(std::string_view args);
+  std::string DoExplain();
+  std::string DoStats();
+  std::string DoSessions();
+  std::string DoClose(std::string_view args);
+
+  SessionRegistry* registry_;
+  ResilienceEngine* engine_;
+  const ServerLimits* limits_;
+
+  std::shared_ptr<SessionEntry> current_;
+  std::vector<Update> pending_;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_SERVER_PROTOCOL_H_

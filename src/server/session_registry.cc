@@ -1,0 +1,82 @@
+#include "server/session_registry.h"
+
+#include <algorithm>
+
+namespace rescq {
+
+namespace {
+
+/// entries_ is kept sorted by name so List() is deterministic and
+/// lookup is a binary search — session counts are small, but the
+/// `sessions` verb and the golden transcript want a stable order.
+std::vector<std::shared_ptr<SessionEntry>>::const_iterator LowerBound(
+    const std::vector<std::shared_ptr<SessionEntry>>& entries,
+    const std::string& name) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const std::shared_ptr<SessionEntry>& e, const std::string& n) {
+        return e->name < n;
+      });
+}
+
+}  // namespace
+
+bool SessionRegistry::Open(const std::string& name,
+                           std::shared_ptr<SessionEntry>* entry,
+                           std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = LowerBound(entries_, name);
+  if (it != entries_.end() && (*it)->name == name) {
+    *error = "session '" + name + "' already exists";
+    return false;
+  }
+  if (max_sessions_ != 0 && entries_.size() >= max_sessions_) {
+    *error = "session limit reached (max_sessions=" +
+             std::to_string(max_sessions_) + ")";
+    return false;
+  }
+  *entry = std::make_shared<SessionEntry>(name);
+  entries_.insert(it, *entry);
+  return true;
+}
+
+std::shared_ptr<SessionEntry> SessionRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = LowerBound(entries_, name);
+  if (it == entries_.end() || (*it)->name != name) return nullptr;
+  return *it;
+}
+
+bool SessionRegistry::Close(const std::string& name, std::string* error) {
+  std::shared_ptr<SessionEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = LowerBound(entries_, name);
+    if (it == entries_.end() || (*it)->name != name) {
+      *error = "no session named '" + name + "'";
+      return false;
+    }
+    entry = *it;
+    entries_.erase(it);
+  }
+  // Mark outside the registry mutex: the exclusive lock waits for
+  // in-flight requests on this session without stalling every other
+  // registry operation.
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
+  entry->closed = true;
+  entry->session.reset();
+  return true;
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::shared_ptr<SessionEntry>> SessionRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+}  // namespace rescq

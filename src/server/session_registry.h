@@ -1,0 +1,90 @@
+#ifndef RESCQ_SERVER_SESSION_REGISTRY_H_
+#define RESCQ_SERVER_SESSION_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "db/delta.h"
+#include "resilience/incremental.h"
+
+namespace rescq {
+
+/// One named session as the registry tracks it. A session is born
+/// *staging* (the base instance is being pushed or loaded into
+/// `staging`), becomes *live* when `begin` constructs the
+/// IncrementalSession (which takes its own copy of the base), and stays
+/// addressable until closed.
+///
+/// Locking: `mu` is the session's own reader/writer lock and the only
+/// synchronization a session needs. Mutations (push/load/begin/epoch
+/// apply/close) run under the exclusive lock; read-only requests
+/// (resilience/stats/explain) under the shared lock — exactly the
+/// one-writer/concurrent-readers contract IncrementalSession documents.
+/// Because every session has its own lock, one session's epoch apply
+/// never blocks another session's solve; the registry's map mutex is
+/// only ever held for create/lookup/close bookkeeping, never across a
+/// solve.
+struct SessionEntry {
+  explicit SessionEntry(std::string session_name) : name(std::move(session_name)) {}
+
+  const std::string name;
+  mutable std::shared_mutex mu;
+
+  // All fields below are guarded by mu.
+  std::string query_text;  // canonical form, set at open
+  Query query;             // parsed at open
+  Database staging;        // the pushed/loaded base; moved out at begin
+  size_t staging_tuples = 0;
+  std::unique_ptr<IncrementalSession> session;  // null while staging
+  bool closed = false;  // a handle may outlive its registry slot
+
+  bool live() const { return session != nullptr; }
+};
+
+/// Thread-safe name -> session map. Entries are handed out as
+/// shared_ptr so a connection can keep using a handle it resolved even
+/// if another connection closes the name concurrently (the entry's
+/// `closed` flag tells it so on the next request). All registry methods
+/// only take the internal map mutex — per-session work happens under
+/// the entry's own lock, outside any registry-wide serialization.
+class SessionRegistry {
+ public:
+  /// `max_sessions` caps concurrently open sessions (0 = unlimited);
+  /// exceeding it makes Open fail — the admission-control knob.
+  explicit SessionRegistry(size_t max_sessions = 0)
+      : max_sessions_(max_sessions) {}
+
+  /// Creates a staging session. Fails (false + *error) when the name is
+  /// taken or the session cap is reached; *entry is then untouched.
+  bool Open(const std::string& name, std::shared_ptr<SessionEntry>* entry,
+            std::string* error);
+
+  /// The named session, or nullptr.
+  std::shared_ptr<SessionEntry> Find(const std::string& name) const;
+
+  /// Removes the name and marks the entry closed (under its exclusive
+  /// lock, so in-flight requests on other connections finish first).
+  /// False when the name is unknown.
+  bool Close(const std::string& name, std::string* error);
+
+  /// Currently open sessions.
+  size_t size() const;
+
+  /// Snapshot of every open entry, name order (for the `sessions` verb).
+  std::vector<std::shared_ptr<SessionEntry>> List() const;
+
+ private:
+  const size_t max_sessions_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<SessionEntry>> entries_;  // name-sorted
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_SERVER_SESSION_REGISTRY_H_

@@ -359,6 +359,80 @@ expect_usage_error "arity-inconsistent update file rejected" \
     stream "R(x,y)" "$SRC/data/section2_chain.tuples" --updates "$tmpupd"
 rm -f "$tmpupd"
 
+# serve + loadgen: a daemon on an ephemeral port (parsed from its
+# announcement line), driven by an oracle-checked loadgen run, then shut
+# down by SIGTERM — which must still produce the metrics snapshot.
+serve_log="$(mktemp)" ; serve_metrics="$(mktemp)" ; loadgen_json="$(mktemp)"
+"$RESCQ" serve --port 0 --threads 2 --metrics-json "$serve_metrics" \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+serve_port=""
+for _ in $(seq 1 50); do
+  serve_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$serve_log" | head -n1)"
+  [ -n "$serve_port" ] && break
+  sleep 0.1
+done
+if [ -z "$serve_port" ]; then
+  echo "FAIL: serve never announced its port"
+  sed 's/^/    /' "$serve_log"
+  failures=$((failures + 1))
+  kill "$serve_pid" 2>/dev/null
+else
+  echo "ok: serve announced an ephemeral port ($serve_port)"
+  loadgen_out="$("$RESCQ" loadgen --port "$serve_port" --connections 4 \
+      --scenario vc_er --size 8 --epochs 2 --rate 0.15 --seed 3 \
+      --check-oracle --json "$loadgen_json" 2>&1)"
+  loadgen_status=$?
+  if [ "$loadgen_status" -eq 0 ] \
+      && grep -qF "0 mismatch" <<<"$loadgen_out"; then
+    echo "ok: loadgen against live serve is oracle-clean"
+  else
+    echo "FAIL: loadgen exited $loadgen_status or reported mismatches"
+    echo "$loadgen_out" | sed 's/^/    /'
+    failures=$((failures + 1))
+  fi
+  if grep -q '"schema": "rescq-loadgen-report/v1"' "$loadgen_json" \
+      && grep -q '"oracle_mismatches": 0' "$loadgen_json" \
+      && grep -q '"p50_ms"' "$loadgen_json"; then
+    echo "ok: loadgen JSON report is v1 with latency fields"
+  else
+    echo "FAIL: loadgen JSON report lacks the v1 schema/latency fields"
+    sed 's/^/    /' "$loadgen_json"
+    failures=$((failures + 1))
+  fi
+  kill -TERM "$serve_pid"
+  if wait "$serve_pid"; then
+    echo "ok: serve exits 0 on SIGTERM"
+  else
+    echo "FAIL: serve exited non-zero on SIGTERM"
+    sed 's/^/    /' "$serve_log"
+    failures=$((failures + 1))
+  fi
+  if grep -q '"schema": "rescq-metrics/v1"' "$serve_metrics" \
+      && grep -q '"server.requests"' "$serve_metrics" \
+      && grep -q '"server.request_ms"' "$serve_metrics"; then
+    echo "ok: serve wrote a metrics snapshot with server.* series"
+  else
+    echo "FAIL: serve metrics snapshot lacks the server.* series"
+    sed 's/^/    /' "$serve_metrics"
+    failures=$((failures + 1))
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    if python3 -m json.tool "$loadgen_json" >/dev/null \
+        && python3 -m json.tool "$serve_metrics" >/dev/null; then
+      echo "ok: loadgen report and serve metrics parse as JSON"
+    else
+      echo "FAIL: loadgen report or serve metrics is not valid JSON"
+      failures=$((failures + 1))
+    fi
+  fi
+fi
+rm -f "$serve_log" "$serve_metrics" "$loadgen_json"
+
+expect_usage_error "loadgen without a port rejected" loadgen
+expect_usage_error "serve with a bad port rejected" serve --port 99999
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures smoke-test failure(s)"
   exit 1

@@ -1,0 +1,359 @@
+// Protocol-layer tests: drive a ProtocolHandler directly (no sockets)
+// through the happy path and every error path, plus the table-driven
+// malformed-input sweep over the text parsers the server exposes to
+// untrusted bytes. Nothing in here may abort or throw — that is the
+// hardening contract.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cq/parser.h"
+#include "db/tuple_io.h"
+#include "gtest/gtest.h"
+#include "resilience/engine.h"
+#include "server/protocol.h"
+#include "server/session_registry.h"
+
+namespace rescq {
+namespace {
+
+bool StartsWithStr(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  std::string Req(const std::string& line) {
+    ProtocolResult r = handler_.Handle(line);
+    EXPECT_FALSE(r.close_connection) << line;
+    EXPECT_FALSE(r.stop_server) << line;
+    return r.response;
+  }
+
+  SessionRegistry registry_;
+  ResilienceEngine engine_;
+  ServerLimits limits_;
+  ProtocolHandler handler_{&registry_, &engine_, &limits_};
+};
+
+TEST_F(ProtocolTest, HappyPathSessionLifecycle) {
+  EXPECT_EQ(Req("ping"), "ok pong\n");
+  EXPECT_EQ(Req("open s1 R(x,y)"), "ok open s1 staging\n");
+  EXPECT_EQ(Req("push R(a, b)"), "ok push 1\n");
+  EXPECT_EQ(Req("push R(c, d)"), "ok push 2\n");
+
+  std::string begin = Req("begin");
+  ASSERT_TRUE(StartsWithStr(begin, "ok begin ")) << begin;
+  EXPECT_NE(begin.find("resilience=2"), std::string::npos) << begin;
+  EXPECT_NE(begin.find("unbreakable=0"), std::string::npos) << begin;
+  EXPECT_NE(begin.find("tuples=2"), std::string::npos) << begin;
+
+  EXPECT_EQ(Req("resilience"), "ok resilience 2\n");
+  EXPECT_EQ(Req("- R(a, b)"), "ok queued 1\n");
+  std::string epoch = Req("epoch");
+  ASSERT_TRUE(StartsWithStr(epoch, "ok epoch ")) << epoch;
+  EXPECT_NE(epoch.find("n=1"), std::string::npos) << epoch;
+  EXPECT_NE(epoch.find("resilience=1"), std::string::npos) << epoch;
+  EXPECT_EQ(Req("resilience"), "ok resilience 1\n");
+
+  std::string stats = Req("stats");
+  ASSERT_TRUE(StartsWithStr(stats, "ok stats session=s1 state=live "))
+      << stats;
+  EXPECT_NE(stats.find("poisoned=0"), std::string::npos) << stats;
+
+  std::string classify = Req("classify");
+  ASSERT_TRUE(StartsWithStr(classify, "ok classify PTIME ")) << classify;
+  std::string explain = Req("explain");
+  ASSERT_TRUE(StartsWithStr(explain, "ok explain ")) << explain;
+
+  std::string sessions = Req("sessions");
+  ASSERT_TRUE(StartsWithStr(sessions, "ok sessions 1\ns1 live ")) << sessions;
+
+  EXPECT_EQ(Req("close"), "ok close s1\n");
+  EXPECT_EQ(registry_.size(), 0u);
+}
+
+TEST_F(ProtocolTest, BlankAndCommentLinesGetNoReply) {
+  EXPECT_EQ(Req(""), "");
+  EXPECT_EQ(Req("   "), "");
+  EXPECT_EQ(Req("# piped update file comment"), "");
+}
+
+TEST_F(ProtocolTest, QuitAndShutdownControlTheConnection) {
+  ProtocolResult quit = handler_.Handle("quit");
+  EXPECT_EQ(quit.response, "ok bye\n");
+  EXPECT_TRUE(quit.close_connection);
+  EXPECT_FALSE(quit.stop_server);
+
+  ProtocolResult shutdown = handler_.Handle("shutdown");
+  EXPECT_EQ(shutdown.response, "ok shutdown\n");
+  EXPECT_TRUE(shutdown.close_connection);
+  EXPECT_TRUE(shutdown.stop_server);
+}
+
+TEST_F(ProtocolTest, ShutdownCanBeDisabled) {
+  limits_.allow_shutdown = false;
+  ProtocolResult r = handler_.Handle("shutdown");
+  EXPECT_TRUE(StartsWithStr(r.response, "err shutdown-disabled "));
+  EXPECT_FALSE(r.stop_server);
+}
+
+TEST_F(ProtocolTest, ErrorPathsAreStructured) {
+  // No session selected yet.
+  EXPECT_TRUE(StartsWithStr(Req("push R(a)"), "err no-session "));
+  EXPECT_TRUE(StartsWithStr(Req("begin"), "err no-session "));
+  EXPECT_TRUE(StartsWithStr(Req("+ R(a)"), "err no-session "));
+  EXPECT_TRUE(StartsWithStr(Req("epoch"), "err no-session "));
+  EXPECT_TRUE(StartsWithStr(Req("resilience"), "err no-session "));
+  EXPECT_TRUE(StartsWithStr(Req("stats"), "err no-session "));
+  EXPECT_TRUE(StartsWithStr(Req("explain"), "err no-session "));
+  EXPECT_TRUE(StartsWithStr(Req("close"), "err no-session "));
+
+  // Malformed opens.
+  EXPECT_TRUE(StartsWithStr(Req("open"), "err bad-request "));
+  EXPECT_TRUE(StartsWithStr(Req("open s1"), "err bad-request "));
+  EXPECT_TRUE(StartsWithStr(Req("open s1 not a query ((("), "err parse "));
+  EXPECT_TRUE(StartsWithStr(
+      Req("open " + std::string(300, 'x') + " R(x,y)"), "err bad-request "));
+
+  // Unknown verbs and sessions.
+  EXPECT_TRUE(StartsWithStr(Req("frobnicate"), "err bad-request "));
+  EXPECT_TRUE(StartsWithStr(Req("use nope"), "err no-session "));
+  EXPECT_TRUE(StartsWithStr(Req("close nope"), "err no-session "));
+
+  // Duplicate session names.
+  EXPECT_EQ(Req("open s1 R(x,y)"), "ok open s1 staging\n");
+  EXPECT_TRUE(StartsWithStr(Req("open s1 R(x,y)"), "err session-exists "));
+
+  // Staging-state violations and malformed facts.
+  EXPECT_TRUE(StartsWithStr(Req("epoch"), "err not-live "));
+  EXPECT_TRUE(StartsWithStr(Req("+ R(a, b)"), "err not-live "));
+  EXPECT_TRUE(StartsWithStr(Req("resilience"), "err not-live "));
+  EXPECT_TRUE(StartsWithStr(Req("push nonsense(("), "err parse "));
+  EXPECT_EQ(Req("push R(a, b)"), "ok push 1\n");
+  EXPECT_TRUE(StartsWithStr(Req("push R(a, b, c)"), "err parse "));
+
+  // begin option validation.
+  EXPECT_TRUE(StartsWithStr(Req("begin frobs=3"), "err bad-request "));
+  EXPECT_TRUE(
+      StartsWithStr(Req("begin witness_limit=banana"), "err bad-request "));
+
+  // Live-state violations.
+  ASSERT_TRUE(StartsWithStr(Req("begin"), "ok begin "));
+  EXPECT_TRUE(StartsWithStr(Req("begin"), "err not-staging "));
+  EXPECT_TRUE(StartsWithStr(Req("push R(c, d)"), "err not-staging "));
+  EXPECT_TRUE(StartsWithStr(Req("+ R(a, b, c)"), "err parse "));
+  EXPECT_TRUE(StartsWithStr(Req("+ garbage"), "err parse "));
+
+  EXPECT_EQ(Req("close"), "ok close s1\n");
+  EXPECT_TRUE(StartsWithStr(Req("resilience"), "err no-session "));
+}
+
+TEST_F(ProtocolTest, AdmissionControlLimits) {
+  SessionRegistry registry(/*max_sessions=*/1);
+  limits_.max_sessions = 1;
+  limits_.max_base_tuples = 2;
+  limits_.max_epoch_updates = 1;
+  ProtocolHandler handler(&registry, &engine_, &limits_);
+  auto req = [&](const std::string& line) {
+    return handler.Handle(line).response;
+  };
+
+  EXPECT_EQ(req("open s1 R(x,y)"), "ok open s1 staging\n");
+  EXPECT_TRUE(StartsWithStr(req("open s2 R(x,y)"), "err limit "));
+
+  EXPECT_EQ(req("push R(a, b)"), "ok push 1\n");
+  EXPECT_EQ(req("push R(c, d)"), "ok push 2\n");
+  EXPECT_TRUE(StartsWithStr(req("push R(e, f)"), "err limit "));
+
+  ASSERT_TRUE(StartsWithStr(req("begin"), "ok begin "));
+  EXPECT_EQ(req("- R(a, b)"), "ok queued 1\n");
+  EXPECT_TRUE(StartsWithStr(req("- R(c, d)"), "err limit "));
+}
+
+TEST_F(ProtocolTest, BudgetAdmissionClampAndReject) {
+  limits_.max_witness_limit = 100;
+  limits_.max_node_budget = 1000;
+
+  EXPECT_EQ(Req("open s1 R(x,y)"), "ok open s1 staging\n");
+  EXPECT_EQ(Req("push R(a, b)"), "ok push 1\n");
+
+  // Asking for more than the cap (or for unlimited via 0) is rejected.
+  EXPECT_TRUE(StartsWithStr(Req("begin witness_limit=101"), "err budget "));
+  EXPECT_TRUE(StartsWithStr(Req("begin node_budget=0"), "err budget "));
+  // Within the cap is fine; unset budgets clamp to the cap silently.
+  ASSERT_TRUE(StartsWithStr(Req("begin witness_limit=50 node_budget=1000"),
+                            "ok begin "));
+  EXPECT_EQ(Req("resilience"), "ok resilience 1\n");
+}
+
+TEST_F(ProtocolTest, WitnessBudgetTripPoisonsTheSession) {
+  limits_.default_witness_limit = 1;
+  EXPECT_EQ(Req("open s1 R(x,y)"), "ok open s1 staging\n");
+  EXPECT_EQ(Req("push R(a, b)"), "ok push 1\n");
+  EXPECT_EQ(Req("push R(c, d)"), "ok push 2\n");
+  // Epoch 0 must stream 2 witnesses against a budget of 1.
+  EXPECT_TRUE(StartsWithStr(Req("begin"), "err budget "));
+  EXPECT_TRUE(StartsWithStr(Req("resilience"), "err poisoned "));
+  EXPECT_TRUE(StartsWithStr(Req("epoch"), "err poisoned "));
+  std::string stats = Req("stats");
+  EXPECT_NE(stats.find("poisoned=1"), std::string::npos) << stats;
+}
+
+TEST_F(ProtocolTest, ClassifyInlineAndUnbreakable) {
+  EXPECT_TRUE(StartsWithStr(Req("classify R(x,y), R(y,z), R(z,x)"),
+                            "ok classify NP-complete "));
+  EXPECT_TRUE(StartsWithStr(Req("classify ((("), "err parse "));
+
+  // An exogenous-only witness makes the query unbreakable.
+  EXPECT_EQ(Req("open s1 R^x(x,y)"), "ok open s1 staging\n");
+  EXPECT_EQ(Req("push R(a, b)"), "ok push 1\n");
+  std::string begin = Req("begin");
+  ASSERT_TRUE(StartsWithStr(begin, "ok begin ")) << begin;
+  EXPECT_NE(begin.find("unbreakable=1"), std::string::npos) << begin;
+  EXPECT_EQ(Req("resilience"), "ok resilience unbreakable\n");
+}
+
+TEST_F(ProtocolTest, UseSwitchesBetweenSessions) {
+  EXPECT_EQ(Req("open a R(x,y)"), "ok open a staging\n");
+  EXPECT_EQ(Req("push R(a, b)"), "ok push 1\n");
+  ASSERT_TRUE(StartsWithStr(Req("begin"), "ok begin "));
+  EXPECT_EQ(Req("open b R(x,y)"), "ok open b staging\n");
+  EXPECT_EQ(Req("use a"), "ok use a live\n");
+  EXPECT_EQ(Req("resilience"), "ok resilience 1\n");
+  EXPECT_EQ(Req("use b"), "ok use b staging\n");
+  EXPECT_TRUE(StartsWithStr(Req("resilience"), "err not-live "));
+  std::string sessions = Req("sessions");
+  EXPECT_TRUE(StartsWithStr(sessions, "ok sessions 2\n")) << sessions;
+}
+
+TEST_F(ProtocolTest, LoadCanBeDisabledAndReportsIoErrors) {
+  EXPECT_EQ(Req("open s1 R(x,y)"), "ok open s1 staging\n");
+  EXPECT_TRUE(StartsWithStr(Req("load"), "err bad-request "));
+  EXPECT_TRUE(StartsWithStr(Req("load /nonexistent/nope.tuples"), "err io "));
+  limits_.allow_load = false;
+  EXPECT_TRUE(StartsWithStr(Req("load x.tuples"), "err bad-request "));
+}
+
+// --- Satellite 1: table-driven malformed-input hardening ---------------------
+
+struct MalformedCase {
+  const char* name;
+  const char* input;
+};
+
+TEST(ParserHardeningTest, ParseFactLineRejectsMalformedInput) {
+  const MalformedCase kCases[] = {
+      {"empty", ""},
+      {"whitespace", "   "},
+      {"no-parens", "R"},
+      {"no-close", "R(a, b"},
+      {"no-open", "R a, b)"},
+      {"empty-relation", "(a, b)"},
+      {"lowercase-relation", "r(a, b)"},
+      {"empty-constant", "R(a, )"},
+      {"only-comma", "R(,)"},
+      {"trailing-junk", "R(a, b) extra"},
+      {"nested-parens", "R((a), b)"},
+      {"control-bytes", "R(\x01, \x02)x\x7f"},
+      {"unbalanced-deep", "R(((((((((("},
+  };
+  for (const MalformedCase& c : kCases) {
+    std::string relation, error;
+    std::vector<std::string> constants;
+    EXPECT_FALSE(ParseFactLine(c.input, &relation, &constants, &error))
+        << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+  }
+  // And the sanity case that must keep working.
+  std::string relation, error;
+  std::vector<std::string> constants;
+  ASSERT_TRUE(ParseFactLine("  R(a, b)  ", &relation, &constants, &error));
+  EXPECT_EQ(relation, "R");
+  EXPECT_EQ(constants, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserHardeningTest, ParseUpdateLineRejectsMalformedInput) {
+  const MalformedCase kCases[] = {
+      {"empty", ""},
+      {"no-sign", "R(a, b)"},
+      {"sign-only-plus", "+"},
+      {"sign-only-minus", "-"},
+      {"double-sign", "+- R(a, b)"},
+      {"bad-fact", "+ R(a,"},
+      {"epoch-is-not-an-update", "epoch"},
+      {"unicode-sign", "\xe2\x88\x92 R(a, b)"},
+  };
+  for (const MalformedCase& c : kCases) {
+    Update update;
+    std::string error;
+    EXPECT_FALSE(ParseUpdateLine(c.input, &update, &error)) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+  }
+  Update update;
+  std::string error;
+  ASSERT_TRUE(ParseUpdateLine("-R(a, b)", &update, &error));
+  EXPECT_EQ(update.kind, UpdateKind::kDelete);
+  EXPECT_EQ(update.relation, "R");
+}
+
+TEST(ParserHardeningTest, AddFactCheckedVetsArity) {
+  Database db;
+  std::string error;
+  ASSERT_TRUE(AddFactChecked(&db, "R", {"a", "b"}, &error));
+  EXPECT_FALSE(AddFactChecked(&db, "R", {"a"}, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(db.NumActiveTuples(), 1);  // the mismatch left db unchanged
+}
+
+TEST(ParserHardeningTest, ReadTuplesRejectsMalformedStreams) {
+  const MalformedCase kCases[] = {
+      {"garbage-line", "R(a, b)\nnot a fact\n"},
+      {"arity-flip", "R(a, b)\nR(c)\n"},
+      {"binary-noise", "\x01\x02(\xff)\n"},
+  };
+  for (const MalformedCase& c : kCases) {
+    std::istringstream in(c.input);
+    Database db;
+    std::string error;
+    EXPECT_FALSE(ReadTuples(in, "<test>", &db, &error)) << c.name;
+    EXPECT_NE(error.find("<test>"), std::string::npos) << c.name;
+  }
+}
+
+TEST(ParserHardeningTest, ReadUpdatesRejectsMalformedStreams) {
+  const MalformedCase kCases[] = {
+      {"unsigned-fact", "R(a, b)\n"},
+      {"bad-fact", "+ R(a,\n"},
+      {"arity-flip-in-log", "+ R(a, b)\n- R(c)\n"},
+      {"sign-noise", "* R(a, b)\n"},
+  };
+  for (const MalformedCase& c : kCases) {
+    std::istringstream in(c.input);
+    UpdateLog log;
+    std::string error;
+    EXPECT_FALSE(ReadUpdates(in, "<test>", &log, &error)) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+  }
+}
+
+TEST(ParserHardeningTest, ParseQueryRejectsMalformedInput) {
+  const MalformedCase kCases[] = {
+      {"empty", ""},
+      {"bare-head", "q :-"},
+      {"unclosed-atom", "R(x, y"},
+      {"numeric-relation", "1(x, y)"},
+      {"stray-comma", "R(x,y),, S(y)"},
+      {"binary-noise", "\x01\x02\x03"},
+      {"arity-disagreement", "R(x, y), R(x)"},
+  };
+  for (const MalformedCase& c : kCases) {
+    ParseResult r = ParseQuery(c.input);
+    EXPECT_FALSE(r.ok) << c.name;
+    EXPECT_FALSE(r.error.empty()) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace rescq

@@ -1,0 +1,282 @@
+// Server tests, in three tiers:
+//   1. a registry hammer — concurrent open/close/epoch/query through
+//      per-connection ProtocolHandlers against one shared registry and
+//      engine, exactly the daemon's concurrency model (runs under the
+//      TSan preset via the `parallel` label);
+//   2. end-to-end over a real socket: a daemon on an ephemeral port, a
+//      scripted connection, and a byte-exact golden transcript
+//      (tests/golden/server_transcript.golden);
+//   3. the loadgen acceptance loop: concurrent sessions with
+//      --check-oracle semantics, zero mismatches required.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "resilience/engine.h"
+#include "server/client.h"
+#include "server/loadgen.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/session_registry.h"
+
+namespace rescq {
+namespace {
+
+TEST(SessionRegistryTest, OpenFindCloseBasics) {
+  SessionRegistry registry(/*max_sessions=*/2);
+  std::shared_ptr<SessionEntry> a, b, c;
+  std::string error;
+  ASSERT_TRUE(registry.Open("a", &a, &error));
+  ASSERT_TRUE(registry.Open("b", &b, &error));
+  EXPECT_FALSE(registry.Open("a", &c, &error));  // duplicate
+  EXPECT_NE(error.find("already exists"), std::string::npos);
+  EXPECT_FALSE(registry.Open("c", &c, &error));  // over the cap
+  EXPECT_NE(error.find("limit"), std::string::npos);
+
+  EXPECT_EQ(registry.Find("a"), a);
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+  EXPECT_EQ(registry.size(), 2u);
+
+  std::vector<std::shared_ptr<SessionEntry>> list = registry.List();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0]->name, "a");  // deterministic name order
+  EXPECT_EQ(list[1]->name, "b");
+
+  ASSERT_TRUE(registry.Close("a", &error));
+  EXPECT_FALSE(registry.Close("a", &error));
+  EXPECT_TRUE(a->closed);  // the held handle learns about the close
+  EXPECT_EQ(registry.Find("a"), nullptr);
+  // The freed slot is reusable.
+  ASSERT_TRUE(registry.Open("c", &c, &error));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+// The daemon's concurrency model in miniature: every thread is one
+// connection (its own ProtocolHandler), all of them sharing the
+// registry and the plan-cache-bearing engine, racing session
+// create/push/begin/epoch/query/close on a small name pool so the same
+// sessions are contended from several threads at once.
+TEST(SessionRegistryHammerTest, ConcurrentOpenCloseEpochQuery) {
+  SessionRegistry registry;
+  ResilienceEngine engine;
+  ServerLimits limits;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+
+  std::vector<std::thread> threads;
+  std::vector<int> violations(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ProtocolHandler handler(&registry, &engine, &limits);
+      auto req = [&](const std::string& line) {
+        std::string r = handler.Handle(line).response;
+        // Every reply is structured: ok or err, never empty, never a
+        // crash. (Blank lines are not sent here.)
+        if (r.rfind("ok ", 0) != 0 && r.rfind("err ", 0) != 0) {
+          ++violations[t];
+        }
+        return r;
+      };
+      for (int round = 0; round < kRounds; ++round) {
+        std::string name = "s" + std::to_string((t + round) % 4);
+        req("open " + name + " R(x,y), S(y)");
+        req("use " + name);
+        req("push R(a" + std::to_string(round) + ", b)");
+        req("push S(b)");
+        req("begin");
+        req("+ R(c" + std::to_string(round) + ", b)");
+        req("epoch");
+        req("resilience");
+        req("stats");
+        req("sessions");
+        if (round % 3 == 0) req("close " + name);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(violations[t], 0) << t;
+  // Whatever survived is consistent: every listed session is findable.
+  for (const std::shared_ptr<SessionEntry>& e : registry.List()) {
+    EXPECT_EQ(registry.Find(e->name), e);
+  }
+}
+
+// --- End-to-end over a real socket ------------------------------------------
+
+class ServerEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.threads = 4;
+    engine_ = std::make_unique<ResilienceEngine>();
+    server_ = std::make_unique<ResilienceServer>(options, engine_.get());
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  int ConnectRaw() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  }
+
+  /// Writes `script` to a fresh connection and returns every byte the
+  /// server sent back until it closed the connection.
+  std::string RunScript(const std::string& script) {
+    int fd = ConnectRaw();
+    // The server may legitimately close mid-send (over-long line), so a
+    // short or failed send is not an error here.
+    ssize_t sent = ::send(fd, script.data(), script.size(), MSG_NOSIGNAL);
+    (void)sent;
+    std::string out;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+      out.append(chunk, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  std::unique_ptr<ResilienceEngine> engine_;
+  std::unique_ptr<ResilienceServer> server_;
+};
+
+// The wire protocol's bytes are pinned: one scripted connection, every
+// reply byte compared against the checked-in golden file. Replies are
+// deterministic by design (no timings on the wire), so this is an exact
+// comparison — any protocol change must update the golden on purpose.
+TEST_F(ServerEndToEndTest, GoldenTranscript) {
+  const std::string script =
+      "# golden transcript: comments and blanks get no reply\n"
+      "\n"
+      "ping\n"
+      "open g1 R(x,y), S(y)\n"
+      "push R(a, b)\n"
+      "push S(b)\n"
+      "push R(c, d)\n"
+      "push S(d)\n"
+      "begin\n"
+      "resilience\n"
+      "stats\n"
+      "- S(b)\n"
+      "epoch\n"
+      "resilience\n"
+      "+ R(a, e)\n"
+      "+ S(e)\n"
+      "epoch\n"
+      "resilience\n"
+      "sessions\n"
+      "classify\n"
+      "classify R(x,y), R(y,z), R(z,x)\n"
+      "push R(z, z)\n"
+      "bogus verb\n"
+      "close\n"
+      "quit\n";
+  std::string actual = RunScript(script);
+
+  std::ifstream golden(std::string(RESCQ_SOURCE_DIR) +
+                       "/tests/golden/server_transcript.golden");
+  ASSERT_TRUE(golden.is_open())
+      << "missing tests/golden/server_transcript.golden";
+  std::stringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(actual, expected.str());
+}
+
+TEST_F(ServerEndToEndTest, MalformedBytesNeverKillTheServer) {
+  // Binary garbage gets structured errors, then the client leaves.
+  std::string garbage("\x00\x01\xfe\xff(((\n+++\nR\x7f(\n", 16);
+  std::string out = RunScript(garbage + "quit\n");
+  EXPECT_NE(out.find("err "), std::string::npos) << out;
+  EXPECT_NE(out.find("ok bye"), std::string::npos) << out;
+
+  // An over-long request line is refused and the connection dropped...
+  std::string long_line(70 * 1024, 'a');
+  out = RunScript(long_line + "\nquit\n");
+  EXPECT_EQ(out, "err bad-request request line over 64KiB\n");
+
+  // ...while the server keeps serving new connections.
+  out = RunScript("ping\nquit\n");
+  EXPECT_EQ(out, "ok pong\nok bye\n");
+}
+
+TEST_F(ServerEndToEndTest, ShutdownVerbStopsTheServer) {
+  std::string out = RunScript("shutdown\n");
+  EXPECT_EQ(out, "ok shutdown\n");
+  server_->Wait();  // returns because the verb stopped the daemon
+}
+
+// The ISSUE's acceptance loop, in-process: >= 4 concurrent sessions of
+// open -> churn -> query with every served answer checked against a
+// from-scratch exact solve on a mirrored instance; zero mismatches, and
+// the report's latency/throughput fields are populated.
+TEST_F(ServerEndToEndTest, ConcurrentLoadgenMatchesOracle) {
+  LoadgenOptions options;
+  options.host = "127.0.0.1";
+  options.port = server_->port();
+  options.connections = 4;
+  options.scenario = "vc_er";
+  options.size = 8;
+  options.epochs = 3;
+  options.rate = 0.15;
+  options.seed = 7;
+  options.check_oracle = true;
+
+  LoadgenReport report = RunLoadgen(options);
+  EXPECT_EQ(report.error, "");
+  EXPECT_EQ(report.err_replies, 0u);
+  EXPECT_EQ(report.oracle_mismatches, 0u);
+  EXPECT_GT(report.oracle_checks, 0u);
+  EXPECT_EQ(report.epochs_applied, 12u);  // 4 connections x 3 epochs
+  EXPECT_GT(report.requests, 0u);
+  EXPECT_GT(report.requests_per_sec, 0.0);
+  EXPECT_GT(report.latency.count, 0u);
+  EXPECT_GT(report.latency.p50_ms, 0.0);
+  EXPECT_GT(report.latency.p99_ms, 0.0);
+  EXPECT_GE(report.latency.p999_ms, report.latency.p99_ms);
+  EXPECT_GE(report.latency.max_ms, report.latency.p999_ms);
+  EXPECT_GT(report.epoch_latency.count, 0u);
+}
+
+// LineClient's framing: multi-line verbs arrive whole.
+TEST_F(ServerEndToEndTest, LineClientFramesMultiLineReplies) {
+  LineClient client;
+  std::string error, reply;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  ASSERT_TRUE(client.Request("open f1 R(x,y)", &reply, &error)) << error;
+  EXPECT_EQ(reply, "ok open f1 staging");
+  ASSERT_TRUE(client.Request("push R(a, b)", &reply, &error)) << error;
+  ASSERT_TRUE(client.Request("begin", &reply, &error)) << error;
+  ASSERT_TRUE(client.Request("sessions", &reply, &error)) << error;
+  EXPECT_EQ(reply.rfind("ok sessions 1\nf1 live ", 0), 0u) << reply;
+  ASSERT_TRUE(client.Request("explain", &reply, &error)) << error;
+  EXPECT_EQ(reply.rfind("ok explain ", 0), 0u) << reply;
+  EXPECT_NE(reply.find('\n'), std::string::npos) << reply;
+  ASSERT_TRUE(client.Request("close", &reply, &error)) << error;
+  EXPECT_EQ(reply, "ok close f1");
+}
+
+}  // namespace
+}  // namespace rescq

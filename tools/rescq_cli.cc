@@ -15,6 +15,7 @@
 //   rescq batch --scenarios all --max-size 8 --threads 4 --check-oracle
 
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +36,8 @@
 #include "resilience/engine.h"
 #include "resilience/result.h"
 #include "resilience/solver.h"
+#include "server/loadgen.h"
+#include "server/server.h"
 #include "util/string_util.h"
 #include "workload/batch.h"
 #include "workload/churn.h"
@@ -126,6 +129,42 @@ int Usage(std::FILE* out) {
                "      (--emit-updates saves it), --check-oracle diffs every "
                "epoch against\n"
                "      a from-scratch exact solve.\n"
+               "  rescq serve [--host H] [--port P] [--threads N] "
+               "[--solver-threads N]\n"
+               "              [--max-sessions N] [--max-base-tuples N] "
+               "[--max-epoch-updates N]\n"
+               "              [--default-witness-limit N] "
+               "[--max-witness-limit N]\n"
+               "              [--default-node-budget N] "
+               "[--max-node-budget N]\n"
+               "              [--no-load] [--no-shutdown] "
+               "[--metrics-json <file>]\n"
+               "      Run the resilience daemon: named incremental sessions "
+               "over a\n"
+               "      line-based TCP protocol (docs/SERVER.md). --port 0 "
+               "picks an\n"
+               "      ephemeral port (announced on stdout); SIGINT/SIGTERM "
+               "stop it\n"
+               "      gracefully and --metrics-json snapshots the registry "
+               "on shutdown.\n"
+               "  rescq loadgen --port P [--host H] [--connections M] "
+               "[--scenario <name>]\n"
+               "               [--query <q>] [--size N] [--density D] "
+               "[--churn <kind>]\n"
+               "               [--epochs N] [--rate R] [--seed S] "
+               "[--check-oracle]\n"
+               "               [--witness-limit N] [--node-budget N] "
+               "[--session-prefix P]\n"
+               "               [--csv <file>] [--json <file>]\n"
+               "      Drive a live server: M concurrent connections each "
+               "open a session,\n"
+               "      push a generated base, and loop churn epochs + "
+               "queries; reports\n"
+               "      throughput and p50/p99/p999 latency "
+               "(rescq-loadgen-report/v1);\n"
+               "      --check-oracle diffs every served answer against a "
+               "from-scratch\n"
+               "      exact solve on a local mirror.\n"
                "  rescq help\n"
                "\n"
                "query syntax:   \"q :- R(x,y), S^x(y,z), A(x)\"   (head "
@@ -870,6 +909,222 @@ int CmdStream(const std::vector<std::string>& args) {
   return report.mismatches == 0 ? 0 : 1;
 }
 
+// The serving process's one server instance, for the signal handlers.
+// SignalStop is async-signal-safe (a single pipe write).
+ResilienceServer* g_server = nullptr;
+
+extern "C" void HandleStopSignal(int) {
+  if (g_server != nullptr) g_server->SignalStop();
+}
+
+int CmdServe(const std::vector<std::string>& args) {
+  ServerOptions options;
+  options.threads = 4;
+  std::string metrics_path;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    const std::string* v = nullptr;
+    uint64_t u = 0;
+    if (a == "--host") {
+      if (!(v = value("--host"))) return 2;
+      options.host = *v;
+    } else if (a == "--port") {
+      if (!(v = value("--port")) || !ParseSeedFlag(a, *v, &u)) return 2;
+      if (u > 65535) {
+        std::fprintf(stderr, "error: --port needs 0..65535, got '%s'\n",
+                     v->c_str());
+        return 2;
+      }
+      options.port = static_cast<int>(u);
+    } else if (a == "--threads") {
+      if (!(v = value("--threads")) || !ParseIntFlag(a, *v, &options.threads))
+        return 2;
+    } else if (a == "--solver-threads") {
+      if (!(v = value("--solver-threads")) ||
+          !ParseIntFlag(a, *v, &options.limits.solver_threads))
+        return 2;
+    } else if (a == "--max-sessions") {
+      if (!(v = value("--max-sessions")) || !ParseSeedFlag(a, *v, &u))
+        return 2;
+      options.limits.max_sessions = static_cast<size_t>(u);
+    } else if (a == "--max-base-tuples") {
+      if (!(v = value("--max-base-tuples")) || !ParseSeedFlag(a, *v, &u))
+        return 2;
+      options.limits.max_base_tuples = static_cast<size_t>(u);
+    } else if (a == "--max-epoch-updates") {
+      if (!(v = value("--max-epoch-updates")) || !ParseSeedFlag(a, *v, &u))
+        return 2;
+      options.limits.max_epoch_updates = static_cast<size_t>(u);
+    } else if (a == "--default-witness-limit") {
+      if (!(v = value("--default-witness-limit")) || !ParseSeedFlag(a, *v, &u))
+        return 2;
+      options.limits.default_witness_limit = static_cast<size_t>(u);
+    } else if (a == "--max-witness-limit") {
+      if (!(v = value("--max-witness-limit")) || !ParseSeedFlag(a, *v, &u))
+        return 2;
+      options.limits.max_witness_limit = static_cast<size_t>(u);
+    } else if (a == "--default-node-budget") {
+      if (!(v = value("--default-node-budget")) ||
+          !ParseSeedFlag(a, *v, &options.limits.default_node_budget))
+        return 2;
+    } else if (a == "--max-node-budget") {
+      if (!(v = value("--max-node-budget")) ||
+          !ParseSeedFlag(a, *v, &options.limits.max_node_budget))
+        return 2;
+    } else if (a == "--no-load") {
+      options.limits.allow_load = false;
+    } else if (a == "--no-shutdown") {
+      options.limits.allow_shutdown = false;
+    } else if (a == "--metrics-json") {
+      if (!(v = value("--metrics-json"))) return 2;
+      metrics_path = *v;
+    } else {
+      std::fprintf(stderr, "error: unknown serve flag '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  // server.* counters and latency histograms are the daemon's whole
+  // observability story, so serving always collects them.
+  obs::SetMetricsEnabled(true);
+
+  EngineOptions engine_options;
+  engine_options.witness_limit =
+      static_cast<size_t>(options.limits.max_witness_limit);
+  engine_options.exact_node_budget = options.limits.max_node_budget;
+  ResilienceEngine engine(engine_options);
+  ResilienceServer server(options, &engine);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  // The announced line is the startup contract: tests and the smoke
+  // harness parse the resolved port out of it.
+  std::printf("listening on %s:%d\n", options.host.c_str(), server.port());
+  std::fflush(stdout);
+  g_server = &server;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  server.Wait();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_server = nullptr;
+  std::printf("server stopped\n");
+  if (!metrics_path.empty() &&
+      !obs::WriteMetricsJson(obs::GlobalRegistry(), metrics_path)) {
+    std::fprintf(stderr, "error: cannot write metrics file '%s'\n",
+                 metrics_path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int CmdLoadgen(const std::vector<std::string>& args) {
+  LoadgenOptions options;
+  std::string csv_path, json_path;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    const std::string* v = nullptr;
+    if (a == "--host") {
+      if (!(v = value("--host"))) return 2;
+      options.host = *v;
+    } else if (a == "--port") {
+      if (!(v = value("--port")) || !ParseIntFlag(a, *v, &options.port))
+        return 2;
+    } else if (a == "--connections") {
+      if (!(v = value("--connections")) ||
+          !ParseIntFlag(a, *v, &options.connections))
+        return 2;
+    } else if (a == "--scenario") {
+      if (!(v = value("--scenario"))) return 2;
+      options.scenario = *v;
+    } else if (a == "--query") {
+      if (!(v = value("--query"))) return 2;
+      options.query = *v;
+    } else if (a == "--size") {
+      if (!(v = value("--size")) || !ParseIntFlag(a, *v, &options.size))
+        return 2;
+    } else if (a == "--density") {
+      if (!(v = value("--density")) ||
+          !ParseDensityFlag(*v, &options.density))
+        return 2;
+    } else if (a == "--churn") {
+      if (!(v = value("--churn"))) return 2;
+      options.churn = *v;
+    } else if (a == "--epochs") {
+      if (!(v = value("--epochs")) || !ParseIntFlag(a, *v, &options.epochs))
+        return 2;
+    } else if (a == "--rate") {
+      if (!(v = value("--rate"))) return 2;
+      if (!ParseProbability(*v, &options.rate)) {
+        std::fprintf(stderr,
+                     "error: --rate needs a number in [0,1], got '%s'\n",
+                     v->c_str());
+        return 2;
+      }
+    } else if (a == "--seed") {
+      if (!(v = value("--seed")) || !ParseSeedFlag(a, *v, &options.seed))
+        return 2;
+    } else if (a == "--check-oracle") {
+      options.check_oracle = true;
+    } else if (a == "--witness-limit") {
+      if (!(v = value("--witness-limit")) ||
+          !ParseSeedFlag(a, *v, &options.witness_limit))
+        return 2;
+    } else if (a == "--node-budget") {
+      if (!(v = value("--node-budget")) ||
+          !ParseSeedFlag(a, *v, &options.node_budget))
+        return 2;
+    } else if (a == "--session-prefix") {
+      if (!(v = value("--session-prefix"))) return 2;
+      options.session_prefix = *v;
+    } else if (a == "--csv") {
+      if (!(v = value("--csv"))) return 2;
+      csv_path = *v;
+    } else if (a == "--json") {
+      if (!(v = value("--json"))) return 2;
+      json_path = *v;
+    } else {
+      std::fprintf(stderr, "error: unknown loadgen flag '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (options.port <= 0) {
+    std::fprintf(stderr,
+                 "error: loadgen needs --port (the port `rescq serve` "
+                 "announced)\n");
+    return 2;
+  }
+
+  LoadgenReport report = RunLoadgen(options);
+  PrintLoadgenTable(report, stdout);
+  std::string error;
+  if (!csv_path.empty() && !SaveLoadgenCsv(report, csv_path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!json_path.empty() && !SaveLoadgenJson(report, json_path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!report.error.empty()) return 2;
+  return (report.oracle_mismatches == 0 && report.err_replies == 0) ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage(stderr);
   std::string cmd = argv[1];
@@ -882,6 +1137,8 @@ int Run(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "batch") return CmdBatch(args);
   if (cmd == "stream") return CmdStream(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "loadgen") return CmdLoadgen(args);
   std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
   return Usage(stderr);
 }
