@@ -12,16 +12,44 @@
 
 namespace rescq {
 
+std::vector<std::vector<TupleId>> WitnessFamily::Materialize() const {
+  std::vector<std::vector<TupleId>> out;
+  out.reserve(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) out.push_back(set(i));
+  return out;
+}
+
+uint64_t WitnessFamily::ApproxBytes() const {
+  return arena.ApproxBytes() +
+         static_cast<uint64_t>(sets.capacity()) * sizeof(SetSpan);
+}
+
 namespace {
 
 using TupleIdSet = std::unordered_set<TupleId, TupleIdHash>;
 
-// Per-relation index: for each column, value -> row ids (active rows are
-// not distinguished here; activity is checked at probe time so the index
-// can be built once per enumeration).
+// One posting list: a chain of segments inside the enumerator's shared
+// row pool. A segment at pool offset s is [next, cap, row...] — `next`
+// the offset of the following segment (-1 at the tail), `cap` its row
+// capacity. Chains grow geometrically, so a value with many rows costs
+// O(log rows) segments and a value with few costs one tiny one; rows
+// iterate in append order, exactly the order the legacy per-value
+// std::vector produced.
+struct Posting {
+  int32_t count = 0;      // rows in the chain
+  int32_t head = -1;      // first segment offset, -1 = empty
+  int32_t tail = -1;      // last segment offset
+  int32_t tail_used = 0;  // rows used in the tail segment
+};
+
+constexpr int32_t kFirstSegmentRows = 4;
+constexpr int32_t kMaxSegmentRows = 1024;
+
+// Per-relation index: for each column, value -> posting chain (active
+// rows are not distinguished here; activity is checked at probe time so
+// the index can be built once per enumeration).
 struct ColumnIndex {
-  // maps (column, value) -> rows
-  std::vector<std::unordered_map<Value, std::vector<int>>> by_column;
+  std::vector<std::unordered_map<Value, Posting>> by_column;
 };
 
 // Streaming witness enumerator. Prepare() resolves relations and builds
@@ -38,11 +66,13 @@ struct Enumerator {
 
   std::vector<int> atom_rel;              // db relation id per atom
   std::vector<ColumnIndex> indexes;       // per db relation id
+  std::vector<int32_t> pool;              // shared posting-segment pool
+  size_t posting_keys = 0;                // live (column, value) postings
   std::vector<int> order;                 // atom visit order
   std::vector<Value> binding;             // per VarId, -1 if unbound
   std::vector<TupleId> matched;           // per atom (query order)
   Witness scratch;                        // reused between Emit calls
-  const std::function<bool(const Witness&)>* visit = nullptr;
+  WitnessVisitor visit;
   // Delta pinning: atom `pinned_atom` must match exactly `pinned_tuple`,
   // and atoms before it (query order) must avoid every tuple in
   // `changed` — so each incident witness is emitted by exactly one pin.
@@ -59,6 +89,44 @@ struct Enumerator {
 
   bool prepared = false;
   std::vector<int> indexed_rows;  // per db relation id: rows indexed so far
+
+  void AppendRow(Posting& p, int32_t row) {
+    if (p.tail < 0 ||
+        p.tail_used == pool[static_cast<size_t>(p.tail) + 1]) {
+      const int32_t cap =
+          p.tail < 0 ? kFirstSegmentRows
+                     : std::min<int32_t>(
+                           2 * pool[static_cast<size_t>(p.tail) + 1],
+                           kMaxSegmentRows);
+      const int32_t seg = static_cast<int32_t>(pool.size());
+      pool.push_back(-1);   // next
+      pool.push_back(cap);  // capacity
+      pool.resize(pool.size() + static_cast<size_t>(cap));
+      if (p.tail < 0) {
+        p.head = seg;
+      } else {
+        pool[static_cast<size_t>(p.tail)] = seg;
+      }
+      p.tail = seg;
+      p.tail_used = 0;
+    }
+    pool[static_cast<size_t>(p.tail) + 2 +
+         static_cast<size_t>(p.tail_used)] = row;
+    ++p.tail_used;
+    ++p.count;
+  }
+
+  void IndexRow(ColumnIndex& idx, int rel, int row) {
+    const std::vector<Value>& t = db.Row(TupleId{rel, row});
+    const int arity = db.relation_arity(rel);
+    for (int c = 0; c < arity; ++c) {
+      auto [it, inserted] =
+          idx.by_column[static_cast<size_t>(c)].emplace(
+              t[static_cast<size_t>(c)], Posting{});
+      if (inserted) ++posting_keys;
+      AppendRow(it->second, row);
+    }
+  }
 
   /// False when some query relation is absent or has the wrong arity in
   /// the database: no witness can exist and no Run* call is needed.
@@ -87,21 +155,16 @@ struct Enumerator {
     std::set<int> needed(atom_rel.begin(), atom_rel.end());
     for (int rel : needed) {
       ColumnIndex& idx = indexes[static_cast<size_t>(rel)];
-      int arity = db.relation_arity(rel);
       for (int row = indexed_rows[static_cast<size_t>(rel)];
            row < db.NumRows(rel); ++row) {
-        const std::vector<Value>& t = db.Row(TupleId{rel, row});
-        for (int c = 0; c < arity; ++c) {
-          idx.by_column[static_cast<size_t>(c)][t[static_cast<size_t>(c)]]
-              .push_back(row);
-        }
+        IndexRow(idx, rel, row);
       }
       indexed_rows[static_cast<size_t>(rel)] = db.NumRows(rel);
     }
   }
 
-  bool RunAll(const std::function<bool(const Witness&)>& v) {
-    visit = &v;
+  bool RunAll(WitnessVisitor v) {
+    visit = v;
     pinned_atom = -1;
     changed = nullptr;
     order_cached = false;
@@ -115,8 +178,8 @@ struct Enumerator {
   }
 
   bool RunPinned(int atom, TupleId tuple, const TupleIdSet& changed_set,
-                 const std::function<bool(const Witness&)>& v) {
-    visit = &v;
+                 WitnessVisitor v) {
+    visit = v;
     pinned_tuple = tuple;
     changed = &changed_set;
     if (pinned_atom != atom || !order_cached) {
@@ -187,17 +250,14 @@ struct Enumerator {
   void BuildIndexes() {
     indexes.assign(static_cast<size_t>(db.num_relations()), ColumnIndex{});
     indexed_rows.assign(static_cast<size_t>(db.num_relations()), 0);
+    pool.clear();
+    posting_keys = 0;
     std::set<int> needed(atom_rel.begin(), atom_rel.end());
     for (int rel : needed) {
       ColumnIndex& idx = indexes[static_cast<size_t>(rel)];
-      int arity = db.relation_arity(rel);
-      idx.by_column.resize(static_cast<size_t>(arity));
+      idx.by_column.resize(static_cast<size_t>(db.relation_arity(rel)));
       for (int row = 0; row < db.NumRows(rel); ++row) {
-        const std::vector<Value>& t = db.Row(TupleId{rel, row});
-        for (int c = 0; c < arity; ++c) {
-          idx.by_column[static_cast<size_t>(c)][t[static_cast<size_t>(c)]]
-              .push_back(row);
-        }
+        IndexRow(idx, rel, row);
       }
       indexed_rows[static_cast<size_t>(rel)] = db.NumRows(rel);
     }
@@ -210,48 +270,17 @@ struct Enumerator {
     const Atom& atom = q.atom(ai);
     int rel = atom_rel[static_cast<size_t>(ai)];
 
-    // Probe the index on the bound column with the smallest posting
-    // list — any bound column is sound, the smallest one is the fewest
-    // candidate rows to unify. A bound value absent from its column
-    // means no row can match at all. With no bound column, scan. A
-    // pinned atom has exactly one candidate row.
-    const std::vector<int>* rows = nullptr;
-    std::vector<int> all_rows;
-    if (ai == pinned_atom) {
-      all_rows.push_back(pinned_tuple.row);
-      rows = &all_rows;
-    } else {
-      for (int c = 0; c < atom.arity(); ++c) {
-        Value v =
-            binding[static_cast<size_t>(atom.vars[static_cast<size_t>(c)])];
-        if (v == -1) continue;
-        const auto& column =
-            indexes[static_cast<size_t>(rel)].by_column[static_cast<size_t>(c)];
-        auto it = column.find(v);
-        if (it == column.end()) return true;  // no matching row exists
-        if (rows == nullptr || it->second.size() < rows->size()) {
-          rows = &it->second;
-        }
-      }
-    }
-    if (rows == nullptr) {
-      all_rows.resize(static_cast<size_t>(db.NumRows(rel)));
-      for (int r = 0; r < db.NumRows(rel); ++r) {
-        all_rows[static_cast<size_t>(r)] = r;
-      }
-      rows = &all_rows;
-    }
-
-    for (int row : *rows) {
+    // Unify-and-descend for one candidate row; returns false to abort
+    // the whole enumeration (callback stop), true to keep going.
+    auto try_row = [&](int row) -> bool {
       TupleId id{rel, row};
-      if (!db.IsActive(id)) continue;
+      if (!db.IsActive(id)) return true;
       // Delta dedup: the pinned atom must be the first (query-order)
       // atom matching a changed tuple, so earlier atoms avoid them all.
       if (changed != nullptr && ai < pinned_atom && changed->count(id) > 0) {
-        continue;
+        return true;
       }
       const std::vector<Value>& t = db.Row(id);
-      // Unify.
       std::vector<VarId>& newly_bound = newly_bound_stack[depth];
       newly_bound.clear();
       bool ok = true;
@@ -265,28 +294,72 @@ struct Enumerator {
           ok = false;
         }
       }
+      bool keep_going = true;
       if (ok) {
         matched[static_cast<size_t>(ai)] = id;
-        if (!Recurse(depth + 1)) return false;
+        keep_going = Recurse(depth + 1);
       }
       for (VarId v : newly_bound) binding[static_cast<size_t>(v)] = -1;
+      return keep_going;
+    };
+
+    // Probe the index on the bound column with the smallest posting
+    // chain — any bound column is sound, the smallest one is the fewest
+    // candidate rows to unify. A bound value absent from its column
+    // means no row can match at all. With no bound column, scan. A
+    // pinned atom has exactly one candidate row.
+    if (ai == pinned_atom) {
+      return try_row(pinned_tuple.row);
+    }
+    const Posting* posting = nullptr;
+    for (int c = 0; c < atom.arity(); ++c) {
+      Value v =
+          binding[static_cast<size_t>(atom.vars[static_cast<size_t>(c)])];
+      if (v == -1) continue;
+      const auto& column =
+          indexes[static_cast<size_t>(rel)].by_column[static_cast<size_t>(c)];
+      auto it = column.find(v);
+      if (it == column.end()) return true;  // no matching row exists
+      if (posting == nullptr || it->second.count < posting->count) {
+        posting = &it->second;
+      }
+    }
+    if (posting != nullptr) {
+      for (int32_t seg = posting->head; seg >= 0;
+           seg = pool[static_cast<size_t>(seg)]) {
+        const int32_t used = seg == posting->tail
+                                 ? posting->tail_used
+                                 : pool[static_cast<size_t>(seg) + 1];
+        for (int32_t i = 0; i < used; ++i) {
+          if (!try_row(pool[static_cast<size_t>(seg) + 2 +
+                            static_cast<size_t>(i)])) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    for (int r = 0; r < db.NumRows(rel); ++r) {
+      if (!try_row(r)) return false;
     }
     return true;
   }
 
-  // Geometry-based heap accounting (obs/memstats.h): dominated by the
-  // posting lists, plus the resident per-enumeration scratch.
+  // Geometry-based heap accounting (obs/memstats.h): the posting pool is
+  // one tracked arena and the per-column maps are approximated from the
+  // tracked key count, so this is O(relations + atoms) bookkeeping, not
+  // a walk of the postings — cheap enough to read per probe.
   size_t ApproxBytes() const {
-    uint64_t bytes = obs::VectorBytes(indexes);
+    uint64_t bytes = obs::VectorBytes(pool) + obs::VectorBytes(indexes);
     for (const ColumnIndex& idx : indexes) {
       bytes += obs::VectorBytes(idx.by_column);
-      for (const auto& column : idx.by_column) {
-        bytes += obs::HashContainerBytes(column);
-        for (const auto& [value, rows_for_value] : column) {
-          bytes += obs::VectorBytes(rows_for_value);
-        }
-      }
     }
+    // Per (column, value) key: the map's value_type, two pointers of
+    // node overhead, and ~one bucket slot (libstdc++ keeps the load
+    // factor near 1) — the HashContainerBytes convention, from the
+    // tracked count instead of a map walk.
+    bytes += static_cast<uint64_t>(posting_keys) *
+             (sizeof(std::pair<const Value, Posting>) + 3 * sizeof(void*));
     bytes += obs::VectorBytes(atom_rel) + obs::VectorBytes(indexed_rows) +
              obs::VectorBytes(order) + obs::VectorBytes(binding) +
              obs::VectorBytes(matched) + obs::VectorBytes(placed_scratch) +
@@ -311,14 +384,14 @@ struct Enumerator {
     scratch.endo_tuples.erase(
         std::unique(scratch.endo_tuples.begin(), scratch.endo_tuples.end()),
         scratch.endo_tuples.end());
-    return (*visit)(scratch);
+    return visit(scratch);
   }
 };
 
 // Pin-loop shared by the one-shot ForEachDeltaWitness and
 // WitnessIndex::ForEachDelta; `e` must be prepared.
 bool RunDelta(Enumerator& e, const std::vector<TupleId>& changed,
-              const std::function<bool(const Witness&)>& visit) {
+              WitnessVisitor visit) {
   // Deduplicate and order the changed tuples: the pin loop must try each
   // tuple once, and a deterministic order keeps enumeration reproducible.
   TupleIdSet changed_set(changed.begin(), changed.end());
@@ -338,8 +411,7 @@ bool RunDelta(Enumerator& e, const std::vector<TupleId>& changed,
 
 }  // namespace
 
-bool ForEachWitness(const Query& q, const Database& db,
-                    const std::function<bool(const Witness&)>& visit) {
+bool ForEachWitness(const Query& q, const Database& db, WitnessVisitor visit) {
   Enumerator e{q, db};
   if (!e.Prepare()) return true;  // a missing relation means no witnesses
   return e.RunAll(visit);
@@ -347,7 +419,7 @@ bool ForEachWitness(const Query& q, const Database& db,
 
 bool ForEachDeltaWitness(const Query& q, const Database& db,
                          const std::vector<TupleId>& changed,
-                         const std::function<bool(const Witness&)>& visit) {
+                         WitnessVisitor visit) {
   if (changed.empty()) return true;
   Enumerator e{q, db};
   if (!e.Prepare()) return true;
@@ -366,14 +438,13 @@ WitnessIndex::~WitnessIndex() = default;
 
 void WitnessIndex::SyncNewRows() { impl_->e.SyncIndexes(); }
 
-bool WitnessIndex::ForEach(const std::function<bool(const Witness&)>& visit) {
+bool WitnessIndex::ForEach(WitnessVisitor visit) {
   if (!impl_->e.prepared) return true;
   return impl_->e.RunAll(visit);
 }
 
-bool WitnessIndex::ForEachDelta(
-    const std::vector<TupleId>& changed,
-    const std::function<bool(const Witness&)>& visit) {
+bool WitnessIndex::ForEachDelta(const std::vector<TupleId>& changed,
+                                WitnessVisitor visit) {
   if (!impl_->e.prepared || changed.empty()) return true;
   return RunDelta(impl_->e, changed, visit);
 }
@@ -399,7 +470,6 @@ WitnessFamily CollectWitnessFamily(const Query& q, const Database& db,
                                    size_t witness_limit) {
   obs::Span span("enumerate", "witness");
   WitnessFamily family;
-  std::set<std::vector<TupleId>> sets;
   ForEachWitness(q, db, [&](const Witness& w) {
     if (family.witnesses >= witness_limit) {
       // Only trips when a witness beyond the budget actually exists: an
@@ -414,10 +484,23 @@ WitnessFamily CollectWitnessFamily(const Query& q, const Database& db,
       family.unbreakable = true;
       return false;
     }
-    sets.insert(w.endo_tuples);
+    family.arena.Intern(w.endo_tuples.data(), w.endo_tuples.size());
     return true;
   });
-  family.sets.assign(sets.begin(), sets.end());
+  // The interner assigns ids in first-appearance order; the family
+  // surface is sorted lexicographically by content, the order the
+  // legacy std::set<std::vector<TupleId>> produced (the fuzz sweeps
+  // hold the two representations element-identical).
+  family.sets.reserve(family.arena.num_spans());
+  for (uint32_t id = 0; id < family.arena.num_spans(); ++id) {
+    family.sets.push_back(family.arena.span(id));
+  }
+  std::sort(family.sets.begin(), family.sets.end(),
+            [&](SetSpan a, SetSpan b) {
+              return std::lexicographical_compare(
+                  family.arena.data(a), family.arena.data(a) + a.len,
+                  family.arena.data(b), family.arena.data(b) + b.len);
+            });
   obs::Count("witness.enumerated", family.witnesses);
   obs::Count("witness.families");
   return family;

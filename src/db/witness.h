@@ -2,12 +2,13 @@
 #define RESCQ_DB_WITNESS_H_
 
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cq/query.h"
 #include "db/database.h"
+#include "util/function_ref.h"
+#include "util/span_arena.h"
 
 namespace rescq {
 
@@ -29,13 +30,19 @@ struct Witness {
 /// unbounded enumeration say so by passing this.
 inline constexpr size_t kNoWitnessLimit = ~size_t{0};
 
+/// Witness visitor: return false to stop enumeration early. A
+/// FunctionRef (util/function_ref.h), so the hot enumeration loops never
+/// allocate for the callback — call sites keep passing lambdas, which
+/// convert implicitly, but must keep the callable alive for the call
+/// (always true for a downward call, the only pattern in this repo).
+using WitnessVisitor = FunctionRef<bool(const Witness&)>;
+
 /// Streams every witness of q over the *active* tuples of db to `visit`,
 /// one at a time, without materializing the set. The visited Witness is
 /// only valid for the duration of the call. Return false from the
 /// callback to stop enumeration early. Returns true iff enumeration ran
 /// to completion (the callback never asked to stop).
-bool ForEachWitness(const Query& q, const Database& db,
-                    const std::function<bool(const Witness&)>& visit);
+bool ForEachWitness(const Query& q, const Database& db, WitnessVisitor visit);
 
 /// Enumerates witnesses into a vector. `limit` caps the number returned
 /// and is deliberately not defaulted — exploratory callers must say how
@@ -48,10 +55,19 @@ bool QueryHolds(const Query& q, const Database& db);
 
 /// The deduplicated endogenous tuple-set family of (q, D), collected
 /// streaming under a witness budget. This is what the exact solver
-/// consumes: resilience is the minimum hitting set of `sets`.
+/// consumes: resilience is the minimum hitting set of the family.
+///
+/// Arena-backed: every set is a SetSpan into one TupleId pool
+/// (deduplicated by content hash while streaming — no per-set vector is
+/// ever allocated), and `sets` lists the distinct spans in ascending
+/// lexicographic content order, the order the legacy
+/// std::set<std::vector<TupleId>> representation produced.
 struct WitnessFamily {
-  /// Distinct endogenous tuple-sets, each sorted; the family is sorted.
-  std::vector<std::vector<TupleId>> sets;
+  /// Pool holding every distinct set's tuples contiguously.
+  SpanArena<TupleId> arena;
+  /// Distinct endogenous tuple-sets, each sorted; the family is sorted
+  /// lexicographically by content.
+  std::vector<SetSpan> sets;
   /// Raw witnesses visited (>= sets.size(); duplicates collapse).
   size_t witnesses = 0;
   /// Some witness used no endogenous tuple: q is unbreakable and
@@ -62,6 +78,23 @@ struct WitnessFamily {
   /// answer — callers surface this as a "witness budget exceeded"
   /// outcome instead of silently truncating.
   bool budget_exceeded = false;
+
+  size_t size() const { return sets.size(); }
+  const TupleId* begin(size_t i) const { return arena.data(sets[i]); }
+  const TupleId* end(size_t i) const {
+    return arena.data(sets[i]) + sets[i].len;
+  }
+  /// Materialized copy of set i (test / legacy convenience).
+  std::vector<TupleId> set(size_t i) const {
+    return std::vector<TupleId>(begin(i), end(i));
+  }
+  /// Materialized copy of the whole family in the legacy
+  /// vector<vector<TupleId>> shape — for tests and differential checks
+  /// only; the solving path consumes the spans directly.
+  std::vector<std::vector<TupleId>> Materialize() const;
+  /// Heap geometry of the family storage, O(1) (obs/memstats.h
+  /// convention).
+  uint64_t ApproxBytes() const;
 };
 
 /// Streams witnesses, deduplicating endogenous tuple-sets on the fly (no
@@ -85,7 +118,7 @@ WitnessFamily CollectWitnessFamily(const Query& q, const Database& db,
 /// as ForEachWitness; returns true iff enumeration ran to completion.
 bool ForEachDeltaWitness(const Query& q, const Database& db,
                          const std::vector<TupleId>& changed,
-                         const std::function<bool(const Witness&)>& visit);
+                         WitnessVisitor visit);
 
 /// A persistent enumeration context over one (query, database) pair:
 /// relation resolution and the per-column posting lists are built once
@@ -95,6 +128,10 @@ bool ForEachDeltaWitness(const Query& q, const Database& db,
 /// maintenance sublinear per epoch: activity flips need no index work at
 /// all (activity is checked at probe time), and appended rows are
 /// indexed by SyncNewRows in time proportional to the append.
+///
+/// Posting lists are segment chains inside one append-only row pool
+/// (offsets, not per-value vectors), so the whole index is a handful of
+/// allocations and its footprint is tracked as plain arena geometry.
 ///
 /// The referenced query and database must outlive the index, and every
 /// database mutation between enumerations must be followed by
@@ -112,16 +149,15 @@ class WitnessIndex {
   void SyncNewRows();
 
   /// ForEachWitness over the prepared index.
-  bool ForEach(const std::function<bool(const Witness&)>& visit);
+  bool ForEach(WitnessVisitor visit);
 
   /// ForEachDeltaWitness over the prepared index.
   bool ForEachDelta(const std::vector<TupleId>& changed,
-                    const std::function<bool(const Witness&)>& visit);
+                    WitnessVisitor visit);
 
-  /// Approximate heap bytes held by the index (posting lists plus the
-  /// enumerator's resident scratch), from container geometry — see
-  /// obs/memstats.h for the accounting convention. Walks the posting
-  /// maps, so call it per epoch (behind a metrics gate), not per probe.
+  /// Approximate heap bytes held by the index (posting pool plus the
+  /// enumerator's resident scratch), O(1) from tracked arena geometry —
+  /// cheap enough to read per probe.
   size_t ApproxBytes() const;
 
  private:
@@ -133,7 +169,9 @@ class WitnessIndex {
 /// each set sorted). Resilience is the minimum hitting set of this
 /// family; a witness with an empty set makes q unbreakable. Unbounded
 /// and never short-circuits — legacy surface for the PTIME solvers that
-/// need the complete family; budgeted callers use CollectWitnessFamily.
+/// need the complete family (and the differential reference the fuzz
+/// sweeps check the arena-backed family against); budgeted callers use
+/// CollectWitnessFamily.
 std::vector<std::vector<TupleId>> WitnessTupleSets(const Query& q,
                                                    const Database& db);
 

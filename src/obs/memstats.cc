@@ -13,6 +13,10 @@ void PublishMemBreakdown(const MemBreakdown& breakdown) {
   SetGauge("mem.witness_sets", static_cast<double>(breakdown.witness_sets));
   SetGauge("mem.bytes_per_tuple", breakdown.BytesPerTuple());
   SetGauge("mem.bytes_per_witness", breakdown.BytesPerWitness());
+  SetGauge("mem.arena_reserved_bytes",
+           static_cast<double>(breakdown.arena_reserved_bytes));
+  SetGauge("mem.arena_live_bytes",
+           static_cast<double>(breakdown.arena_live_bytes));
 }
 
 }  // namespace rescq::obs

@@ -60,6 +60,12 @@ struct MemBreakdown {
   uint64_t component_bytes = 0;  // per-component records (solutions, labels)
   uint64_t tuples = 0;           // active tuples the index covers
   uint64_t witness_sets = 0;     // distinct endogenous tuple-sets held
+  /// View inside family_bytes (not added again by TotalBytes): the
+  /// family arena's pool high-water mark (capacity) vs the payload
+  /// actually appended. A wide gap means growth reallocations left
+  /// slack worth an eviction/rebuild cycle.
+  uint64_t arena_reserved_bytes = 0;
+  uint64_t arena_live_bytes = 0;
 
   uint64_t TotalBytes() const {
     return index_bytes + family_bytes + component_bytes;

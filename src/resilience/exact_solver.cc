@@ -4,7 +4,6 @@
 #include <atomic>
 #include <map>
 #include <set>
-#include <unordered_map>
 #include <utility>
 
 #include "flow/max_flow.h"
@@ -29,6 +28,8 @@ void ExactStats::Merge(const ExactStats& other) {
 }
 
 namespace {
+
+using Family = HittingSetFamily;
 
 // Node-budget state shared by all components of one solve — and, when
 // components fan out to a worker pool, by all workers at once, so its
@@ -120,42 +121,109 @@ int FractionalMatchingBound(const std::vector<std::pair<int, int>>& edges,
   return static_cast<int>((f + 1) / 2);
 }
 
-// Sorts every set, deduplicates the family, and drops supersets (hitting
-// a subset hits all of its supersets). Output is size-ascending; all
-// flat sort-based passes — this runs 2-3x per solve on the reduction
-// fixpoint, so it must not allocate per set like a std::set would.
-std::vector<std::vector<int>> ReduceFamily(std::vector<std::vector<int>> sets) {
-  for (std::vector<int>& s : sets) {
-    RESCQ_CHECK(!s.empty());
-    std::sort(s.begin(), s.end());
-    s.erase(std::unique(s.begin(), s.end()), s.end());
+// Sorts every span in place, deduplicates the family, and drops
+// supersets (hitting a subset hits all of its supersets). Output spans
+// are size-ascending; the pool is shared and never copied — dedup
+// inside a span just shrinks its len, leaving a dead gap the family's
+// lifetime amortizes away. This runs 2-3x per solve on the reduction
+// fixpoint, so it must not allocate per set.
+Family ReduceFamily(Family f) {
+  for (SetSpan& s : f.sets) {
+    RESCQ_CHECK(s.len > 0);
+    int* b = f.pool.data() + s.offset;
+    std::sort(b, b + s.len);
+    s.len = static_cast<uint32_t>(std::unique(b, b + s.len) - b);
   }
-  std::sort(sets.begin(), sets.end(),
-            [](const std::vector<int>& a, const std::vector<int>& b) {
-              return a.size() != b.size() ? a.size() < b.size() : a < b;
-            });
-  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
-  std::vector<std::vector<int>> out;
-  out.reserve(sets.size());
-  for (std::vector<int>& s : sets) {
+  const int* pool = f.pool.data();
+  std::sort(f.sets.begin(), f.sets.end(), [pool](SetSpan a, SetSpan b) {
+    if (a.len != b.len) return a.len < b.len;
+    return std::lexicographical_compare(pool + a.offset,
+                                        pool + a.offset + a.len,
+                                        pool + b.offset,
+                                        pool + b.offset + b.len);
+  });
+  f.sets.erase(std::unique(f.sets.begin(), f.sets.end(),
+                           [pool](SetSpan a, SetSpan b) {
+                             return a.len == b.len &&
+                                    std::equal(pool + a.offset,
+                                               pool + a.offset + a.len,
+                                               pool + b.offset);
+                           }),
+               f.sets.end());
+  std::vector<SetSpan> out;
+  out.reserve(f.sets.size());
+  for (SetSpan s : f.sets) {
     bool has_subset = false;
-    for (const std::vector<int>& t : out) {
-      if (t.size() >= s.size()) continue;
-      if (std::includes(s.begin(), s.end(), t.begin(), t.end())) {
+    for (SetSpan t : out) {
+      if (t.len >= s.len) continue;
+      if (std::includes(pool + s.offset, pool + s.offset + s.len,
+                        pool + t.offset, pool + t.offset + t.len)) {
         has_subset = true;
         break;
       }
     }
-    if (!has_subset) out.push_back(std::move(s));
+    if (!has_subset) out.push_back(s);
   }
-  return out;
+  f.sets = std::move(out);
+  return f;
 }
 
-// State for the branch-and-bound search. Sets are stored once; "open"
-// sets are those not yet hit by the current partial choice.
+// CSR element -> set-id lists: offsets[e]..offsets[e+1] indexes `flat`.
+// Filled in ascending set order, so every per-element list is sorted —
+// the same sequences per-element push_back produced.
+struct ElementSets {
+  std::vector<int> offsets;
+  std::vector<int> flat;
+
+  void Build(const Family& f, int num_elements) {
+    offsets.assign(static_cast<size_t>(num_elements) + 1, 0);
+    for (size_t i = 0; i < f.size(); ++i) {
+      for (const int* p = f.begin(i); p != f.end(i); ++p) {
+        ++offsets[static_cast<size_t>(*p) + 1];
+      }
+    }
+    for (size_t e = 0; e < static_cast<size_t>(num_elements); ++e) {
+      offsets[e + 1] += offsets[e];
+    }
+    flat.resize(static_cast<size_t>(offsets[static_cast<size_t>(
+        num_elements)]));
+    std::vector<int> pos(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < f.size(); ++i) {
+      for (const int* p = f.begin(i); p != f.end(i); ++p) {
+        flat[static_cast<size_t>(pos[static_cast<size_t>(*p)]++)] =
+            static_cast<int>(i);
+      }
+    }
+  }
+
+  const int* begin(int e) const {
+    return flat.data() + offsets[static_cast<size_t>(e)];
+  }
+  const int* end(int e) const {
+    return flat.data() + offsets[static_cast<size_t>(e) + 1];
+  }
+  int count(int e) const {
+    return offsets[static_cast<size_t>(e) + 1] -
+           offsets[static_cast<size_t>(e)];
+  }
+};
+
+int MaxElementPlusOne(const Family& f) {
+  int num_elements = 0;
+  for (size_t i = 0; i < f.size(); ++i) {
+    for (const int* p = f.begin(i); p != f.end(i); ++p) {
+      num_elements = std::max(num_elements, *p + 1);
+    }
+  }
+  return num_elements;
+}
+
+// State for the branch-and-bound search. Sets are spans into the
+// component's pool; "open" sets are those not yet hit by the current
+// partial choice.
 struct Solver {
-  std::vector<std::vector<int>> sets;
-  std::vector<std::vector<int>> element_sets;  // element -> set ids
+  Family family;
+  ElementSets element_sets;
   int num_elements = 0;
   SearchCtx* ctx = nullptr;
 
@@ -165,49 +233,40 @@ struct Solver {
   std::vector<int> best;
   int best_size = 0;
 
-  void Init(const std::vector<std::vector<int>>& input) {
-    InitReduced(ReduceFamily(input));
-  }
-
   // For families that are already sorted, deduplicated, and subset-free
   // (per-component slices of a globally reduced family).
-  void InitReduced(std::vector<std::vector<int>> reduced) {
-    sets = std::move(reduced);
-    for (const std::vector<int>& s : sets) {
-      for (int e : s) num_elements = std::max(num_elements, e + 1);
-    }
-    element_sets.resize(static_cast<size_t>(num_elements));
-    for (size_t i = 0; i < sets.size(); ++i) {
-      for (int e : sets[i]) {
-        element_sets[static_cast<size_t>(e)].push_back(static_cast<int>(i));
-      }
-    }
-    hit_count.assign(sets.size(), 0);
+  void InitReduced(Family reduced) {
+    family = std::move(reduced);
+    num_elements = MaxElementPlusOne(family);
+    element_sets.Build(family, num_elements);
+    hit_count.assign(family.size(), 0);
     chosen.assign(static_cast<size_t>(num_elements), false);
   }
 
   void Choose(int e) {
     chosen[static_cast<size_t>(e)] = true;
     current.push_back(e);
-    for (int s : element_sets[static_cast<size_t>(e)]) {
-      ++hit_count[static_cast<size_t>(s)];
+    for (const int* s = element_sets.begin(e); s != element_sets.end(e);
+         ++s) {
+      ++hit_count[static_cast<size_t>(*s)];
     }
   }
 
   void Unchoose(int e) {
     chosen[static_cast<size_t>(e)] = false;
     current.pop_back();
-    for (int s : element_sets[static_cast<size_t>(e)]) {
-      --hit_count[static_cast<size_t>(s)];
+    for (const int* s = element_sets.begin(e); s != element_sets.end(e);
+         ++s) {
+      --hit_count[static_cast<size_t>(*s)];
     }
   }
 
   // Greedy upper bound: repeatedly pick the element hitting the most open
   // sets. Also used to initialize `best`.
   void GreedyUpperBound() {
-    std::vector<bool> open(sets.size(), true);
+    std::vector<bool> open(family.size(), true);
     size_t open_count = 0;
-    for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t i = 0; i < family.size(); ++i) {
       open[i] = hit_count[i] == 0;
       open_count += open[i] ? 1 : 0;
     }
@@ -215,9 +274,11 @@ struct Solver {
     std::vector<int> freq(static_cast<size_t>(num_elements), 0);
     while (open_count > 0) {
       std::fill(freq.begin(), freq.end(), 0);
-      for (size_t i = 0; i < sets.size(); ++i) {
+      for (size_t i = 0; i < family.size(); ++i) {
         if (!open[i]) continue;
-        for (int e : sets[i]) ++freq[static_cast<size_t>(e)];
+        for (const int* p = family.begin(i); p != family.end(i); ++p) {
+          ++freq[static_cast<size_t>(*p)];
+        }
       }
       int best_e = 0;
       for (int e = 1; e < num_elements; ++e) {
@@ -226,9 +287,10 @@ struct Solver {
         }
       }
       greedy.push_back(best_e);
-      for (int s : element_sets[static_cast<size_t>(best_e)]) {
-        if (open[static_cast<size_t>(s)]) {
-          open[static_cast<size_t>(s)] = false;
+      for (const int* s = element_sets.begin(best_e);
+           s != element_sets.end(best_e); ++s) {
+        if (open[static_cast<size_t>(*s)]) {
+          open[static_cast<size_t>(*s)] = false;
           --open_count;
         }
       }
@@ -245,18 +307,19 @@ struct Solver {
     int packed = 0;
     std::vector<bool> used(static_cast<size_t>(num_elements), false);
     // Smaller sets first makes the packing larger on average; sets are
-    // globally sorted by size already (Init sorts before superset
-    // removal; removal preserves order).
-    for (size_t i = 0; i < sets.size(); ++i) {
+    // globally sorted by size already (the reduction sorts before
+    // superset removal; removal preserves order).
+    for (size_t i = 0; i < family.size(); ++i) {
       if (hit_count[i] > 0) continue;
-      const std::vector<int>& s = sets[i];
       bool disjoint = true;
-      for (int e : s) {
-        if (used[static_cast<size_t>(e)]) disjoint = false;
+      for (const int* p = family.begin(i); p != family.end(i); ++p) {
+        if (used[static_cast<size_t>(*p)]) disjoint = false;
       }
       if (!disjoint) continue;
       ++packed;
-      for (int e : s) used[static_cast<size_t>(e)] = true;
+      for (const int* p = family.begin(i); p != family.end(i); ++p) {
+        used[static_cast<size_t>(*p)] = true;
+      }
     }
     return packed;
   }
@@ -270,22 +333,23 @@ struct Solver {
   int FlowLowerBound() {
     std::vector<bool> used(static_cast<size_t>(num_elements), false);
     int packed = 0;
-    for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t i = 0; i < family.size(); ++i) {
       if (hit_count[i] > 0) continue;
-      const std::vector<int>& s = sets[i];
-      if (s.size() == 2) continue;  // handled by the matching below
+      if (family.len(i) == 2) continue;  // handled by the matching below
       bool disjoint = true;
-      for (int e : s) {
-        if (used[static_cast<size_t>(e)]) disjoint = false;
+      for (const int* p = family.begin(i); p != family.end(i); ++p) {
+        if (used[static_cast<size_t>(*p)]) disjoint = false;
       }
       if (!disjoint) continue;
       ++packed;
-      for (int e : s) used[static_cast<size_t>(e)] = true;
+      for (const int* p = family.begin(i); p != family.end(i); ++p) {
+        used[static_cast<size_t>(*p)] = true;
+      }
     }
     std::vector<std::pair<int, int>> edges;
-    for (size_t i = 0; i < sets.size(); ++i) {
-      if (hit_count[i] > 0 || sets[i].size() != 2) continue;
-      int a = sets[i][0], b = sets[i][1];
+    for (size_t i = 0; i < family.size(); ++i) {
+      if (hit_count[i] > 0 || family.len(i) != 2) continue;
+      int a = family.begin(i)[0], b = family.begin(i)[1];
       if (used[static_cast<size_t>(a)] || used[static_cast<size_t>(b)]) {
         continue;
       }
@@ -301,10 +365,10 @@ struct Solver {
   int PickBranchSet() {
     int best_set = -1;
     size_t best_sz = ~size_t{0};
-    for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t i = 0; i < family.size(); ++i) {
       if (hit_count[i] > 0) continue;
-      if (sets[i].size() < best_sz) {
-        best_sz = sets[i].size();
+      if (family.len(i) < best_sz) {
+        best_sz = family.len(i);
         best_set = static_cast<int>(i);
         if (best_sz == 1) break;
       }
@@ -341,10 +405,10 @@ struct Solver {
 
     // Branch over the elements of the smallest open set, most-frequent
     // first.
-    std::vector<int> elems = sets[static_cast<size_t>(branch_set)];
+    std::vector<int> elems(family.begin(static_cast<size_t>(branch_set)),
+                           family.end(static_cast<size_t>(branch_set)));
     std::sort(elems.begin(), elems.end(), [&](int a, int b) {
-      return element_sets[static_cast<size_t>(a)].size() >
-             element_sets[static_cast<size_t>(b)].size();
+      return element_sets.count(a) > element_sets.count(b);
     });
     for (int e : elems) {
       Choose(e);
@@ -365,44 +429,42 @@ struct Solver {
 // instance the matching bounds are exact on. Sets stay non-empty: every
 // set that loses b still contains its dominator. Returns true when
 // something was removed (callers re-reduce and iterate to fixpoint).
-bool EliminateDominatedElements(std::vector<std::vector<int>>* sets) {
-  int num_elements = 0;
-  for (const std::vector<int>& s : *sets) {
-    for (int e : s) num_elements = std::max(num_elements, e + 1);
-  }
-  std::vector<std::vector<int>> element_sets(
-      static_cast<size_t>(num_elements));
-  for (size_t i = 0; i < sets->size(); ++i) {
-    for (int e : (*sets)[i]) {
-      element_sets[static_cast<size_t>(e)].push_back(static_cast<int>(i));
-    }
-  }
+bool EliminateDominatedElements(Family* f) {
+  const int num_elements = MaxElementPlusOne(*f);
+  ElementSets element_sets;
+  element_sets.Build(*f, num_elements);
   std::vector<bool> removed(static_cast<size_t>(num_elements), false);
   bool changed = false;
   for (int b = 0; b < num_elements; ++b) {
-    const std::vector<int>& sb = element_sets[static_cast<size_t>(b)];
-    if (sb.empty()) continue;
+    if (element_sets.count(b) == 0) continue;
+    const int* sb_begin = element_sets.begin(b);
+    const int* sb_end = element_sets.end(b);
     // A dominator of b sits in every set containing b, in particular the
     // first one — so only its elements need checking.
-    for (int a : (*sets)[static_cast<size_t>(sb[0])]) {
+    const size_t first_set = static_cast<size_t>(*sb_begin);
+    for (const int* p = f->begin(first_set); p != f->end(first_set); ++p) {
+      const int a = *p;
       if (a == b || removed[static_cast<size_t>(a)]) continue;
-      const std::vector<int>& sa = element_sets[static_cast<size_t>(a)];
-      if (sa.size() < sb.size()) continue;
-      if (!std::includes(sa.begin(), sa.end(), sb.begin(), sb.end())) {
+      if (element_sets.count(a) < element_sets.count(b)) continue;
+      if (!std::includes(element_sets.begin(a), element_sets.end(a),
+                         sb_begin, sb_end)) {
         continue;
       }
-      if (sa.size() == sb.size() && a > b) continue;  // keep the smaller id
+      if (element_sets.count(a) == element_sets.count(b) && a > b) {
+        continue;  // keep the smaller id
+      }
       removed[static_cast<size_t>(b)] = true;
       changed = true;
       break;
     }
   }
   if (!changed) return false;
-  for (std::vector<int>& s : *sets) {
-    s.erase(std::remove_if(
-                s.begin(), s.end(),
-                [&](int e) { return removed[static_cast<size_t>(e)]; }),
-            s.end());
+  for (SetSpan& s : f->sets) {
+    int* b = f->pool.data() + s.offset;
+    int* kept = std::remove_if(b, b + s.len, [&](int e) {
+      return removed[static_cast<size_t>(e)];
+    });
+    s.len = static_cast<uint32_t>(kept - b);
   }
   return true;
 }
@@ -553,24 +615,24 @@ struct VcInstance {
   std::vector<int> forced;  // ascending element ids forced by 1-sets
 };
 
-// Builds the cover instance for one component; `sets` must all have
+// Builds the cover instance for one component; every span must have
 // size 1 or 2 (deduplicated). Edges touching a forced element are
 // already hit and stay out of the graph.
-VcInstance BuildVcInstance(const std::vector<std::vector<int>>& sets,
-                           int num_elements) {
+VcInstance BuildVcInstance(const Family& f, int num_elements) {
   std::vector<bool> forced(static_cast<size_t>(num_elements), false);
-  for (const std::vector<int>& s : sets) {
-    if (s.size() == 1) forced[static_cast<size_t>(s[0])] = true;
+  for (size_t i = 0; i < f.size(); ++i) {
+    if (f.len(i) == 1) forced[static_cast<size_t>(f.begin(i)[0])] = true;
   }
   VcInstance inst;
   inst.vc.adj.resize(static_cast<size_t>(num_elements));
-  for (const std::vector<int>& s : sets) {
-    if (s.size() != 2) continue;
-    if (forced[static_cast<size_t>(s[0])] || forced[static_cast<size_t>(s[1])]) {
+  for (size_t i = 0; i < f.size(); ++i) {
+    if (f.len(i) != 2) continue;
+    const int a = f.begin(i)[0], b = f.begin(i)[1];
+    if (forced[static_cast<size_t>(a)] || forced[static_cast<size_t>(b)]) {
       continue;  // already hit
     }
-    inst.vc.adj[static_cast<size_t>(s[0])].insert(s[1]);
-    inst.vc.adj[static_cast<size_t>(s[1])].insert(s[0]);
+    inst.vc.adj[static_cast<size_t>(a)].insert(b);
+    inst.vc.adj[static_cast<size_t>(b)].insert(a);
   }
   for (int e = 0; e < num_elements; ++e) {
     if (forced[static_cast<size_t>(e)]) inst.forced.push_back(e);
@@ -578,11 +640,11 @@ VcInstance BuildVcInstance(const std::vector<std::vector<int>>& sets,
   return inst;
 }
 
-// Solves one hitting-set component as vertex cover; `sets` must all have
+// Solves one hitting-set component as vertex cover; every span must have
 // size 1 or 2 (deduplicated). Singleton sets are forced.
-std::vector<int> SolveAsVertexCover(const std::vector<std::vector<int>>& sets,
-                                    int num_elements, SearchCtx* ctx) {
-  VcInstance inst = BuildVcInstance(sets, num_elements);
+std::vector<int> SolveAsVertexCover(const Family& f, int num_elements,
+                                    SearchCtx* ctx) {
+  VcInstance inst = BuildVcInstance(f, num_elements);
   inst.vc.ctx = ctx;
   inst.vc.GreedySeed();
   inst.vc.Search();
@@ -592,16 +654,27 @@ std::vector<int> SolveAsVertexCover(const std::vector<std::vector<int>>& sets,
 }
 
 // Solves one general component with the branch-and-bound solver. The
-// component's sets are already reduced (slices of the global fixpoint).
-std::vector<int> SolveComponent(std::vector<std::vector<int>> sets,
-                                SearchCtx* ctx) {
+// component's spans are already reduced (slices of the global fixpoint).
+std::vector<int> SolveComponent(Family f, SearchCtx* ctx) {
   Solver solver;
   solver.ctx = ctx;
-  solver.InitReduced(std::move(sets));
+  solver.InitReduced(std::move(f));
   solver.best_size = 1 << 30;
   solver.GreedyUpperBound();
   solver.Search();
   return solver.best;
+}
+
+// Reduction fixpoint shared by the solve and the root bound: dedup +
+// superset removal, then element domination, re-reduced until nothing
+// changes (domination shrinks sets, which can expose new subset
+// relations and vice versa).
+Family ReduceToFixpoint(Family f) {
+  f = ReduceFamily(std::move(f));
+  while (EliminateDominatedElements(&f)) {
+    f = ReduceFamily(std::move(f));
+  }
+  return f;
 }
 
 }  // namespace
@@ -611,55 +684,54 @@ HittingSetResult SolveMinHittingSet(
   return SolveMinHittingSet(sets, ExactOptions{}, nullptr);
 }
 
-int HittingSetLowerBound(const std::vector<std::vector<int>>& sets) {
-  if (sets.empty()) return 0;
-  std::vector<std::vector<int>> reduced = ReduceFamily(sets);
-  while (EliminateDominatedElements(&reduced)) {
-    reduced = ReduceFamily(std::move(reduced));
-  }
+int HittingSetLowerBound(const HittingSetFamily& family) {
+  if (family.empty()) return 0;
   Solver solver;  // ctx stays null: the root bounds never take a node
-  solver.InitReduced(std::move(reduced));
+  solver.InitReduced(ReduceToFixpoint(family));
   // Both bounds with nothing chosen yet (every set open); the flow bound
   // subsumes the packing one only on 2-set-heavy families, so take the
   // max.
   return std::max(solver.PackingLowerBound(), solver.FlowLowerBound());
 }
 
+int HittingSetLowerBound(const std::vector<std::vector<int>>& sets) {
+  return HittingSetLowerBound(HittingSetFamily::From(sets));
+}
+
 HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
                                     const ExactOptions& options,
                                     ExactStats* stats) {
-  HittingSetResult result;
-  if (sets.empty()) return result;
+  return SolveMinHittingSet(HittingSetFamily::From(sets), options, stats);
+}
 
-  // Global reduction to fixpoint — dedup + superset removal, then
-  // element domination, re-reduced until nothing changes (domination
-  // shrinks sets, which can expose new subset relations and vice
-  // versa) — then split into connected components over shared elements:
-  // two sets with no element in common constrain disjoint parts of the
-  // universe, so the minimum hitting set is the concatenation of
-  // per-component minima. Components shrink the branching factor *and*
-  // let small parts finish instantly while the search budget
-  // concentrates on the hard core.
-  std::vector<std::vector<int>> reduced;
+HittingSetResult SolveMinHittingSet(const HittingSetFamily& family,
+                                    const ExactOptions& options,
+                                    ExactStats* stats) {
+  HittingSetResult result;
+  if (family.empty()) return result;
+
+  // Global reduction to fixpoint, then split into connected components
+  // over shared elements: two sets with no element in common constrain
+  // disjoint parts of the universe, so the minimum hitting set is the
+  // concatenation of per-component minima. Components shrink the
+  // branching factor *and* let small parts finish instantly while the
+  // search budget concentrates on the hard core.
+  Family reduced;
   {
     obs::Span span("reduce", "exact");
-    reduced = ReduceFamily(sets);
-    while (EliminateDominatedElements(&reduced)) {
-      reduced = ReduceFamily(std::move(reduced));
-    }
+    reduced = ReduceToFixpoint(family);
   }
-  int num_elements = 0;
-  for (const std::vector<int>& s : reduced) {
-    for (int e : s) num_elements = std::max(num_elements, e + 1);
-  }
+  const int num_elements = MaxElementPlusOne(reduced);
 
   DisjointSet components(num_elements);
-  for (const std::vector<int>& s : reduced) {
-    for (size_t j = 1; j < s.size(); ++j) components.Union(s[0], s[j]);
+  for (size_t i = 0; i < reduced.size(); ++i) {
+    const int* s = reduced.begin(i);
+    for (size_t j = 1; j < reduced.len(i); ++j) components.Union(s[0], s[j]);
   }
-  std::map<int, std::vector<const std::vector<int>*>> groups;
-  for (const std::vector<int>& s : reduced) {
-    groups[components.Find(s[0])].push_back(&s);
+  std::map<int, std::vector<uint32_t>> groups;  // root -> span ids
+  for (size_t i = 0; i < reduced.size(); ++i) {
+    groups[components.Find(reduced.begin(i)[0])].push_back(
+        static_cast<uint32_t>(i));
   }
 
   // Localize every component up front (serial, in deterministic
@@ -667,7 +739,7 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
   // small, and a flat task vector is what the worker pool fans out over.
   struct ComponentTask {
     std::vector<int> local_to_global;
-    std::vector<std::vector<int>> local_sets;
+    Family local;
     bool all_small = true;
   };
   std::vector<ComponentTask> tasks;
@@ -675,20 +747,20 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
   std::vector<int> global_to_local(static_cast<size_t>(num_elements), -1);
   for (const auto& [root, group] : groups) {
     ComponentTask task;
-    task.local_sets.reserve(group.size());
-    for (const std::vector<int>* s : group) {
-      std::vector<int> local;
-      local.reserve(s->size());
-      for (int e : *s) {
-        int& slot = global_to_local[static_cast<size_t>(e)];
+    task.local.sets.reserve(group.size());
+    for (uint32_t si : group) {
+      const uint32_t offset = static_cast<uint32_t>(task.local.pool.size());
+      for (const int* p = reduced.begin(si); p != reduced.end(si); ++p) {
+        int& slot = global_to_local[static_cast<size_t>(*p)];
         if (slot < 0) {
           slot = static_cast<int>(task.local_to_global.size());
-          task.local_to_global.push_back(e);
+          task.local_to_global.push_back(*p);
         }
-        local.push_back(slot);
+        task.local.pool.push_back(slot);
       }
-      task.all_small = task.all_small && local.size() <= 2;
-      task.local_sets.push_back(std::move(local));
+      task.all_small = task.all_small && reduced.len(si) <= 2;
+      task.local.sets.push_back(
+          SetSpan{offset, reduced.sets[si].len});
     }
     for (int e : task.local_to_global) {
       global_to_local[static_cast<size_t>(e)] = -1;
@@ -714,10 +786,10 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
     ComponentTask& task = tasks[i];
     chosen[i] =
         task.all_small
-            ? SolveAsVertexCover(task.local_sets,
+            ? SolveAsVertexCover(task.local,
                                  static_cast<int>(task.local_to_global.size()),
                                  &ctxs[i])
-            : SolveComponent(std::move(task.local_sets), &ctxs[i]);
+            : SolveComponent(std::move(task.local), &ctxs[i]);
   };
   int threads = std::max(1, options.solver_threads);
   if (threads <= 1 || tasks.size() <= 1) {
@@ -776,7 +848,7 @@ ResilienceResult ComputeResilienceExact(const Query& q, const Database& db,
 
   ExactStats local;
   local.witnesses = family.witnesses;
-  local.witness_sets = family.sets.size();
+  local.witness_sets = family.size();
   local.witness_budget_exceeded = family.budget_exceeded;
 
   if (family.unbreakable) {
@@ -795,24 +867,25 @@ ResilienceResult ComputeResilienceExact(const Query& q, const Database& db,
     return result;  // D does not satisfy q
   }
 
-  // Map tuples to dense element ids.
+  // Map tuples to dense element ids, straight from the family's spans
+  // into the solver's pool — no per-set vectors in between.
   std::map<TupleId, int> ids;
   std::vector<TupleId> tuples;
-  std::vector<std::vector<int>> sets;
-  sets.reserve(family.sets.size());
-  for (const std::vector<TupleId>& w : family.sets) {
-    std::vector<int> s;
-    s.reserve(w.size());
-    for (TupleId t : w) {
-      auto [it, inserted] = ids.emplace(t, static_cast<int>(tuples.size()));
-      if (inserted) tuples.push_back(t);
-      s.push_back(it->second);
+  HittingSetFamily hs;
+  hs.pool.reserve(family.arena.pool_size());
+  hs.sets.reserve(family.size());
+  for (size_t i = 0; i < family.size(); ++i) {
+    const uint32_t offset = static_cast<uint32_t>(hs.pool.size());
+    for (const TupleId* t = family.begin(i); t != family.end(i); ++t) {
+      auto [it, inserted] = ids.emplace(*t, static_cast<int>(tuples.size()));
+      if (inserted) tuples.push_back(*t);
+      hs.pool.push_back(it->second);
     }
-    sets.push_back(std::move(s));
+    hs.sets.push_back(SetSpan{offset, family.sets[i].len});
   }
-  HittingSetResult hs = SolveMinHittingSet(sets, options, &local);
-  result.resilience = hs.size;
-  for (int e : hs.chosen) {
+  HittingSetResult hs_result = SolveMinHittingSet(hs, options, &local);
+  result.resilience = hs_result.size;
+  for (int e : hs_result.chosen) {
     result.contingency.push_back(tuples[static_cast<size_t>(e)]);
   }
   std::sort(result.contingency.begin(), result.contingency.end());

@@ -8,8 +8,41 @@
 #include "db/database.h"
 #include "db/witness.h"
 #include "resilience/result.h"
+#include "util/span_arena.h"
 
 namespace rescq {
+
+/// Arena-backed hitting-set instance: every set is a SetSpan into one
+/// pool of non-negative element ids. This is the native input of the
+/// exact solver — reduction, component split, and branch-and-bound all
+/// operate on the spans directly, so a family collected into an arena
+/// (WitnessFamily, the incremental support family) reaches the search
+/// without ever being copied into per-set vectors.
+struct HittingSetFamily {
+  std::vector<int> pool;
+  std::vector<SetSpan> sets;
+
+  void Add(const int* data, size_t n) {
+    SetSpan span{static_cast<uint32_t>(pool.size()),
+                 static_cast<uint32_t>(n)};
+    pool.insert(pool.end(), data, data + n);
+    sets.push_back(span);
+  }
+  void Add(const std::vector<int>& s) { Add(s.data(), s.size()); }
+
+  size_t size() const { return sets.size(); }
+  bool empty() const { return sets.empty(); }
+  const int* begin(size_t i) const { return pool.data() + sets[i].offset; }
+  const int* end(size_t i) const { return begin(i) + sets[i].len; }
+  size_t len(size_t i) const { return sets[i].len; }
+
+  static HittingSetFamily From(const std::vector<std::vector<int>>& sets) {
+    HittingSetFamily f;
+    f.sets.reserve(sets.size());
+    for (const std::vector<int>& s : sets) f.Add(s);
+    return f;
+  }
+};
 
 /// Budgets for the exact resilience path. The defaults are unbounded —
 /// the solver is then the reference oracle. With a budget set the solve
@@ -90,6 +123,12 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
                                     const ExactOptions& options,
                                     ExactStats* stats);
 
+/// Span-native core the vector overloads wrap: identical search,
+/// identical counters (the fuzz sweeps assert it), no per-set copies.
+HittingSetResult SolveMinHittingSet(const HittingSetFamily& family,
+                                    const ExactOptions& options,
+                                    ExactStats* stats);
+
 /// Root-level lower bound on the minimum hitting set of `sets`, without
 /// searching: the family is reduced exactly as SolveMinHittingSet would
 /// (dedup / supersets / element domination to fixpoint, all
@@ -99,6 +138,9 @@ HittingSetResult SolveMinHittingSet(const std::vector<std::vector<int>>& sets,
 /// is what keeps incremental sessions warm: when it meets a feasible
 /// upper bound, the exact search need not run at all.
 int HittingSetLowerBound(const std::vector<std::vector<int>>& sets);
+
+/// Span-native form of the root bound (same reduction, same bounds).
+int HittingSetLowerBound(const HittingSetFamily& family);
 
 /// Exact resilience of q over the active tuples of db: stream witnesses
 /// (deduplicating their endogenous tuple-sets on the fly), then solve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -33,18 +34,19 @@ std::string WitnessBudgetError(size_t limit) {
 /// certifies the tree-shaped components sparse churn mostly touches;
 /// the branch-and-bound core (with its own domination and flow-bound
 /// machinery) is the escalation when this one leaves a gap.
-int QuickPackingBound(const std::vector<std::vector<int>>& sets,
-                      int num_elements) {
+int QuickPackingBound(const HittingSetFamily& sets, int num_elements) {
   std::vector<bool> used(static_cast<size_t>(num_elements), false);
   int packed = 0;
-  for (const std::vector<int>& s : sets) {
+  for (size_t i = 0; i < sets.size(); ++i) {
     bool disjoint = true;
-    for (int e : s) {
-      if (used[static_cast<size_t>(e)]) disjoint = false;
+    for (const int* p = sets.begin(i); p != sets.end(i); ++p) {
+      if (used[static_cast<size_t>(*p)]) disjoint = false;
     }
     if (!disjoint) continue;
     ++packed;
-    for (int e : s) used[static_cast<size_t>(e)] = true;
+    for (const int* p = sets.begin(i); p != sets.end(i); ++p) {
+      used[static_cast<size_t>(*p)] = true;
+    }
   }
   return packed;
 }
@@ -57,7 +59,7 @@ int QuickPackingBound(const std::vector<std::vector<int>>& sets,
 /// (membership is rescanned instead of materializing element->sets
 /// lists): touched components are small and the pass must stay
 /// allocation-light.
-std::vector<int> RepairIncumbent(const std::vector<std::vector<int>>& sets,
+std::vector<int> RepairIncumbent(const HittingSetFamily& sets,
                                  int num_elements,
                                  std::vector<int> incumbent) {
   std::sort(incumbent.begin(), incumbent.end());
@@ -68,8 +70,8 @@ std::vector<int> RepairIncumbent(const std::vector<std::vector<int>>& sets,
   std::vector<int> cover(sets.size(), 0);
   size_t uncovered = 0;
   for (size_t s = 0; s < sets.size(); ++s) {
-    for (int e : sets[s]) {
-      cover[s] += chosen[static_cast<size_t>(e)] ? 1 : 0;
+    for (const int* p = sets.begin(s); p != sets.end(s); ++p) {
+      cover[s] += chosen[static_cast<size_t>(*p)] ? 1 : 0;
     }
     uncovered += cover[s] == 0 ? 1 : 0;
   }
@@ -78,7 +80,9 @@ std::vector<int> RepairIncumbent(const std::vector<std::vector<int>>& sets,
     std::fill(freq.begin(), freq.end(), 0);
     for (size_t s = 0; s < sets.size(); ++s) {
       if (cover[s] > 0) continue;
-      for (int e : sets[s]) ++freq[static_cast<size_t>(e)];
+      for (const int* p = sets.begin(s); p != sets.end(s); ++p) {
+        ++freq[static_cast<size_t>(*p)];
+      }
     }
     int best = 0;
     for (size_t e = 1; e < freq.size(); ++e) {
@@ -89,7 +93,9 @@ std::vector<int> RepairIncumbent(const std::vector<std::vector<int>>& sets,
     incumbent.push_back(best);
     for (size_t s = 0; s < sets.size(); ++s) {
       bool has = false;
-      for (int e : sets[s]) has = has || e == best;
+      for (const int* p = sets.begin(s); p != sets.end(s); ++p) {
+        has = has || *p == best;
+      }
       if (has && cover[s]++ == 0) --uncovered;
     }
   }
@@ -102,13 +108,15 @@ std::vector<int> RepairIncumbent(const std::vector<std::vector<int>>& sets,
     bool needed = false;
     for (size_t s = 0; s < sets.size(); ++s) {
       if (cover[s] != 1) continue;
-      for (int x : sets[s]) needed = needed || x == e;
+      for (const int* p = sets.begin(s); p != sets.end(s); ++p) {
+        needed = needed || *p == e;
+      }
       if (needed) break;
     }
     if (!needed) {
       for (size_t s = 0; s < sets.size(); ++s) {
-        for (int x : sets[s]) {
-          if (x == e) {
+        for (const int* p = sets.begin(s); p != sets.end(s); ++p) {
+          if (*p == e) {
             --cover[s];
             break;
           }
@@ -132,27 +140,30 @@ constexpr size_t kTinySets = 8;
 constexpr size_t kTinySetSize = 4;
 
 struct TinySolver {
-  const std::vector<std::vector<int>>& sets;
+  const HittingSetFamily& sets;
   std::vector<bool> chosen;
   std::vector<int> current;
   std::vector<int> best;  // seeded with a feasible incumbent
 
   void Search() {
     if (current.size() + 1 > best.size()) return;  // can't beat incumbent
-    const std::vector<int>* open = nullptr;
-    for (const std::vector<int>& s : sets) {
+    size_t open = sets.size();
+    for (size_t s = 0; s < sets.size(); ++s) {
       bool hit = false;
-      for (int e : s) hit = hit || chosen[static_cast<size_t>(e)];
+      for (const int* p = sets.begin(s); p != sets.end(s); ++p) {
+        hit = hit || chosen[static_cast<size_t>(*p)];
+      }
       if (!hit) {
-        open = &s;
+        open = s;
         break;
       }
     }
-    if (open == nullptr) {
+    if (open == sets.size()) {
       best = current;
       return;
     }
-    for (int e : *open) {
+    for (const int* p = sets.begin(open); p != sets.end(open); ++p) {
+      const int e = *p;
       chosen[static_cast<size_t>(e)] = true;
       current.push_back(e);
       Search();
@@ -162,10 +173,10 @@ struct TinySolver {
   }
 };
 
-bool TinyEligible(const std::vector<std::vector<int>>& sets) {
+bool TinyEligible(const HittingSetFamily& sets) {
   if (sets.size() > kTinySets) return false;
-  for (const std::vector<int>& s : sets) {
-    if (s.size() > kTinySetSize) return false;
+  for (size_t s = 0; s < sets.size(); ++s) {
+    if (sets.len(s) > kTinySetSize) return false;
   }
   return true;
 }
@@ -184,39 +195,48 @@ int IncrementalSession::DenseId(TupleId t) {
 
 void IncrementalSession::TouchSet(const std::vector<TupleId>& endo_tuples,
                                   int64_t sign) {
-  auto it = support_.find(endo_tuples);
-  if (it == support_.end()) {
-    it = support_.emplace(endo_tuples, SetState{}).first;
-    SetState& state = it->second;
-    state.dense.reserve(endo_tuples.size());
-    for (TupleId t : endo_tuples) state.dense.push_back(DenseId(t));
-    if (!state.dense.empty()) {
-      // A brand-new set: it may attach to (or bridge) the components
-      // its elements currently live in — flag them for dissolution.
-      for (int e : state.dense) {
-        int label = comp_label_[static_cast<size_t>(e)];
-        if (label >= 0) affected_labels_.push_back(label);
-      }
-      state.label = -1;
-      state.label_slot = static_cast<int>(fresh_sets_.size());
-      fresh_sets_.push_back(&state);
-    }
+  const uint32_t id =
+      family_arena_.Intern(endo_tuples.data(), endo_tuples.size());
+  if (id == set_states_.size()) {
+    // First appearance: extend the flat per-set state and mirror the
+    // new arena run into dense element ids (same offsets).
+    set_states_.emplace_back();
+    for (TupleId t : endo_tuples) dense_pool_.push_back(DenseId(t));
+    if (endo_tuples.empty()) empty_set_id_ = static_cast<int32_t>(id);
   }
-  it->second.count += sign;
-  RESCQ_CHECK(it->second.count >= 0);
-  if (it->second.count == 0) {
-    SetState& state = it->second;
-    if (!state.dense.empty()) {
-      if (state.label >= 0) {
-        affected_labels_.push_back(state.label);
-        auto comp = components_.find(state.label);
-        RESCQ_CHECK(comp != components_.end());
-        comp->second.sets[static_cast<size_t>(state.label_slot)] = nullptr;
-      } else {
-        fresh_sets_[static_cast<size_t>(state.label_slot)] = nullptr;
-      }
+  SetState& state = set_states_[id];
+  const bool was_dead = state.count == 0;
+  state.count += sign;
+  RESCQ_CHECK(state.count >= 0);
+  const uint32_t len = SetLen(static_cast<int32_t>(id));
+  if (len == 0) return;  // the unbreakable key joins no component
+  if (was_dead && state.count > 0) {
+    // Newly live — first appearance or a revival: it may attach to (or
+    // bridge) the components its elements currently live in — flag
+    // them for dissolution.
+    const int* e = DenseBegin(static_cast<int32_t>(id));
+    for (uint32_t i = 0; i < len; ++i) {
+      int label = comp_label_[static_cast<size_t>(e[i])];
+      if (label >= 0) affected_labels_.push_back(label);
     }
-    support_.erase(it);
+    state.label = -1;
+    state.label_slot = static_cast<int>(fresh_sets_.size());
+    fresh_sets_.push_back(static_cast<int32_t>(id));
+    ++live_sets_;
+  } else if (!was_dead && state.count == 0) {
+    // Died: tombstone wherever the set currently sits. Its span stays
+    // in the arena — a later revival reuses the same SetId.
+    if (state.label >= 0) {
+      affected_labels_.push_back(state.label);
+      auto comp = components_.find(state.label);
+      RESCQ_CHECK(comp != components_.end());
+      comp->second.sets[static_cast<size_t>(state.label_slot)] = -1;
+    } else {
+      fresh_sets_[static_cast<size_t>(state.label_slot)] = -1;
+    }
+    state.label = -1;
+    state.label_slot = -1;
+    --live_sets_;
   }
 }
 
@@ -274,6 +294,17 @@ IncrementalSession::IncrementalSession(const Query& q, Database base,
   if (obs::MetricsEnabled()) obs::PublishMemBreakdown(ApproxMemory());
 }
 
+size_t IncrementalSession::EvictColdState() {
+  if (index_ == nullptr) return 0;
+  size_t freed = index_->ApproxBytes() +
+                 static_cast<size_t>(obs::VectorBytes(global_to_local_));
+  index_.reset();
+  std::vector<int>().swap(global_to_local_);
+  ++evictions_;
+  obs::Count("mem.evictions");
+  return freed;
+}
+
 EpochOutcome IncrementalSession::Apply(const Epoch& epoch) {
   obs::Span span("epoch-apply", "incremental");
   obs::Count("incremental.epochs");
@@ -282,8 +313,20 @@ EpochOutcome IncrementalSession::Apply(const Epoch& epoch) {
   EpochOutcome out;
   out.epoch = ++epoch_count_;
 
+  // Lazy rebuild after an eviction: a fresh index over the current
+  // database enumerates exactly what the dropped, synced one would —
+  // activity is checked at probe time and appended rows are indexed on
+  // construction — so the delta streams below pick up mid-session as
+  // if nothing happened. (A poisoned session skips the rebuild: its
+  // batches never stream.)
+  if (index_ == nullptr && !poisoned_) {
+    index_.reset(new WitnessIndex(q_, db_));
+    ++rebuilds_;
+    obs::Count("mem.rebuilds");
+  }
+
   // Within an epoch, the last update of each fact wins: activity is
-  // last-writer, and the support invariant (support_ = the witness
+  // last-writer, and the support invariant (the family = the witness
   // family of the current database, restored after every batch) only
   // depends on the final database state — so an insert-then-delete of
   // an initially absent fact nets to nothing, exactly as if the
@@ -368,12 +411,13 @@ obs::MemBreakdown IncrementalSession::ApproxMemory() const {
   obs::MemBreakdown mem;
   mem.index_bytes = index_ != nullptr ? index_->ApproxBytes() : 0;
 
-  mem.family_bytes = obs::HashContainerBytes(support_);
-  for (const auto& [key, state] : support_) {
-    mem.family_bytes += obs::VectorBytes(key) + obs::VectorBytes(state.dense);
-  }
+  mem.family_bytes = family_arena_.ApproxBytes() +
+                     obs::VectorBytes(dense_pool_) +
+                     obs::VectorBytes(set_states_);
   mem.family_bytes += obs::HashContainerBytes(dense_ids_);
   mem.family_bytes += obs::VectorBytes(dense_tuples_);
+  mem.arena_reserved_bytes = family_arena_.ReservedBytes();
+  mem.arena_live_bytes = family_arena_.LiveBytes();
 
   mem.component_bytes = obs::HashContainerBytes(components_);
   for (const auto& [label, comp] : components_) {
@@ -384,15 +428,15 @@ obs::MemBreakdown IncrementalSession::ApproxMemory() const {
   mem.component_bytes += obs::VectorBytes(global_to_local_);
 
   mem.tuples = static_cast<size_t>(db_.NumActiveTuples());
-  mem.witness_sets = support_.size();
-  if (support_.count({}) != 0) --mem.witness_sets;  // the unbreakable key
+  mem.witness_sets = static_cast<size_t>(live_sets_);
   return mem;
 }
 
 void IncrementalSession::Refresh(EpochOutcome* out) {
-  auto empty_it = support_.find(std::vector<TupleId>{});
-  const bool unbreakable = empty_it != support_.end();
-  out->family_sets = support_.size() - (unbreakable ? 1 : 0);
+  const bool unbreakable =
+      empty_set_id_ >= 0 &&
+      set_states_[static_cast<size_t>(empty_set_id_)].count > 0;
+  out->family_sets = static_cast<size_t>(live_sets_);
 
   if (poisoned_) {
     affected_labels_.clear();
@@ -412,13 +456,13 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
   affected_labels_.erase(
       std::unique(affected_labels_.begin(), affected_labels_.end()),
       affected_labels_.end());
-  std::vector<const SetState*> region;
+  std::vector<int32_t> region;  // SetIds
   std::vector<int> seeds;
   for (int label : affected_labels_) {
     auto it = components_.find(label);
     if (it == components_.end()) continue;  // stale element label
-    for (const SetState* s : it->second.sets) {
-      if (s != nullptr) region.push_back(s);
+    for (int32_t s : it->second.sets) {
+      if (s >= 0) region.push_back(s);
     }
     seeds.insert(seeds.end(), it->second.solution.begin(),
                  it->second.solution.end());
@@ -427,39 +471,49 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
     if (!it->second.proven) --unproven_components_;
     components_.erase(it);
   }
-  for (SetState* s : fresh_sets_) {
-    if (s != nullptr) region.push_back(s);
+  for (int32_t s : fresh_sets_) {
+    if (s >= 0) region.push_back(s);
   }
   affected_labels_.clear();
   fresh_sets_.clear();
 
   if (!region.empty()) {
-    // Local dense ids over the region and its sub-components.
+    // Local dense ids over the region and its sub-components. The
+    // localized region is itself a span family — one pool, no per-set
+    // vectors.
     if (global_to_local_.size() < dense_tuples_.size()) {
       global_to_local_.resize(dense_tuples_.size(), -1);
     }
     std::vector<int> local_to_dense;
-    std::vector<std::vector<int>> region_local(region.size());
-    for (size_t s = 0; s < region.size(); ++s) {
-      region_local[s].reserve(region[s]->dense.size());
-      for (int e : region[s]->dense) {
-        int& slot = global_to_local_[static_cast<size_t>(e)];
+    HittingSetFamily region_local;
+    region_local.pool.reserve(region.size() * 2);
+    region_local.sets.reserve(region.size());
+    for (int32_t id : region) {
+      const uint32_t offset = static_cast<uint32_t>(region_local.pool.size());
+      const int* e = DenseBegin(id);
+      const uint32_t len = SetLen(id);
+      for (uint32_t i = 0; i < len; ++i) {
+        int& slot = global_to_local_[static_cast<size_t>(e[i])];
         if (slot < 0) {
           slot = static_cast<int>(local_to_dense.size());
-          local_to_dense.push_back(e);
+          local_to_dense.push_back(e[i]);
         }
-        region_local[s].push_back(slot);
+        region_local.pool.push_back(slot);
       }
+      region_local.sets.push_back(SetSpan{offset, len});
     }
     DisjointSet dsu(static_cast<int>(local_to_dense.size()));
-    for (const std::vector<int>& s : region_local) {
-      for (size_t j = 1; j < s.size(); ++j) dsu.Union(s[0], s[j]);
+    for (size_t s = 0; s < region_local.size(); ++s) {
+      const int* p = region_local.begin(s);
+      for (size_t j = 1; j < region_local.len(s); ++j) {
+        dsu.Union(p[0], p[static_cast<size_t>(j)]);
+      }
     }
     // Group region sets by sub-component, first-seen order.
     std::vector<int> root_group(local_to_dense.size(), -1);
     std::vector<std::vector<int>> group_sets;  // indices into region
     for (size_t s = 0; s < region.size(); ++s) {
-      int root = dsu.Find(region_local[s][0]);
+      int root = dsu.Find(region_local.begin(s)[0]);
       int& g = root_group[static_cast<size_t>(root)];
       if (g < 0) {
         g = static_cast<int>(group_sets.size());
@@ -499,26 +553,27 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
 
     for (size_t g = 0; g < group_sets.size(); ++g) {
       const std::vector<int>& members = group_sets[g];
-      // The label is the component's minimum dense element: unique per
-      // component, stable while the component is untouched.
-      int label = *std::min_element(
-          region_local[static_cast<size_t>(members[0])].begin(),
-          region_local[static_cast<size_t>(members[0])].end());
-      label = local_to_dense[static_cast<size_t>(label)];
       Component& comp = tasks[g].comp;
       comp.sets.reserve(members.size());
-      for (size_t k = 0; k < members.size(); ++k) {
-        const SetState* s = region[static_cast<size_t>(members[k])];
-        for (int e : s->dense) {
-          label = std::min(label, e);
-        }
-        comp.sets.push_back(s);
+      // The label is the component's minimum dense element: unique per
+      // component, stable while the component is untouched.
+      int label = std::numeric_limits<int>::max();
+      for (int m : members) {
+        const int32_t id = region[static_cast<size_t>(m)];
+        const int* e = DenseBegin(id);
+        const uint32_t len = SetLen(id);
+        for (uint32_t i = 0; i < len; ++i) label = std::min(label, e[i]);
+        comp.sets.push_back(id);
       }
       for (size_t k = 0; k < members.size(); ++k) {
-        SetState* s = const_cast<SetState*>(comp.sets[k]);
-        s->label = label;
-        s->label_slot = static_cast<int>(k);
-        for (int e : s->dense) comp_label_[static_cast<size_t>(e)] = label;
+        SetState& s = set_states_[static_cast<size_t>(comp.sets[k])];
+        s.label = label;
+        s.label_slot = static_cast<int>(k);
+        const int* e = DenseBegin(comp.sets[k]);
+        const uint32_t len = SetLen(comp.sets[k]);
+        for (uint32_t i = 0; i < len; ++i) {
+          comp_label_[static_cast<size_t>(e[i])] = label;
+        }
       }
       tasks[g].label = label;
 
@@ -528,17 +583,22 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
       const size_t count = comp.sets.size();
       bool done = false;
       if (count == 1) {
-        const std::vector<int>& s0 = comp.sets[0]->dense;
+        const int* s0 = DenseBegin(comp.sets[0]);
         comp.size = 1;
-        comp.solution.push_back(*std::min_element(s0.begin(), s0.end()));
+        comp.solution.push_back(
+            *std::min_element(s0, s0 + SetLen(comp.sets[0])));
         done = true;
       } else if (count == 2) {
-        const std::vector<int>& s0 = comp.sets[0]->dense;
-        const std::vector<int>& s1 = comp.sets[1]->dense;
+        const int* s0 = DenseBegin(comp.sets[0]);
+        const uint32_t n0 = SetLen(comp.sets[0]);
+        const int* s1 = DenseBegin(comp.sets[1]);
+        const uint32_t n1 = SetLen(comp.sets[1]);
         int common = -1;
-        for (int e : s0) {
-          for (int x : s1) {
-            if (e == x && (common < 0 || e < common)) common = e;
+        for (uint32_t i = 0; i < n0; ++i) {
+          for (uint32_t j = 0; j < n1; ++j) {
+            if (s0[i] == s1[j] && (common < 0 || s0[i] < common)) {
+              common = s0[i];
+            }
           }
         }
         if (common >= 0) {
@@ -546,18 +606,21 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
           comp.solution.push_back(common);
         } else {
           comp.size = 2;
-          comp.solution.push_back(*std::min_element(s0.begin(), s0.end()));
-          comp.solution.push_back(*std::min_element(s1.begin(), s1.end()));
+          comp.solution.push_back(*std::min_element(s0, s0 + n0));
+          comp.solution.push_back(*std::min_element(s1, s1 + n1));
         }
         done = true;
       } else {
-        std::vector<int> common = comp.sets[0]->dense;
+        std::vector<int> common(DenseBegin(comp.sets[0]),
+                                DenseBegin(comp.sets[0]) +
+                                    SetLen(comp.sets[0]));
         for (size_t k = 1; !common.empty() && k < count; ++k) {
-          const std::vector<int>& s = comp.sets[k]->dense;
+          const int* s = DenseBegin(comp.sets[k]);
+          const uint32_t n = SetLen(comp.sets[k]);
           std::vector<int> kept;
           for (int e : common) {
-            for (int x : s) {
-              if (x == e) {
+            for (uint32_t i = 0; i < n; ++i) {
+              if (s[i] == e) {
                 kept.push_back(e);
                 break;
               }
@@ -595,22 +658,23 @@ void IncrementalSession::Refresh(EpochOutcome* out) {
       Component& comp = task.comp;
       const size_t count = comp.sets.size();
       std::vector<int> sub_to_dense;
-      std::vector<std::vector<int>> local_sets;
-      local_sets.reserve(count);
+      HittingSetFamily local_sets;
+      local_sets.sets.reserve(count);
       {
         std::unordered_map<int, int> sub_ids;
         sub_ids.reserve(16);
         for (size_t k = 0; k < count; ++k) {
-          const std::vector<int>& s = comp.sets[k]->dense;
-          std::vector<int> local;
-          local.reserve(s.size());
-          for (int e : s) {
+          const int* s = DenseBegin(comp.sets[k]);
+          const uint32_t n = SetLen(comp.sets[k]);
+          const uint32_t offset =
+              static_cast<uint32_t>(local_sets.pool.size());
+          for (uint32_t i = 0; i < n; ++i) {
             auto [it, inserted] =
-                sub_ids.emplace(e, static_cast<int>(sub_to_dense.size()));
-            if (inserted) sub_to_dense.push_back(e);
-            local.push_back(it->second);
+                sub_ids.emplace(s[i], static_cast<int>(sub_to_dense.size()));
+            if (inserted) sub_to_dense.push_back(s[i]);
+            local_sets.pool.push_back(it->second);
           }
-          local_sets.push_back(std::move(local));
+          local_sets.sets.push_back(SetSpan{offset, n});
         }
         std::vector<int> incumbent;
         for (int e : group_seeds[g]) {

@@ -13,8 +13,8 @@
 #include "db/witness.h"
 #include "obs/memstats.h"
 #include "resilience/engine.h"
-#include "util/fnv.h"
 #include "util/parallel.h"
+#include "util/span_arena.h"
 
 namespace rescq {
 
@@ -59,6 +59,15 @@ struct EpochOutcome {
 /// set leaves the family when its last supporting witness dies; the
 /// empty set's support count is the number of unbreakable witnesses.
 ///
+/// The family lives in a SpanArena (util/span_arena.h): each distinct
+/// endogenous tuple-set is interned once — by content hash, straight
+/// from the enumerator's scratch, no key vector is ever allocated — and
+/// identified by a dense SetId for the rest of the session. All per-set
+/// state (support count, component membership, the set in dense element
+/// ids) is in flat arrays indexed by SetId, so an epoch's support
+/// arithmetic touches a handful of cache lines per witness and the
+/// family's footprint is plain arena geometry.
+///
 /// On top of the family the session maintains the *hitting-set
 /// decomposition itself* incrementally: the family's connected
 /// components (sets sharing no element are independent, so minima add)
@@ -90,23 +99,24 @@ struct EpochOutcome {
 /// thread count.
 ///
 /// Thread contract — one writer, concurrent readers of published
-/// answers: Apply is the only mutator and must be externally
-/// serialized (one Apply at a time, never concurrent with any other
-/// member). The read-only accessors — Peek/current, poisoned, db,
-/// query, options, epochs_applied, ApproxMemory — may be called from
-/// any number of threads concurrently with each other, provided the
-/// caller establishes a happens-before edge from the last Apply (the
-/// server's session registry does this with a per-session shared
-/// mutex: Apply under the exclusive lock, readers under the shared
-/// one). Peek never re-enters the solve path; it returns the answer
-/// the last epoch published.
+/// answers: Apply and EvictColdState are the only mutators and must be
+/// externally serialized (one at a time, never concurrent with any
+/// other member). The read-only accessors — Peek/current, poisoned,
+/// db, query, options, epochs_applied, index_resident, evictions,
+/// rebuilds, ApproxMemory — may be called from any number of threads
+/// concurrently with each other, provided the caller establishes a
+/// happens-before edge from the last mutation (the server's session
+/// registry does this with a per-session shared mutex: mutators under
+/// the exclusive lock, readers under the shared one). Peek never
+/// re-enters the solve path; it returns the answer the last epoch
+/// published.
 class IncrementalSession {
  public:
   /// Builds the family for `q` over `base` (the epoch-0 full build) and
   /// solves it once. The session owns its copy of the database.
   IncrementalSession(const Query& q, Database base, EngineOptions options = {});
 
-  // The witness index and component records hold pointers into the
+  // The witness index and component records hold indices into the
   // session's own structures.
   IncrementalSession(const IncrementalSession&) = delete;
   IncrementalSession& operator=(const IncrementalSession&) = delete;
@@ -133,48 +143,59 @@ class IncrementalSession {
 
   /// Applies the epoch's updates, maintains family and decomposition
   /// from delta witness streams, and re-answers only the touched
-  /// region. Returns (and remembers) the epoch's outcome.
+  /// region. Returns (and remembers) the epoch's outcome. When the
+  /// session was evicted (EvictColdState), the witness index is
+  /// rebuilt here first — lazily, so evicted sessions that are never
+  /// touched again never pay for it.
   EpochOutcome Apply(const Epoch& epoch);
 
+  /// Drops the rebuildable hot state — the WitnessIndex posting lists
+  /// and the refresh scratch — and returns the approximate bytes freed.
+  /// The family, the decomposition, and the published answer survive:
+  /// Peek() keeps answering, and the next Apply() rebuilds the index
+  /// from the database (a fresh index over the current rows enumerates
+  /// exactly what a synced one would — activity is checked at probe
+  /// time). A mutator under the thread contract: callers hold the same
+  /// exclusive lock Apply needs. Idempotent; returns 0 when already
+  /// evicted.
+  size_t EvictColdState();
+
+  /// False while evicted (between EvictColdState and the next Apply).
+  bool index_resident() const { return index_ != nullptr; }
+  /// Lifetime counts of EvictColdState() drops and lazy index rebuilds
+  /// — the per-session view of the mem.evictions / mem.rebuilds
+  /// counters.
+  uint64_t evictions() const { return evictions_; }
+  uint64_t rebuilds() const { return rebuilds_; }
+
   /// Approximate heap footprint of the session's maintained state —
-  /// the witness index's posting lists, the set-family (support map +
-  /// dense id space), and the component records — from container
-  /// geometry (obs/memstats.h). Walks the maps, so it is computed per
-  /// epoch behind the metrics gate, never per update.
+  /// the witness index's posting lists, the set-family (arena + flat
+  /// per-set state + dense id space), and the component records — from
+  /// container geometry (obs/memstats.h). O(live containers), computed
+  /// per epoch behind the metrics gate and per registry sweep, never
+  /// per update.
   obs::MemBreakdown ApproxMemory() const;
 
  private:
-  /// Per-set state in the support map: the witness support count, the
-  /// set in *dense element ids* (assigned grow-only when the set first
-  /// appears, so they are stable for the session's lifetime and the
-  /// component machinery never re-hashes TupleIds), and the set's
-  /// position in its component record (label -1 = pending, not yet
-  /// assigned to a component).
+  /// Per-set state, indexed by the set's arena SetId (dense,
+  /// first-appearance order, stable for the session's lifetime). The
+  /// set's elements live in the arena span; `dense_pool_` mirrors the
+  /// arena pool with the elements' dense ids, so the dense form needs
+  /// no storage here. `label`/`label_slot` place the set in its
+  /// component record (label -1 = pending or dead).
   struct SetState {
     int64_t count = 0;
-    std::vector<int> dense;
     int label = -1;
     int label_slot = -1;
   };
 
-  struct TupleVecHash {
-    size_t operator()(const std::vector<TupleId>& v) const {
-      Fnv1a h;
-      for (TupleId t : v) {
-        h.MixU32(static_cast<uint32_t>(t.relation));
-        h.MixU32(static_cast<uint32_t>(t.row));
-      }
-      return static_cast<size_t>(h.digest());
-    }
-  };
-
-  /// One live component: its member sets (nullptr tombstones keep
+  /// One live component: its member SetIds (-1 tombstones keep
   /// label_slots stable; the record is dissolved and rebuilt whenever a
   /// member set is added or removed), a feasible minimum-or-upper-bound
   /// `size` with its solution, and the proven lower bound (`size` when
   /// `proven`).
   struct Component {
-    std::vector<const SetState*> sets;
+    std::vector<int32_t> sets;
     int size = 0;
     int lower = 0;
     bool proven = true;
@@ -184,8 +205,19 @@ class IncrementalSession {
   /// Interns a tuple into the dense id space.
   int DenseId(TupleId t);
 
-  /// Shifts one witness's set support by `sign`, maintaining the dense
-  /// form, the affected-region lists, and the component tombstones.
+  /// The dense-element form of set `id`: the arena span's offsets into
+  /// dense_pool_.
+  const int* DenseBegin(int32_t id) const {
+    return dense_pool_.data() + family_arena_.span(static_cast<uint32_t>(id))
+                                    .offset;
+  }
+  uint32_t SetLen(int32_t id) const {
+    return family_arena_.span(static_cast<uint32_t>(id)).len;
+  }
+
+  /// Shifts one witness's set support by `sign`, maintaining the arena
+  /// interning, the affected-region lists, and the component
+  /// tombstones.
   void TouchSet(const std::vector<TupleId>& endo_tuples, int64_t sign);
 
   /// Streams witnesses incident to `changed` and shifts their sets'
@@ -205,11 +237,21 @@ class IncrementalSession {
   Query q_;
   Database db_;
   EngineOptions options_;
+  /// Null while evicted; rebuilt lazily at the top of Apply.
   std::unique_ptr<WitnessIndex> index_;
 
-  /// Witness support per endogenous tuple-set. Keys with support 0 are
-  /// erased eagerly; the empty key counts unbreakable witnesses.
-  std::unordered_map<std::vector<TupleId>, SetState, TupleVecHash> support_;
+  /// The set-family: every distinct endogenous tuple-set interned once,
+  /// SetId = dense first-appearance index. Sets are never physically
+  /// removed (their spans are immutable arena runs); a set with
+  /// count 0 is simply dead and revives in place if churn brings its
+  /// witnesses back. `live_sets_` counts the non-empty sets with
+  /// support > 0; `empty_set_id_` is the interned empty set (its count
+  /// is the number of unbreakable witnesses), -1 until one is seen.
+  SpanArena<TupleId> family_arena_;
+  std::vector<int> dense_pool_;  // arena pool mirrored in dense ids
+  std::vector<SetState> set_states_;  // indexed by SetId
+  int64_t live_sets_ = 0;
+  int32_t empty_set_id_ = -1;
 
   /// Grow-only dense id space over every endogenous tuple ever seen in
   /// a set; ids of deleted tuples go stale harmlessly.
@@ -233,13 +275,14 @@ class IncrementalSession {
 
   // Epoch-scoped affected region, collected by TouchSet: labels of
   // components that lost or gained... (gained = via fresh sets whose
-  // elements carry these labels), and the fresh sets themselves.
+  // elements carry these labels), and the fresh SetIds themselves
+  // (-1 = died again within the epoch).
   std::vector<int> affected_labels_;
-  std::vector<SetState*> fresh_sets_;
+  std::vector<int32_t> fresh_sets_;
 
   // Scratch reused across refreshes (slots are reset after each use, so
-  // the arrays stay clean between epochs and only grow with the
-  // universe).
+  // the array stays clean between epochs and only grows with the
+  // universe). Dropped by EvictColdState, re-grown on demand.
   std::vector<int> global_to_local_;
 
   // Lazily created when solver_threads > 1 and an epoch leaves more
@@ -248,6 +291,9 @@ class IncrementalSession {
 
   bool poisoned_ = false;  // witness budget tripped; family incomplete
   std::string poison_error_;
+
+  uint64_t evictions_ = 0;
+  uint64_t rebuilds_ = 0;
 
   int epoch_count_ = 0;
   EpochOutcome last_;

@@ -197,6 +197,19 @@ ProtocolResult ProtocolHandler::Handle(std::string_view line) {
         Err("bad-request", "unknown verb '" + std::string(verb) + "'");
   }
   obs::ObserveLatencyMs("server.request_ms", MsSince(start));
+
+  // Eviction bookkeeping after the request ran: the touched session is
+  // stamped *first*, so a sweep triggered by this very request never
+  // counts it as idle. With both knobs at their zero defaults (every
+  // golden/byte-reproducible script) this is two atomic loads and out.
+  if (limits_->evict_idle_ms > 0 || limits_->max_resident_bytes > 0) {
+    int64_t now_ms = SteadyNowMs();
+    if (current_ != nullptr) {
+      current_->last_touch_ms.store(now_ms, std::memory_order_relaxed);
+    }
+    registry_->EvictColdSessions(now_ms, limits_->evict_idle_ms,
+                                 limits_->max_resident_bytes);
+  }
   return result;
 }
 
@@ -352,6 +365,8 @@ std::string ProtocolHandler::DoBegin(std::string_view args) {
       entry->query, std::move(entry->staging), options);
   entry->staging = Database();
   const EpochOutcome& outcome = entry->session->Peek();
+  entry->resident_bytes.store(entry->session->ApproxMemory().TotalBytes(),
+                              std::memory_order_relaxed);
   if (entry->session->poisoned()) {
     return Err("budget", outcome.error);
   }
@@ -421,6 +436,8 @@ std::string ProtocolHandler::DoEpoch() {
     return Err("parse", error);
   }
   EpochOutcome outcome = entry->session->Apply(epoch);
+  entry->resident_bytes.store(entry->session->ApproxMemory().TotalBytes(),
+                              std::memory_order_relaxed);
   if (entry->session->poisoned()) {
     return Err("budget", outcome.error);
   }
@@ -502,14 +519,20 @@ std::string ProtocolHandler::DoStats() {
                      pending_.size());
   }
   const EpochOutcome& o = entry->session->Peek();
+  // Raw byte counts stay in the mem.* gauges (they vary across
+  // platforms); the stats line carries only the deterministic eviction
+  // state so golden transcripts keep pinning every byte.
   return StrFormat(
       "ok stats session=%s state=live epoch=%d tuples=%d sets=%zu "
       "resilience=%d lower=%d upper=%d unbreakable=%d pending=%zu "
-      "poisoned=%d\n",
+      "poisoned=%d index=%s evictions=%llu rebuilds=%llu\n",
       entry->name.c_str(), o.epoch, entry->session->db().NumActiveTuples(),
       o.family_sets, o.resilience, o.lower_bound, o.upper_bound,
       o.unbreakable ? 1 : 0, pending_.size(),
-      entry->session->poisoned() ? 1 : 0);
+      entry->session->poisoned() ? 1 : 0,
+      entry->session->index_resident() ? "resident" : "evicted",
+      static_cast<unsigned long long>(entry->session->evictions()),
+      static_cast<unsigned long long>(entry->session->rebuilds()));
 }
 
 std::string ProtocolHandler::DoSessions() {

@@ -57,6 +57,15 @@ struct ServerLimits {
   uint64_t max_node_budget = 0;
   /// EngineOptions::solver_threads for every session's epoch fan-out.
   int solver_threads = 1;
+  /// Cold-state eviction (0 = disabled): when the estimated resident
+  /// bytes across all live sessions exceed `max_resident_bytes`, the
+  /// coldest sessions (oldest last touch first) drop their WitnessIndex
+  /// and refresh scratch until back under the cap; any session idle
+  /// longer than `evict_idle_ms` is evicted regardless of the cap. An
+  /// evicted session still answers reads from its maintained state and
+  /// rebuilds the index lazily on its next epoch.
+  uint64_t max_resident_bytes = 0;
+  int64_t evict_idle_ms = 0;
   /// Gate the `load` (server-side file read) and `shutdown` verbs.
   bool allow_load = true;
   bool allow_shutdown = true;

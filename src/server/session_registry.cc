@@ -1,8 +1,15 @@
 #include "server/session_registry.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace rescq {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 namespace {
 
@@ -77,6 +84,61 @@ size_t SessionRegistry::size() const {
 std::vector<std::shared_ptr<SessionEntry>> SessionRegistry::List() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_;
+}
+
+namespace {
+
+/// Drops one session's cold state if it is (still) evictable. The
+/// try_lock doubles as the hotness test: a session mid-request holds
+/// its own lock, and a busy session is not cold.
+bool TryEvictEntry(const std::shared_ptr<SessionEntry>& e) {
+  std::unique_lock<std::shared_mutex> lock(e->mu, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  if (e->closed || !e->live() || !e->session->index_resident()) return false;
+  e->session->EvictColdState();
+  e->resident_bytes.store(e->session->ApproxMemory().TotalBytes(),
+                          std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace
+
+size_t SessionRegistry::EvictColdSessions(int64_t now_ms, int64_t idle_ms,
+                                          uint64_t max_resident_bytes) {
+  std::vector<std::shared_ptr<SessionEntry>> snapshot = List();
+  size_t evicted = 0;
+
+  // Pass 1: idle eviction, regardless of the byte cap.
+  if (idle_ms > 0) {
+    for (const auto& e : snapshot) {
+      int64_t touched = e->last_touch_ms.load(std::memory_order_relaxed);
+      if (now_ms - touched < idle_ms) continue;
+      if (TryEvictEntry(e)) ++evicted;
+    }
+  }
+
+  // Pass 2: byte cap — evict coldest-first until back under.
+  if (max_resident_bytes > 0) {
+    std::stable_sort(snapshot.begin(), snapshot.end(),
+                     [](const std::shared_ptr<SessionEntry>& a,
+                        const std::shared_ptr<SessionEntry>& b) {
+                       return a->last_touch_ms.load(std::memory_order_relaxed) <
+                              b->last_touch_ms.load(std::memory_order_relaxed);
+                     });
+    uint64_t resident = 0;
+    for (const auto& e : snapshot)
+      resident += e->resident_bytes.load(std::memory_order_relaxed);
+    for (const auto& e : snapshot) {
+      if (resident <= max_resident_bytes) break;
+      uint64_t before = e->resident_bytes.load(std::memory_order_relaxed);
+      if (!TryEvictEntry(e)) continue;
+      ++evicted;
+      uint64_t after = e->resident_bytes.load(std::memory_order_relaxed);
+      resident -= before > after ? before - after : 0;
+    }
+  }
+
+  return evicted;
 }
 
 }  // namespace rescq

@@ -1,6 +1,7 @@
 #ifndef RESCQ_SERVER_SESSION_REGISTRY_H_
 #define RESCQ_SERVER_SESSION_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -44,8 +45,20 @@ struct SessionEntry {
   std::unique_ptr<IncrementalSession> session;  // null while staging
   bool closed = false;  // a handle may outlive its registry slot
 
+  // Eviction bookkeeping, written without holding mu (atomics): the
+  // handler stamps last_touch_ms after every request on the session,
+  // and refreshes resident_bytes whenever a mutation changes the
+  // session's footprint. Both are advisory — the sweep re-checks the
+  // real state under the entry lock before evicting.
+  std::atomic<int64_t> last_touch_ms{0};
+  std::atomic<uint64_t> resident_bytes{0};
+
   bool live() const { return session != nullptr; }
 };
+
+/// Monotonic milliseconds for idle accounting (steady_clock, so wall
+/// clock adjustments cannot make a hot session look idle).
+int64_t SteadyNowMs();
 
 /// Thread-safe name -> session map. Entries are handed out as
 /// shared_ptr so a connection can keep using a handle it resolved even
@@ -78,6 +91,20 @@ class SessionRegistry {
 
   /// Snapshot of every open entry, name order (for the `sessions` verb).
   std::vector<std::shared_ptr<SessionEntry>> List() const;
+
+  /// One eviction sweep; returns how many sessions dropped cold state.
+  /// Two passes over a registry snapshot: every live session idle
+  /// longer than `idle_ms` (0 = no idle eviction) is evicted, then —
+  /// while the summed resident_bytes still exceed `max_resident_bytes`
+  /// (0 = uncapped) — the remaining sessions are evicted coldest-first
+  /// (oldest last_touch_ms). Each candidate is taken with a try_lock:
+  /// a session busy serving a request is by definition hot and is
+  /// skipped rather than waited for. Eviction drops the session's
+  /// WitnessIndex and scratch (IncrementalSession::EvictColdState);
+  /// the maintained answer survives and the index rebuilds lazily on
+  /// the next epoch.
+  size_t EvictColdSessions(int64_t now_ms, int64_t idle_ms,
+                           uint64_t max_resident_bytes);
 
  private:
   const size_t max_sessions_;

@@ -1,0 +1,56 @@
+#ifndef RESCQ_UTIL_FUNCTION_REF_H_
+#define RESCQ_UTIL_FUNCTION_REF_H_
+
+// Non-owning, non-allocating callable reference — the hot-loop
+// replacement for std::function in the witness visitors. A FunctionRef
+// is two words (object pointer + thunk) built implicitly from any
+// callable, so ForEachWitness / ForEachDelta call sites keep passing
+// lambdas unchanged while per-enumeration std::function allocations
+// disappear. Like a reference, it does not extend the callable's
+// lifetime: store one only while the referenced callable is alive
+// (every use in this repo passes it down a call stack).
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace rescq {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Null reference; calling it is undefined. Exists so owners can hold
+  /// a slot that is assigned before use (the enumerator scratch does).
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // call sites pass lambdas where a visitor is expected.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_UTIL_FUNCTION_REF_H_

@@ -1,0 +1,14 @@
+#include "util/span_arena.h"
+
+#include "db/value.h"
+
+namespace rescq {
+
+// Explicit instantiations for the two element types the repo stores in
+// arenas — dense solver ids and tuple ids — so a template regression
+// (padding, a type losing trivial copyability) fails this translation
+// unit instead of whichever consumer includes the header next.
+template class SpanArena<int32_t>;
+template class SpanArena<TupleId>;
+
+}  // namespace rescq

@@ -1,0 +1,154 @@
+#ifndef RESCQ_UTIL_SPAN_ARENA_H_
+#define RESCQ_UTIL_SPAN_ARENA_H_
+
+// Arena-backed set storage: every set lives as one contiguous run inside
+// a single bump-allocated pool, addressed by a {offset, len} handle
+// instead of an owning std::vector. This is the data model of the
+// serving hot path (witness families, solver input, the incremental
+// support family): one allocation amortized over every set, cache-local
+// iteration, and content-hash interning so duplicate sets collapse to
+// one handle without ever materializing a key vector. Eviction and the
+// memory gauges read the arena geometry directly — reserved (capacity
+// high-water) vs live (appended) bytes — so accounting is O(1).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace rescq {
+
+/// Handle to one contiguous run inside a span arena's pool. Plain
+/// offsets, not pointers, so handles survive pool reallocation.
+struct SetSpan {
+  uint32_t offset = 0;
+  uint32_t len = 0;
+};
+
+/// Bump arena of T with content-hash interning. Append() places a run
+/// and returns its handle; Intern() deduplicates — equal contents map to
+/// the same span id, assigned densely in first-appearance order. The
+/// pool only grows (spans are immutable once placed); owners that need
+/// to shed a cold arena drop the whole object and rebuild.
+///
+/// T must be trivially copyable with unique object representations
+/// (no padding): contents are hashed and compared as raw bytes.
+template <typename T>
+class SpanArena {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpanArena hashes elements as raw bytes");
+  static_assert(std::has_unique_object_representations_v<T>,
+                "SpanArena compares elements as raw bytes; padding would "
+                "make equal values compare unequal");
+
+ public:
+  static constexpr uint32_t kNoSpan = ~uint32_t{0};
+
+  /// Appends a run without interning and returns its handle.
+  SetSpan Append(const T* data, size_t n) {
+    SetSpan span{static_cast<uint32_t>(pool_.size()),
+                 static_cast<uint32_t>(n)};
+    pool_.insert(pool_.end(), data, data + n);
+    return span;
+  }
+
+  /// Returns the id of the span with exactly these contents, appending a
+  /// new one when absent. Ids are dense: 0, 1, 2, ... in first-appearance
+  /// order.
+  uint32_t Intern(const T* data, size_t n) {
+    if (spans_.size() + 1 > (table_.size() * 7) / 10) Rehash();
+    const uint64_t hash = HashBytes(data, n);
+    size_t slot = static_cast<size_t>(hash) & (table_.size() - 1);
+    for (;;) {
+      uint32_t id = table_[slot];
+      if (id == kNoSpan) break;
+      if (Equals(id, data, n)) return id;
+      slot = (slot + 1) & (table_.size() - 1);
+    }
+    const uint32_t id = static_cast<uint32_t>(spans_.size());
+    spans_.push_back(Append(data, n));
+    table_[slot] = id;
+    return id;
+  }
+
+  /// Id lookup without insertion; kNoSpan when absent.
+  uint32_t Find(const T* data, size_t n) const {
+    if (table_.empty()) return kNoSpan;
+    const uint64_t hash = HashBytes(data, n);
+    size_t slot = static_cast<size_t>(hash) & (table_.size() - 1);
+    for (;;) {
+      uint32_t id = table_[slot];
+      if (id == kNoSpan) return kNoSpan;
+      if (Equals(id, data, n)) return id;
+      slot = (slot + 1) & (table_.size() - 1);
+    }
+  }
+
+  size_t num_spans() const { return spans_.size(); }
+  SetSpan span(uint32_t id) const { return spans_[id]; }
+  const T* data(SetSpan s) const { return pool_.data() + s.offset; }
+  const T* begin(uint32_t id) const { return data(spans_[id]); }
+  const T* end(uint32_t id) const {
+    return data(spans_[id]) + spans_[id].len;
+  }
+
+  /// Elements appended so far (live) and the pool's high-water mark
+  /// (reserved) — the two numbers the mem.* arena gauges report.
+  size_t pool_size() const { return pool_.size(); }
+  size_t pool_capacity() const { return pool_.capacity(); }
+  uint64_t LiveBytes() const {
+    return static_cast<uint64_t>(pool_.size()) * sizeof(T);
+  }
+  uint64_t ReservedBytes() const {
+    return static_cast<uint64_t>(pool_.capacity()) * sizeof(T);
+  }
+
+  /// Total heap geometry: pool + span table + intern table. O(1).
+  uint64_t ApproxBytes() const {
+    return ReservedBytes() +
+           static_cast<uint64_t>(spans_.capacity()) * sizeof(SetSpan) +
+           static_cast<uint64_t>(table_.capacity()) * sizeof(uint32_t);
+  }
+
+ private:
+  static uint64_t HashBytes(const T* data, size_t n) {
+    // FNV-1a over the raw bytes — same algorithm as util/fnv.h, inlined
+    // here so the header stays dependency-free.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n * sizeof(T); ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  bool Equals(uint32_t id, const T* data, size_t n) const {
+    const SetSpan s = spans_[id];
+    return s.len == n &&
+           (n == 0 ||
+            std::memcmp(pool_.data() + s.offset, data, n * sizeof(T)) == 0);
+  }
+
+  void Rehash() {
+    size_t buckets = table_.empty() ? 64 : table_.size() * 2;
+    table_.assign(buckets, kNoSpan);
+    for (uint32_t id = 0; id < spans_.size(); ++id) {
+      const SetSpan s = spans_[id];
+      size_t slot = static_cast<size_t>(
+                        HashBytes(pool_.data() + s.offset, s.len)) &
+                    (buckets - 1);
+      while (table_[slot] != kNoSpan) slot = (slot + 1) & (buckets - 1);
+      table_[slot] = id;
+    }
+  }
+
+  std::vector<T> pool_;
+  std::vector<SetSpan> spans_;    // per interned id, appearance order
+  std::vector<uint32_t> table_;   // open-addressing content-hash table
+};
+
+}  // namespace rescq
+
+#endif  // RESCQ_UTIL_SPAN_ARENA_H_

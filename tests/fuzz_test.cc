@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "complexity/catalog.h"
 #include "complexity/classifier.h"
@@ -196,7 +197,7 @@ TEST(Fuzz, CatalogWideExactDifferentialSweep) {
       }
       std::map<TupleId, int> ids;
       std::vector<std::vector<int>> sets;
-      for (const std::vector<TupleId>& w : family.sets) {
+      for (const std::vector<TupleId>& w : family.Materialize()) {
         std::vector<int> s;
         for (TupleId t : w) {
           auto [it, inserted] = ids.emplace(t, static_cast<int>(ids.size()));
@@ -214,6 +215,80 @@ TEST(Fuzz, CatalogWideExactDifferentialSweep) {
           << entry.name << " via " << SolverKindName(fast.solver);
       ASSERT_TRUE(VerifyContingency(q, db, fast.contingency)) << entry.name;
     }
+  }
+}
+
+TEST(Fuzz, SpanFamilyMatchesLegacyEnumerationAcrossTheCatalog) {
+  // The arena-backed WitnessFamily must present exactly the element
+  // sequences the legacy vector-of-vectors surface produced, for every
+  // named query of the paper: WitnessTupleSets is the legacy reference
+  // (own enumeration + dedup), Materialize() bridges the spans back.
+  for (const CatalogEntry& entry : PaperCatalog()) {
+    Query q = MustParseQuery(entry.text);
+    uint64_t seed_base = std::hash<std::string>()(entry.name);
+    for (int trial = 0; trial < 2; ++trial) {
+      ScenarioParams params;
+      params.size = 4 + trial;
+      params.density = 0.5;
+      params.seed = seed_base + 77 + static_cast<uint64_t>(trial);
+      Database db = GenerateUniform(q, params);
+      WitnessFamily family = CollectWitnessFamily(q, db, kNoWitnessLimit);
+      ASSERT_EQ(family.Materialize(), WitnessTupleSets(q, db))
+          << entry.name << " trial " << trial;
+      // The spans really are interned: every presented set resolves to
+      // an arena id, and distinct presented sets resolve to distinct
+      // ids (dedup happened in the arena, not by the surface sort).
+      ASSERT_EQ(family.arena.num_spans(), family.size()) << entry.name;
+      std::set<uint32_t> arena_ids;
+      for (size_t i = 0; i < family.size(); ++i) {
+        std::vector<TupleId> content = family.set(i);
+        uint32_t id = family.arena.Find(content.data(), content.size());
+        ASSERT_LT(id, family.arena.num_spans()) << entry.name;
+        arena_ids.insert(id);
+      }
+      EXPECT_EQ(arena_ids.size(), family.size()) << entry.name;
+    }
+  }
+}
+
+TEST(Fuzz, SpanAndVectorSolverAreIdenticalDownToTheCounters) {
+  // The vector SolveMinHittingSet overload is a thin wrapper over the
+  // span-native core; this sweep pins that they stay one algorithm —
+  // same answer, same chosen set, same node/prune counters — on random
+  // multi-set instances including duplicates and supersets.
+  Rng rng(0x5BA2F00D);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::vector<int>> sets;
+    int family = 4 + static_cast<int>(rng.Below(10));
+    int num_elements = 0;
+    for (int s = 0; s < family; ++s) {
+      std::vector<int> set;
+      int arity = 1 + static_cast<int>(rng.Below(4));
+      for (int k = 0; k < arity; ++k) {
+        int e = static_cast<int>(rng.Below(12));
+        set.push_back(e);
+        num_elements = std::max(num_elements, e + 1);
+      }
+      sets.push_back(set);
+      if (rng.Chance(1, 5)) sets.push_back(sets.back());  // duplicate
+    }
+    ExactOptions options;
+    ExactStats vec_stats, span_stats;
+    HittingSetResult vec = SolveMinHittingSet(sets, options, &vec_stats);
+    ASSERT_EQ(vec.size, ReferenceHittingSet(sets, num_elements))
+        << "round " << round;
+    HittingSetResult spn =
+        SolveMinHittingSet(HittingSetFamily::From(sets), options, &span_stats);
+    ASSERT_EQ(spn.size, vec.size) << "round " << round;
+    ASSERT_EQ(spn.chosen, vec.chosen) << "round " << round;
+    ASSERT_EQ(spn.proven_optimal, vec.proven_optimal) << "round " << round;
+    ASSERT_EQ(span_stats.nodes, vec_stats.nodes) << "round " << round;
+    ASSERT_EQ(span_stats.components, vec_stats.components)
+        << "round " << round;
+    ASSERT_EQ(span_stats.packing_prunes, vec_stats.packing_prunes)
+        << "round " << round;
+    ASSERT_EQ(span_stats.flow_prunes, vec_stats.flow_prunes)
+        << "round " << round;
   }
 }
 

@@ -480,6 +480,73 @@ TEST(IncrementalSession, NodeBudgetYieldsAVerifiedUpperBound) {
   EXPECT_TRUE(VerifyContingency(q, copy, out.contingency));
 }
 
+TEST(IncrementalSession, EvictThenTouchMatchesANeverEvictedTwin) {
+  // Cold-state eviction drops only rebuildable state (the WitnessIndex
+  // and refresh scratch); every answer after the lazy rebuild must be
+  // what a never-evicted twin computes on the same epoch stream.
+  ScenarioParams params;
+  params.size = 12;
+  params.seed = 17;
+  Database db = GenerateErdosRenyiVC(params);
+  Query q = MustParseQuery("R(x), S(x,y), R(y)");
+  IncrementalSession evicted(q, db, EngineOptions{});
+  IncrementalSession twin(q, db, EngineOptions{});
+  ChurnParams churn;
+  churn.epochs = 8;
+  churn.rate = 0.15;
+  churn.seed = 23;
+  UpdateLog log = GenerateChurn(db, "mixed", churn);
+
+  EXPECT_TRUE(evicted.index_resident());
+  int epoch_index = 0;
+  for (const Epoch& epoch : log.epochs) {
+    if (epoch_index % 2 == 0) {
+      size_t freed = evicted.EvictColdState();
+      EXPECT_GT(freed, 0u) << "epoch " << epoch_index;
+      EXPECT_FALSE(evicted.index_resident());
+      EXPECT_EQ(evicted.EvictColdState(), 0u);  // idempotent
+      EXPECT_EQ(evicted.ApproxMemory().index_bytes, 0u);
+      // Reads keep working from the maintained state while evicted.
+      EXPECT_EQ(evicted.Peek().resilience, twin.Peek().resilience);
+    }
+    EpochOutcome a = evicted.Apply(epoch);
+    EpochOutcome b = twin.Apply(epoch);
+    EXPECT_TRUE(evicted.index_resident());  // lazily rebuilt
+    EXPECT_EQ(a.resilience, b.resilience) << "epoch " << epoch_index;
+    EXPECT_EQ(a.unbreakable, b.unbreakable) << "epoch " << epoch_index;
+    EXPECT_EQ(a.lower_bound, b.lower_bound) << "epoch " << epoch_index;
+    EXPECT_EQ(a.upper_bound, b.upper_bound) << "epoch " << epoch_index;
+    EXPECT_EQ(a.family_sets, b.family_sets) << "epoch " << epoch_index;
+    EXPECT_EQ(a.contingency, b.contingency) << "epoch " << epoch_index;
+    ExpectMatchesScratch(evicted, a, "evicted epoch");
+    ++epoch_index;
+  }
+  EXPECT_EQ(evicted.evictions(), 4u);
+  EXPECT_EQ(evicted.rebuilds(), 4u);
+  EXPECT_EQ(twin.evictions(), 0u);
+  EXPECT_EQ(twin.rebuilds(), 0u);
+}
+
+TEST(IncrementalSession, EvictionOnAPoisonedSessionStaysPoisoned) {
+  ScenarioParams params;
+  params.size = 10;
+  params.seed = 2;
+  Database db = GenerateErdosRenyiVC(params);
+  Query q = MustParseQuery("R(x), S(x,y), R(y)");
+  EngineOptions options;
+  options.witness_limit = 3;
+  IncrementalSession session(q, db, options);
+  ASSERT_TRUE(session.poisoned());
+  session.EvictColdState();
+  EXPECT_FALSE(session.index_resident());
+  // A poisoned session never rebuilds: Apply keeps refusing with the
+  // structured budget error and the index stays down.
+  EpochOutcome out = session.Apply(OneUpdate(UpdateKind::kInsert, "R", {"zz"}));
+  EXPECT_TRUE(out.budget_exceeded);
+  EXPECT_FALSE(session.index_resident());
+  EXPECT_EQ(session.rebuilds(), 0u);
+}
+
 // --- churn generators -------------------------------------------------------
 
 TEST(Churn, DeterministicAndRegistered) {

@@ -201,6 +201,63 @@ TEST_F(ProtocolTest, WitnessBudgetTripPoisonsTheSession) {
   EXPECT_NE(stats.find("poisoned=1"), std::string::npos) << stats;
 }
 
+TEST_F(ProtocolTest, EvictedSessionAnswersAfterLazyRebuild) {
+  EXPECT_EQ(Req("open s1 R(x,y)"), "ok open s1 staging\n");
+  EXPECT_EQ(Req("push R(a, b)"), "ok push 1\n");
+  EXPECT_EQ(Req("push R(c, d)"), "ok push 2\n");
+  ASSERT_TRUE(StartsWithStr(Req("begin"), "ok begin "));
+  EXPECT_EQ(Req("resilience"), "ok resilience 2\n");
+
+  // Force an idle sweep far in the future of any touch stamp: the
+  // session drops its index but keeps serving reads from the
+  // maintained answer.
+  EXPECT_EQ(registry_.EvictColdSessions(SteadyNowMs() + 1000000, 1, 0), 1u);
+  std::string stats = Req("stats");
+  EXPECT_NE(stats.find("index=evicted evictions=1 rebuilds=0"),
+            std::string::npos)
+      << stats;
+  EXPECT_EQ(Req("resilience"), "ok resilience 2\n");
+
+  // The next epoch rebuilds lazily and answers exactly what a
+  // never-evicted session would.
+  EXPECT_EQ(Req("- R(a, b)"), "ok queued 1\n");
+  std::string epoch = Req("epoch");
+  ASSERT_TRUE(StartsWithStr(epoch, "ok epoch ")) << epoch;
+  EXPECT_NE(epoch.find("resilience=1"), std::string::npos) << epoch;
+  EXPECT_EQ(Req("resilience"), "ok resilience 1\n");
+  stats = Req("stats");
+  EXPECT_NE(stats.find("index=resident evictions=1 rebuilds=1"),
+            std::string::npos)
+      << stats;
+
+  // A sweep under a generous byte cap with no idle limit is a no-op.
+  EXPECT_EQ(registry_.EvictColdSessions(SteadyNowMs(), 0, 1u << 30), 0u);
+}
+
+TEST_F(ProtocolTest, ResidentByteCapEvictsThroughTheHandler) {
+  limits_.max_resident_bytes = 1;  // every live session is over the cap
+  EXPECT_EQ(Req("open s1 R(x,y)"), "ok open s1 staging\n");
+  EXPECT_EQ(Req("push R(a, b)"), "ok push 1\n");
+  EXPECT_EQ(Req("push R(c, d)"), "ok push 2\n");
+  ASSERT_TRUE(StartsWithStr(Req("begin"), "ok begin "));
+  // The post-request sweep already ran: the just-begun session was over
+  // the 1-byte cap and lost its index, yet still answers.
+  std::string stats = Req("stats");
+  EXPECT_NE(stats.find("index=evicted evictions=1 rebuilds=0"),
+            std::string::npos)
+      << stats;
+  EXPECT_EQ(Req("resilience"), "ok resilience 2\n");
+  EXPECT_EQ(Req("- R(a, b)"), "ok queued 1\n");
+  std::string epoch = Req("epoch");
+  ASSERT_TRUE(StartsWithStr(epoch, "ok epoch ")) << epoch;
+  EXPECT_NE(epoch.find("resilience=1"), std::string::npos) << epoch;
+  EXPECT_EQ(Req("resilience"), "ok resilience 1\n");
+  stats = Req("stats");
+  EXPECT_NE(stats.find("index=evicted evictions=2 rebuilds=1"),
+            std::string::npos)
+      << stats;
+}
+
 TEST_F(ProtocolTest, ClassifyInlineAndUnbreakable) {
   EXPECT_TRUE(StartsWithStr(Req("classify R(x,y), R(y,z), R(z,x)"),
                             "ok classify NP-complete "));

@@ -14,6 +14,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -106,6 +107,72 @@ TEST(SessionRegistryHammerTest, ConcurrentOpenCloseEpochQuery) {
   for (std::thread& t : threads) t.join();
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(violations[t], 0) << t;
   // Whatever survived is consistent: every listed session is findable.
+  for (const std::shared_ptr<SessionEntry>& e : registry.List()) {
+    EXPECT_EQ(registry.Find(e->name), e);
+  }
+}
+
+// Eviction under concurrent readers: handler threads hammer live
+// sessions with epoch applies and resilience/stats reads while a
+// dedicated evictor thread sweeps the registry nonstop with an
+// always-idle deadline. Every reply must stay structured and every
+// served resilience must be self-consistent across the rebuilds (the
+// TSan preset runs this via the `parallel` label).
+TEST(SessionRegistryHammerTest, EvictionRacesReadersAndEpochApplies) {
+  SessionRegistry registry;
+  ResilienceEngine engine;
+  ServerLimits limits;
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 30;
+
+  std::atomic<bool> stop{false};
+  std::thread evictor([&] {
+    while (!stop.load()) {
+      registry.EvictColdSessions(SteadyNowMs() + 1000000, /*idle_ms=*/1,
+                                 /*max_resident_bytes=*/1);
+    }
+  });
+
+  std::vector<std::thread> threads;
+  std::vector<int> violations(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ProtocolHandler handler(&registry, &engine, &limits);
+      auto req = [&](const std::string& line) {
+        std::string r = handler.Handle(line).response;
+        if (r.rfind("ok ", 0) != 0 && r.rfind("err ", 0) != 0) {
+          ++violations[t];
+        }
+        return r;
+      };
+      for (int round = 0; round < kRounds; ++round) {
+        std::string name = "s" + std::to_string((t + round) % 3);
+        req("open " + name + " R(x,y), S(y)");
+        req("use " + name);
+        req("push R(a" + std::to_string(round) + ", b)");
+        req("push S(b)");
+        req("begin");
+        req("+ R(c" + std::to_string(round) + ", b)");
+        req("epoch");
+        // An evicted session must still answer reads; a live session's
+        // resilience and stats must agree with each other.
+        std::string res = req("resilience");
+        std::string stats = req("stats");
+        if (res.rfind("ok resilience ", 0) == 0 &&
+            stats.rfind("ok stats ", 0) == 0 &&
+            stats.find(" state=live ") != std::string::npos) {
+          // Both reads raced other writers, so values may differ between
+          // them — but each line alone must be well-formed.
+          if (stats.find(" index=") == std::string::npos) ++violations[t];
+        }
+        if (round % 3 == 0) req("close " + name);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true);
+  evictor.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(violations[t], 0) << t;
   for (const std::shared_ptr<SessionEntry>& e : registry.List()) {
     EXPECT_EQ(registry.Find(e->name), e);
   }

@@ -191,10 +191,10 @@ TEST(WitnessStreaming, FamilyCollectionDeduplicatesOnTheFly) {
   WitnessFamily family = CollectWitnessFamily(q, db, kNoWitnessLimit);
   EXPECT_EQ(family.witnesses, 2u);
   ASSERT_EQ(family.sets.size(), 1u);
-  EXPECT_EQ(family.sets[0].size(), 1u);
+  EXPECT_EQ(family.sets[0].len, 1u);
   EXPECT_EQ(
       WitnessTupleSets(q, db),
-      family.sets);
+      family.Materialize());
 }
 
 TEST(WitnessScale, LargeChainInstanceEnumerates) {

@@ -137,6 +137,7 @@ int Usage(std::FILE* out) {
                "[--max-witness-limit N]\n"
                "              [--default-node-budget N] "
                "[--max-node-budget N]\n"
+               "              [--max-resident-mb N] [--evict-idle-ms N]\n"
                "              [--no-load] [--no-shutdown] "
                "[--metrics-json <file>]\n"
                "      Run the resilience daemon: named incremental sessions "
@@ -978,6 +979,14 @@ int CmdServe(const std::vector<std::string>& args) {
       if (!(v = value("--max-node-budget")) ||
           !ParseSeedFlag(a, *v, &options.limits.max_node_budget))
         return 2;
+    } else if (a == "--max-resident-mb") {
+      if (!(v = value("--max-resident-mb")) || !ParseSeedFlag(a, *v, &u))
+        return 2;
+      options.limits.max_resident_bytes = u * 1024 * 1024;
+    } else if (a == "--evict-idle-ms") {
+      if (!(v = value("--evict-idle-ms")) || !ParseSeedFlag(a, *v, &u))
+        return 2;
+      options.limits.evict_idle_ms = static_cast<int64_t>(u);
     } else if (a == "--no-load") {
       options.limits.allow_load = false;
     } else if (a == "--no-shutdown") {
