@@ -1,0 +1,248 @@
+// E-shard: throughput of the consistent-hash router vs shard count. The
+// artifact table runs an in-process `rescq route` over 1, 2, and 4
+// in-process `rescq serve` shards and drives the router port with the
+// loadgen harness — concurrent sessions doing the open -> churn ->
+// query loop — reporting sustained requests/sec and p50/p99 request
+// latency per fleet size. Set RESCQ_BENCH_SNAPSHOT=<path> to also write
+// the machine-readable JSON snapshot (BENCH_shard.json in the repo root
+// is a checked-in run; host.cores says how many cores it was taken on).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "server/loadgen.h"
+#include "server/router.h"
+#include "server/server.h"
+#include "util/parallel.h"
+
+namespace rescq {
+namespace {
+
+const size_t kShardCounts[] = {1, 2, 4};
+
+struct ShardRow {
+  size_t shards = 0;
+  int connections = 0;
+  uint64_t requests = 0;
+  double requests_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double epoch_p50_ms = 0;
+  double epoch_p99_ms = 0;
+  bool clean = true;  // no err replies, no transport errors
+};
+
+std::vector<ShardRow> g_rows;
+
+LoadgenOptions BaseLoadgen() {
+  LoadgenOptions options;
+  options.host = "127.0.0.1";
+  options.connections = 8;
+  options.scenario = "vc_er";
+  options.size = 10;
+  options.churn = "mixed";
+  options.epochs = 6;
+  options.rate = 0.15;
+  options.seed = 11;
+  options.timeout_ms = 60000;
+  return options;
+}
+
+void PrintShardScaling() {
+  std::printf(
+      "\n==== E-shard: router throughput vs shard count ====\n"
+      "An in-process `rescq route` over N in-process `rescq serve` "
+      "shards,\ndriven by the loadgen harness on the router port: 8 "
+      "concurrent connections,\neach one session of open -> push -> "
+      "begin -> 6 churn epochs (with\nresilience + stats queries per "
+      "epoch). Sessions spread over the shards by\nconsistent hashing; "
+      "every reply crosses two hops (client -> router ->\nshard), so "
+      "1 shard prices the forwarding overhead and 2/4 shards price "
+      "how\nmuch independent backends buy back.\n\n");
+  std::printf("%-8s %6s %9s %12s | %8s %8s | %9s %9s\n", "shards", "conns",
+              "requests", "req_per_s", "p50_ms", "p99_ms", "ep_p50", "ep_p99");
+  for (size_t shard_count : kShardCounts) {
+    InProcessShards shards;
+    ServerOptions base;
+    base.port = 0;
+    base.threads = 4;
+    std::string error;
+    if (!shards.Start(shard_count, base, &error)) {
+      std::fprintf(stderr, "bench_shard: %s\n", error.c_str());
+      return;
+    }
+    RouterOptions roptions;
+    roptions.port = 0;
+    roptions.threads = 4;
+    roptions.shards = shards.specs();
+    ShardRouter router(roptions);
+    if (!router.Start(&error)) {
+      std::fprintf(stderr, "bench_shard: %s\n", error.c_str());
+      return;
+    }
+    LoadgenOptions loptions = BaseLoadgen();
+    loptions.port = router.port();
+    // Warm up (plan caches, allocator, TCP stack), then measure.
+    loptions.session_prefix = "warm";
+    RunLoadgen(loptions);
+    loptions.session_prefix = "bench";
+    LoadgenReport report = RunLoadgen(loptions);
+    router.Stop();
+    shards.Stop();
+
+    ShardRow row;
+    row.shards = shard_count;
+    row.connections = loptions.connections;
+    row.requests = report.requests;
+    row.requests_per_sec = report.requests_per_sec;
+    row.p50_ms = report.latency.p50_ms;
+    row.p99_ms = report.latency.p99_ms;
+    row.epoch_p50_ms = report.epoch_latency.p50_ms;
+    row.epoch_p99_ms = report.epoch_latency.p99_ms;
+    row.clean = report.error.empty() && report.err_replies == 0;
+    g_rows.push_back(row);
+    std::printf("%-8zu %6d %9llu %12.1f | %8.3f %8.3f | %9.3f %9.3f%s\n",
+                row.shards, row.connections,
+                static_cast<unsigned long long>(row.requests),
+                row.requests_per_sec, row.p50_ms, row.p99_ms,
+                row.epoch_p50_ms, row.epoch_p99_ms,
+                row.clean ? "" : "  UNCLEAN");
+  }
+}
+
+void WriteSnapshot(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_shard: cannot write snapshot %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"rescq-bench-shard/v1\",\n");
+  std::fprintf(f, "  \"host\": { \"cores\": %d },\n", HardwareThreads());
+  std::fprintf(f, "  \"workload\": { \"connections\": 8, \"scenario\": "
+                  "\"vc_er\", \"size\": 10, \"churn\": \"mixed\", "
+                  "\"epochs\": 6 },\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const ShardRow& r = g_rows[i];
+    std::fprintf(f,
+                 "    { \"shards\": %zu, \"requests\": %llu, "
+                 "\"requests_per_sec\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"epoch_p50_ms\": %.3f, "
+                 "\"epoch_p99_ms\": %.3f, \"clean\": %s }%s\n",
+                 r.shards, static_cast<unsigned long long>(r.requests),
+                 r.requests_per_sec, r.p50_ms, r.p99_ms, r.epoch_p50_ms,
+                 r.epoch_p99_ms, r.clean ? "true" : "false",
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nsnapshot written: %s\n", path);
+}
+
+// --- Timing series ----------------------------------------------------------
+
+// Round-trip floor through the router: client -> router -> shard and
+// back for a session verb (resilience on a tiny live session), vs the
+// one-hop cost bench_server's BM_PingRoundTrip prices. The ping verb
+// itself is answered by the router locally, so a session verb is the
+// honest two-hop number.
+void BM_RoutedResilience(benchmark::State& state) {
+  InProcessShards shards;
+  ServerOptions base;
+  base.port = 0;
+  base.threads = 2;
+  std::string error;
+  if (!shards.Start(static_cast<size_t>(state.range(0)), base, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  RouterOptions roptions;
+  roptions.port = 0;
+  roptions.shards = shards.specs();
+  ShardRouter router(roptions);
+  if (!router.Start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  LineClient client;
+  std::string reply;
+  bool ok = client.Connect("127.0.0.1", router.port(), &error);
+  ok = ok && client.Request("open hot R(x,y), S(y)", &reply, &error);
+  ok = ok && client.Request("push R(a, b)", &reply, &error);
+  ok = ok && client.Request("push S(b)", &reply, &error);
+  ok = ok && client.Request("begin", &reply, &error);
+  if (!ok) {
+    state.SkipWithError(error.c_str());
+    router.Stop();
+    return;
+  }
+  for (auto _ : state) {
+    if (!client.Request("resilience", &reply, &error)) {
+      state.SkipWithError(error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(reply);
+  }
+  client.Close();
+  router.Stop();
+}
+BENCHMARK(BM_RoutedResilience)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// Scatter-gather cost: one aggregated `stats` across the whole fleet.
+void BM_ScatterGatherStats(benchmark::State& state) {
+  InProcessShards shards;
+  ServerOptions base;
+  base.port = 0;
+  base.threads = 2;
+  std::string error;
+  if (!shards.Start(static_cast<size_t>(state.range(0)), base, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  RouterOptions roptions;
+  roptions.port = 0;
+  roptions.shards = shards.specs();
+  ShardRouter router(roptions);
+  if (!router.Start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  LineClient client;
+  std::string reply;
+  if (!client.Connect("127.0.0.1", router.port(), &error)) {
+    state.SkipWithError(error.c_str());
+    router.Stop();
+    return;
+  }
+  for (auto _ : state) {
+    if (!client.Request("stats", &reply, &error)) {
+      state.SkipWithError(error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(reply);
+  }
+  client.Close();
+  router.Stop();
+}
+BENCHMARK(BM_ScatterGatherStats)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+}  // namespace rescq
+
+int main(int argc, char** argv) {
+  rescq::PrintShardScaling();
+  if (const char* path = std::getenv("RESCQ_BENCH_SNAPSHOT")) {
+    rescq::WriteSnapshot(path);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

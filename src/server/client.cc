@@ -1,11 +1,14 @@
 #include "server/client.h"
 
-#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/string_util.h"
@@ -13,6 +16,12 @@
 namespace rescq {
 
 namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 bool SendAll(int fd, const std::string& data, std::string* error) {
   size_t sent = 0;
@@ -39,6 +48,77 @@ int PayloadLines(const std::string& header) {
   return static_cast<int>(n);
 }
 
+bool SetNonBlocking(int fd, bool on) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if (on) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  return ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
+/// connect() one address under a deadline: non-blocking connect, poll
+/// for writability, read back SO_ERROR, then restore blocking mode.
+/// timeout_ms 0 = plain blocking connect.
+bool ConnectWithDeadline(int fd, const sockaddr* addr, socklen_t addrlen,
+                         int timeout_ms, std::string* error) {
+  if (timeout_ms <= 0) {
+    if (::connect(fd, addr, addrlen) != 0) {
+      *error = std::strerror(errno);
+      return false;
+    }
+    return true;
+  }
+  if (!SetNonBlocking(fd, true)) {
+    *error = std::string("fcntl: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno != EINPROGRESS) {
+      *error = std::strerror(errno);
+      return false;
+    }
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int64_t deadline = NowMs() + timeout_ms;
+    for (;;) {
+      int64_t remaining = deadline - NowMs();
+      if (remaining <= 0) {
+        *error = "timeout: connect took longer than " +
+                 std::to_string(timeout_ms) + "ms";
+        return false;
+      }
+      int r = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (r < 0 && errno == EINTR) continue;
+      if (r < 0) {
+        *error = std::string("poll: ") + std::strerror(errno);
+        return false;
+      }
+      if (r == 0) {
+        *error = "timeout: connect took longer than " +
+                 std::to_string(timeout_ms) + "ms";
+        return false;
+      }
+      break;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      *error = std::strerror(so_error != 0 ? so_error : errno);
+      return false;
+    }
+  }
+  if (!SetNonBlocking(fd, false)) {
+    *error = std::string("fcntl: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 LineClient::~LineClient() { Close(); }
@@ -52,33 +132,70 @@ void LineClient::Close() {
 bool LineClient::Connect(const std::string& host, int port,
                          std::string* error) {
   Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    *error = std::string("socket: ") + std::strerror(errno);
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &result);
+  if (rc != 0) {
+    *error = "resolve " + host + ": " + ::gai_strerror(rc);
     return false;
   }
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    *error = "bad host '" + host + "' (numeric IPv4 required)";
-    Close();
-    return false;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd_ < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    std::string attempt_error;
+    if (ConnectWithDeadline(fd_, ai->ai_addr, ai->ai_addrlen,
+                            connect_timeout_ms_, &attempt_error)) {
+      ::freeaddrinfo(result);
+      return true;
+    }
+    last_error = attempt_error;
+    ::close(fd_);
+    fd_ = -1;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    *error = "connect " + host + ":" + std::to_string(port) + ": " +
-             std::strerror(errno);
-    Close();
-    return false;
-  }
-  return true;
+  ::freeaddrinfo(result);
+  *error =
+      "connect " + host + ":" + std::to_string(port) + ": " + last_error;
+  return false;
 }
 
 bool LineClient::ReadLine(std::string* line, std::string* error) {
   char chunk[4096];
   size_t newline;
+  const int64_t deadline =
+      io_timeout_ms_ > 0 ? NowMs() + io_timeout_ms_ : 0;
   while ((newline = buffer_.find('\n')) == std::string::npos) {
+    if (buffer_.size() > kMaxReplyLineBytes) {
+      *error = "reply line over " + std::to_string(kMaxReplyLineBytes) +
+               " bytes";
+      return false;
+    }
+    if (deadline != 0) {
+      pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      int64_t remaining = deadline - NowMs();
+      int r = remaining <= 0
+                  ? 0
+                  : ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (r < 0 && errno == EINTR) continue;
+      if (r < 0) {
+        *error = std::string("poll: ") + std::strerror(errno);
+        return false;
+      }
+      if (r == 0) {
+        *error = "timeout: no reply within " +
+                 std::to_string(io_timeout_ms_) + "ms";
+        return false;
+      }
+    }
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n < 0) {

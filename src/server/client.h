@@ -1,26 +1,52 @@
 #ifndef RESCQ_SERVER_CLIENT_H_
 #define RESCQ_SERVER_CLIENT_H_
 
+#include <cstddef>
 #include <string>
 
 namespace rescq {
 
 /// A blocking client for the rescq wire protocol (see
 /// server/protocol.h): connect, send one request line, read the framed
-/// reply. Used by `rescq loadgen`, the server tests, and anything else
-/// that wants to talk to a live `rescq serve` in-process.
+/// reply. Used by `rescq loadgen`, the shard router, the server tests,
+/// and anything else that wants to talk to a live `rescq serve`
+/// in-process.
+///
+/// Every blocking step is bounded: connect respects
+/// connect_timeout_ms, each reply line respects io_timeout_ms (both
+/// default to kDefaultTimeoutMs; 0 disables the deadline), and a reply
+/// line is capped at kMaxReplyLineBytes — a hung or babbling peer
+/// costs a structured "timeout: ..." / "reply line over ..." error,
+/// never a stuck or OOMing caller.
 ///
 /// Not thread-safe: one LineClient per thread (that is the protocol's
 /// natural shape — one connection, one outstanding request).
 class LineClient {
  public:
+  /// Default connect and per-reply-line deadline.
+  static constexpr int kDefaultTimeoutMs = 5000;
+  /// Longest reply line accepted, matching the server's request cap.
+  static constexpr size_t kMaxReplyLineBytes = 64 * 1024;
+
   LineClient() = default;
   ~LineClient();
 
   LineClient(const LineClient&) = delete;
   LineClient& operator=(const LineClient&) = delete;
 
-  /// Connects to a numeric IPv4 host:port. False with *error on failure.
+  /// Deadline for Connect to reach the server (ms; 0 = no deadline).
+  void set_connect_timeout_ms(int ms) { connect_timeout_ms_ = ms; }
+  /// Deadline for each reply line to arrive (ms; 0 = no deadline).
+  void set_io_timeout_ms(int ms) { io_timeout_ms_ = ms; }
+  /// Sets both deadlines at once.
+  void set_timeout_ms(int ms) {
+    connect_timeout_ms_ = ms;
+    io_timeout_ms_ = ms;
+  }
+
+  /// Connects to host:port. The host is resolved with getaddrinfo —
+  /// numeric IPv4/IPv6 and names ("localhost") all work — and every
+  /// returned address is tried in order. False with *error on failure.
   bool Connect(const std::string& host, int port, std::string* error);
 
   bool connected() const { return fd_ >= 0; }
@@ -29,7 +55,8 @@ class LineClient {
   /// Sends `line` (a newline is appended) and reads the complete reply
   /// into *reply without its trailing newline — for the multi-line
   /// `explain`/`sessions` verbs the payload lines follow the header,
-  /// '\n'-separated. False with *error on a socket error or a framing
+  /// '\n'-separated. False with *error on a socket error, a deadline
+  /// ("timeout: ..."), an over-long reply line, or a framing
   /// violation; the connection is then closed.
   bool Request(const std::string& line, std::string* reply,
                std::string* error);
@@ -38,6 +65,8 @@ class LineClient {
   bool ReadLine(std::string* line, std::string* error);
 
   int fd_ = -1;
+  int connect_timeout_ms_ = kDefaultTimeoutMs;
+  int io_timeout_ms_ = kDefaultTimeoutMs;
   std::string buffer_;
 };
 

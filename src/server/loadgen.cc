@@ -104,6 +104,7 @@ void RunConnection(const LoadgenOptions& options, size_t index,
   UpdateLog log = GenerateChurn(base, options.churn, cparams);
 
   LineClient client;
+  client.set_timeout_ms(options.timeout_ms);
   std::string error;
   if (!client.Connect(options.host, options.port, &error)) {
     result->error = error;

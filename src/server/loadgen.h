@@ -37,6 +37,10 @@ struct LoadgenOptions {
   uint64_t node_budget = 0;
   /// Session names are "<prefix>-<connection>".
   std::string session_prefix = "loadgen";
+  /// Connect/receive deadline on every connection's LineClient (ms;
+  /// 0 = no deadline). A dead or wedged server fails the run with a
+  /// structured transport error instead of hanging it.
+  int timeout_ms = 30000;
 };
 
 /// Latency summary over one request class, in milliseconds.

@@ -138,6 +138,9 @@ ProtocolHandler::ProtocolHandler(SessionRegistry* registry,
 
 ProtocolResult ProtocolHandler::Handle(std::string_view line) {
   ProtocolResult result;
+  // Tolerate CRLF line endings (telnet/netcat-style clients) before any
+  // dispatch decision sees the line.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   line = Trim(line);
   if (line.empty() || line[0] == '#') return result;  // no reply
 
@@ -507,9 +510,28 @@ std::string ProtocolHandler::DoExplain() {
 }
 
 std::string ProtocolHandler::DoStats() {
-  std::string error;
-  std::shared_ptr<SessionEntry> entry = Current(&error);
-  if (entry == nullptr) return Err("no-session", error);
+  if (current_ == nullptr) {
+    // Server-scope stats: one deterministic, summable line. The shard
+    // router scatter-gathers exactly this form and adds the fields up.
+    size_t live = 0, staging = 0, sets = 0;
+    long long tuples = 0;
+    for (const std::shared_ptr<SessionEntry>& entry : registry_->List()) {
+      std::shared_lock<std::shared_mutex> lock(entry->mu);
+      if (entry->live()) {
+        ++live;
+        tuples += entry->session->db().NumActiveTuples();
+        sets += entry->session->Peek().family_sets;
+      } else {
+        ++staging;
+        tuples += static_cast<long long>(entry->staging_tuples);
+      }
+    }
+    return StrFormat(
+        "ok stats scope=server sessions=%zu live=%zu staging=%zu "
+        "tuples=%lld sets=%zu\n",
+        live + staging, live, staging, tuples, sets);
+  }
+  std::shared_ptr<SessionEntry> entry = current_;
 
   std::shared_lock<std::shared_mutex> lock(entry->mu);
   if (entry->closed) return Err("closed", "session was closed");

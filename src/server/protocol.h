@@ -9,6 +9,7 @@
 
 #include "db/delta.h"
 #include "resilience/engine.h"
+#include "server/line_server.h"
 #include "server/session_registry.h"
 
 namespace rescq {
@@ -71,13 +72,9 @@ struct ServerLimits {
   bool allow_shutdown = true;
 };
 
-/// What one handled request tells the transport to do.
-struct ProtocolResult {
-  std::string response;  // full reply bytes, '\n'-terminated (empty for
-                         // ignored blank/comment lines)
-  bool close_connection = false;
-  bool stop_server = false;
-};
+/// What one handled request tells the transport to do (the shared
+/// transport's result type — see server/line_server.h).
+using ProtocolResult = LineResult;
 
 /// Per-connection protocol state machine. Holds the connection's
 /// current session handle and its pending (not yet applied) epoch;
@@ -90,13 +87,13 @@ struct ProtocolResult {
 /// shared_mutex + thread-safe engine). Handle never throws and never
 /// aborts on any input byte sequence — malformed requests come back as
 /// `err` lines.
-class ProtocolHandler {
+class ProtocolHandler : public LineConnectionHandler {
  public:
   ProtocolHandler(SessionRegistry* registry, ResilienceEngine* engine,
                   const ServerLimits* limits);
 
   /// Handles one request line (without its trailing newline).
-  ProtocolResult Handle(std::string_view line);
+  ProtocolResult Handle(std::string_view line) override;
 
  private:
   /// The connection's session if it is still open; err text otherwise.

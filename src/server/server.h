@@ -1,19 +1,12 @@
 #ifndef RESCQ_SERVER_SERVER_H_
 #define RESCQ_SERVER_SERVER_H_
 
-#include <condition_variable>
-#include <deque>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_set>
-#include <vector>
 
 #include "resilience/engine.h"
+#include "server/line_server.h"
 #include "server/protocol.h"
 #include "server/session_registry.h"
-#include "util/parallel.h"
 
 namespace rescq {
 
@@ -31,82 +24,56 @@ struct ServerOptions {
   ServerLimits limits;
 };
 
-/// The long-lived resilience daemon: a listening socket, an accept
-/// thread feeding a queue of client fds, and a WorkerPool of handler
-/// loops that each drive one connection at a time through a
-/// ProtocolHandler. All sessions live in one registry and all planning
-/// goes through one shared engine, so N connections to the same query
-/// pay one plan.
+/// The long-lived resilience daemon: the shared LineServer transport
+/// (accept thread + handler pool, see server/line_server.h) driving one
+/// ProtocolHandler per connection. All sessions live in one registry
+/// and all planning goes through one shared engine, so N connections to
+/// the same query pay one plan.
 ///
-/// Lifecycle: Start() binds and spawns the threads; Wait() blocks until
-/// the server stops (a `shutdown` request, Stop(), or a signal relayed
-/// through SignalStop()); Stop() = RequestStop() + Wait(). The
-/// destructor stops a still-running server.
-///
-/// Thread contract: Start once from one thread. RequestStop/SignalStop
-/// are safe from any thread and idempotent; SignalStop is additionally
-/// async-signal-safe (a single pipe write — the CLI's SIGINT/SIGTERM
-/// handler calls it, and the accept thread turns it into a full stop).
+/// Lifecycle and thread contract are the transport's: Start once;
+/// RequestStop/SignalStop from any thread (SignalStop is
+/// async-signal-safe); Wait joins; Stop = RequestStop + Wait.
 class ResilienceServer {
  public:
   /// `engine` must be thread-safe (ResilienceEngine is) and outlive the
   /// server.
   ResilienceServer(const ServerOptions& options, ResilienceEngine* engine);
-  ~ResilienceServer();
 
   ResilienceServer(const ResilienceServer&) = delete;
   ResilienceServer& operator=(const ResilienceServer&) = delete;
 
   /// Binds, listens, and spawns the accept thread and handler pool.
   /// False with *error on any socket failure (nothing is left running).
-  bool Start(std::string* error);
+  bool Start(std::string* error) { return transport_.Start(error); }
 
   /// The bound TCP port (resolves port 0 to the kernel's choice).
   /// Valid after a successful Start.
-  int port() const { return port_; }
+  int port() const { return transport_.port(); }
 
   /// The number of sessions currently open (for status lines).
   size_t active_sessions() const { return registry_.size(); }
 
   /// Begins a graceful stop: stops accepting, unblocks every in-flight
   /// read, and lets the handler loops drain. Returns immediately.
-  void RequestStop();
+  void RequestStop() { transport_.RequestStop(); }
 
   /// Async-signal-safe stop request (one pipe write; the accept thread
   /// escalates it to RequestStop).
-  void SignalStop();
+  void SignalStop() { transport_.SignalStop(); }
 
   /// Blocks until the server has fully stopped and joins its threads.
-  void Wait();
+  void Wait() { transport_.Wait(); }
 
   /// RequestStop() then Wait().
-  void Stop();
+  void Stop() { transport_.Stop(); }
 
  private:
-  void AcceptLoop();
-  void HandlerLoop();
-  void ServeConnection(int fd);
+  static LineServerOptions TransportOptions(const ServerOptions& options);
 
   const ServerOptions options_;
   ResilienceEngine* engine_;
   SessionRegistry registry_;
-
-  int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: signals + stop wake the accept poll
-  int port_ = 0;
-
-  std::thread accept_thread_;
-  std::thread pool_host_;  // runs the WorkerPool's blocking Run as its
-                           // last worker, hosting the handler loops
-  std::unique_ptr<WorkerPool> pool_;
-
-  std::mutex mu_;
-  std::deque<int> pending_fds_;          // accepted, not yet picked up
-  std::unordered_set<int> active_fds_;   // being served right now
-  bool stop_ = false;
-  bool started_ = false;
-  bool joined_ = false;
-  std::condition_variable queue_cv_;
+  LineServer transport_;
 };
 
 }  // namespace rescq

@@ -430,8 +430,65 @@ else
 fi
 rm -f "$serve_log" "$serve_metrics" "$loadgen_json"
 
+# route + loadgen: the consistent-hash front-end over two in-process
+# shards (parsed from its own announcement line), driven by the same
+# oracle-checked loadgen run through the router port, then shut down by
+# SIGTERM — which must still flush the shard.* metrics snapshot.
+route_log="$(mktemp)" ; route_metrics="$(mktemp)" ; route_json="$(mktemp)"
+"$RESCQ" route --shards 2 --port 0 --threads 2 \
+    --metrics-json "$route_metrics" > "$route_log" 2>&1 &
+route_pid=$!
+route_port=""
+for _ in $(seq 1 50); do
+  route_port="$(sed -n 's/.*routing on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$route_log" | head -n1)"
+  [ -n "$route_port" ] && break
+  sleep 0.1
+done
+if [ -z "$route_port" ]; then
+  echo "FAIL: route never announced its port"
+  sed 's/^/    /' "$route_log"
+  failures=$((failures + 1))
+  kill "$route_pid" 2>/dev/null
+else
+  echo "ok: route announced an ephemeral port ($route_port)"
+  route_out="$("$RESCQ" loadgen --port "$route_port" --connections 4 \
+      --scenario vc_er --size 8 --epochs 2 --rate 0.15 --seed 3 \
+      --check-oracle --json "$route_json" 2>&1)"
+  route_status=$?
+  if [ "$route_status" -eq 0 ] \
+      && grep -qF "0 mismatch" <<<"$route_out" \
+      && grep -qF "0 err replies" <<<"$route_out"; then
+    echo "ok: loadgen through the 2-shard router is oracle-clean"
+  else
+    echo "FAIL: routed loadgen exited $route_status or reported errors"
+    echo "$route_out" | sed 's/^/    /'
+    failures=$((failures + 1))
+  fi
+  kill -TERM "$route_pid"
+  if wait "$route_pid"; then
+    echo "ok: route exits 0 on SIGTERM"
+  else
+    echo "FAIL: route exited non-zero on SIGTERM"
+    sed 's/^/    /' "$route_log"
+    failures=$((failures + 1))
+  fi
+  if grep -q '"schema": "rescq-metrics/v1"' "$route_metrics" \
+      && grep -q '"shard.requests"' "$route_metrics" \
+      && grep -q '"shard.forwarded"' "$route_metrics"; then
+    echo "ok: route wrote a metrics snapshot with shard.* series"
+  else
+    echo "FAIL: route metrics snapshot lacks the shard.* series"
+    sed 's/^/    /' "$route_metrics"
+    failures=$((failures + 1))
+  fi
+fi
+rm -f "$route_log" "$route_metrics" "$route_json"
+
 expect_usage_error "loadgen without a port rejected" loadgen
 expect_usage_error "serve with a bad port rejected" serve --port 99999
+expect_usage_error "route without backends rejected" route
+expect_usage_error "route with a bad shard spec rejected" route --shard bogus
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures smoke-test failure(s)"

@@ -4,14 +4,22 @@
 // untrusted bytes. Nothing in here may abort or throw — that is the
 // hardening contract.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cq/parser.h"
 #include "db/tuple_io.h"
 #include "gtest/gtest.h"
 #include "resilience/engine.h"
+#include "server/client.h"
 #include "server/protocol.h"
 #include "server/session_registry.h"
 
@@ -80,6 +88,45 @@ TEST_F(ProtocolTest, BlankAndCommentLinesGetNoReply) {
   EXPECT_EQ(Req("# piped update file comment"), "");
 }
 
+// CRLF round trip: a telnet/netcat-style client terminating lines with
+// \r\n (the transport strips the \n, leaving a trailing \r) must see
+// byte-identical replies to an LF client.
+TEST_F(ProtocolTest, CrlfLinesBehaveLikeLfLines) {
+  EXPECT_EQ(Req("ping\r"), "ok pong\n");
+  EXPECT_EQ(Req("open s1 R(x,y)\r"), "ok open s1 staging\n");
+  EXPECT_EQ(Req("push R(a, b)\r"), "ok push 1\n");
+  EXPECT_EQ(Req("push R(c, d)\r"), "ok push 2\n");
+  ASSERT_TRUE(StartsWithStr(Req("begin\r"), "ok begin "));
+  EXPECT_EQ(Req("- R(a, b)\r"), "ok queued 1\n");
+  ASSERT_TRUE(StartsWithStr(Req("epoch\r"), "ok epoch "));
+  EXPECT_EQ(Req("resilience\r"), "ok resilience 1\n");
+  EXPECT_EQ(Req("\r"), "");
+  EXPECT_EQ(Req("# comment\r"), "");
+  EXPECT_EQ(Req("close\r"), "ok close s1\n");
+}
+
+// With no session selected, `stats` reports one summable server-scope
+// line — the form the shard router scatter-gathers and adds up.
+TEST_F(ProtocolTest, StatsWithoutSessionReportsServerScope) {
+  EXPECT_EQ(Req("stats"),
+            "ok stats scope=server sessions=0 live=0 staging=0 tuples=0 "
+            "sets=0\n");
+
+  EXPECT_EQ(Req("open a R(x,y)"), "ok open a staging\n");
+  EXPECT_EQ(Req("push R(a, b)"), "ok push 1\n");
+  ASSERT_TRUE(StartsWithStr(Req("begin"), "ok begin "));
+  EXPECT_EQ(Req("open b R(x,y)"), "ok open b staging\n");
+  EXPECT_EQ(Req("push R(c, d)"), "ok push 1\n");
+  EXPECT_EQ(Req("push R(e, f)"), "ok push 2\n");
+
+  // A fresh handler (same registry) has no current session and sums
+  // both: one live session with 1 tuple, one staging with 2.
+  ProtocolHandler fresh(&registry_, &engine_, &limits_);
+  EXPECT_EQ(fresh.Handle("stats").response,
+            "ok stats scope=server sessions=2 live=1 staging=1 tuples=3 "
+            "sets=1\n");
+}
+
 TEST_F(ProtocolTest, QuitAndShutdownControlTheConnection) {
   ProtocolResult quit = handler_.Handle("quit");
   EXPECT_EQ(quit.response, "ok bye\n");
@@ -106,7 +153,6 @@ TEST_F(ProtocolTest, ErrorPathsAreStructured) {
   EXPECT_TRUE(StartsWithStr(Req("+ R(a)"), "err no-session "));
   EXPECT_TRUE(StartsWithStr(Req("epoch"), "err no-session "));
   EXPECT_TRUE(StartsWithStr(Req("resilience"), "err no-session "));
-  EXPECT_TRUE(StartsWithStr(Req("stats"), "err no-session "));
   EXPECT_TRUE(StartsWithStr(Req("explain"), "err no-session "));
   EXPECT_TRUE(StartsWithStr(Req("close"), "err no-session "));
 
@@ -410,6 +456,93 @@ TEST(ParserHardeningTest, ParseQueryRejectsMalformedInput) {
     EXPECT_FALSE(r.ok) << c.name;
     EXPECT_FALSE(r.error.empty()) << c.name;
   }
+}
+
+// --- LineClient transport hardening ------------------------------------------
+
+/// A bare TCP listener with no protocol behind it: connections land in
+/// the backlog (or are accepted by the test) and never get a reply —
+/// exactly the half-dead-server shape the client deadlines exist for.
+class RawListener {
+ public:
+  RawListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(
+        ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~RawListener() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  int Accept() { return ::accept(fd_, nullptr, nullptr); }
+  int port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+TEST(LineClientTest, RequestTimesOutAgainstASilentServer) {
+  RawListener listener;  // never replies; the connect rides the backlog
+  LineClient client;
+  client.set_io_timeout_ms(150);
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", listener.port(), &error)) << error;
+  std::string reply;
+  EXPECT_FALSE(client.Request("ping", &reply, &error));
+  EXPECT_NE(error.find("timeout"), std::string::npos) << error;
+  EXPECT_FALSE(client.connected());  // the failed request closed it
+}
+
+TEST(LineClientTest, OversizedReplyLineIsAStructuredError) {
+  RawListener listener;
+  std::thread peer([&listener] {
+    int fd = listener.Accept();
+    ASSERT_GE(fd, 0);
+    // 80 KiB of reply bytes and never a newline: past the client's
+    // 64 KiB line cap.
+    std::string noise(80 * 1024, 'a');
+    size_t sent = 0;
+    while (sent < noise.size()) {
+      ssize_t n = ::send(fd, noise.data() + sent, noise.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    ::close(fd);
+  });
+  LineClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", listener.port(), &error)) << error;
+  std::string reply;
+  EXPECT_FALSE(client.Request("ping", &reply, &error));
+  EXPECT_NE(error.find("reply line over"), std::string::npos) << error;
+  peer.join();
+}
+
+TEST(LineClientTest, ConnectResolvesHostNames) {
+  RawListener listener;
+  LineClient client;
+  std::string error;
+  // getaddrinfo resolution: "localhost" must work, not just numeric
+  // IPv4 (the shard-spec form is host:port with arbitrary hosts).
+  EXPECT_TRUE(client.Connect("localhost", listener.port(), &error)) << error;
+  LineClient bad;
+  bad.set_connect_timeout_ms(500);
+  EXPECT_FALSE(
+      bad.Connect("no-such-host.invalid", listener.port(), &error));
+  EXPECT_NE(error.find("no-such-host.invalid"), std::string::npos) << error;
 }
 
 }  // namespace

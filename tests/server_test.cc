@@ -15,8 +15,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -27,8 +29,10 @@
 #include "server/client.h"
 #include "server/loadgen.h"
 #include "server/protocol.h"
+#include "server/router.h"
 #include "server/server.h"
 #include "server/session_registry.h"
+#include "server/shard_map.h"
 
 namespace rescq {
 namespace {
@@ -343,6 +347,323 @@ TEST_F(ServerEndToEndTest, LineClientFramesMultiLineReplies) {
   EXPECT_NE(reply.find('\n'), std::string::npos) << reply;
   ASSERT_TRUE(client.Request("close", &reply, &error)) << error;
   EXPECT_EQ(reply, "ok close f1");
+}
+
+// --- Sharding: ShardMap placement + router end to end -----------------------
+
+TEST(ShardMapTest, PlacementIsDeterministicAndBalanced) {
+  ShardMap map(4);
+  std::vector<size_t> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) {
+    std::string name = "session-" + std::to_string(i);
+    size_t owner = map.OwnerOf(name);
+    ASSERT_LT(owner, 4u);
+    EXPECT_EQ(owner, map.OwnerOf(name));  // stable across calls
+    counts[owner]++;
+  }
+  // Consistent hashing over 64 vnodes is not perfectly uniform, but no
+  // shard may be starved or hoard the keyspace.
+  for (size_t c : counts) {
+    EXPECT_GT(c, 4000u / 16) << "starved shard";
+    EXPECT_LT(c, 4000u / 2) << "hoarding shard";
+  }
+  // Two rings over the same shard count agree everywhere — every router
+  // instance computes the same placement.
+  ShardMap again(4);
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "agree-" + std::to_string(i);
+    EXPECT_EQ(map.OwnerOf(name), again.OwnerOf(name));
+  }
+}
+
+TEST(ShardMapTest, GrowingTheRingMovesFewKeys) {
+  ShardMap four(4), five(5);
+  int moved = 0;
+  const int kKeys = 2000;
+  for (int i = 0; i < kKeys; ++i) {
+    std::string name = "grow-" + std::to_string(i);
+    size_t before = four.OwnerOf(name);
+    size_t after = five.OwnerOf(name);
+    if (after != before) {
+      ++moved;
+      EXPECT_EQ(after, 4u) << "a key moved between two old shards";
+    }
+  }
+  // ~1/5 of the keys should move to the new shard; modulo placement
+  // would reshuffle ~4/5 of them.
+  EXPECT_GT(moved, kKeys / 20);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+class RouterEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions base;
+    base.threads = 2;
+    std::string error;
+    ASSERT_TRUE(shards_.Start(2, base, &error)) << error;
+    RouterOptions options;
+    options.shards = shards_.specs();
+    options.threads = 4;
+    options.connect_timeout_ms = 1000;
+    options.request_timeout_ms = 5000;
+    options.retries = 1;
+    options.backoff_ms = 20;
+    options.down_cooldown_ms = 200;
+    router_ = std::make_unique<ShardRouter>(options);
+    ASSERT_TRUE(router_->Start(&error)) << error;
+    ASSERT_GT(router_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (router_ != nullptr) router_->Stop();
+    shards_.Stop();
+  }
+
+  // A session name the ring places on shard `want`.
+  std::string NameOwnedBy(size_t want, const std::string& prefix) {
+    for (int i = 0; i < 10000; ++i) {
+      std::string name = prefix + std::to_string(i);
+      if (router_->shard_map().OwnerOf(name) == want) return name;
+    }
+    ADD_FAILURE() << "no name found for shard " << want;
+    return "";
+  }
+
+  void Connect(LineClient* client, int port) {
+    std::string error;
+    ASSERT_TRUE(client->Connect("127.0.0.1", port, &error)) << error;
+  }
+
+  std::string Req(LineClient* client, const std::string& line) {
+    std::string reply, error;
+    EXPECT_TRUE(client->Request(line, &reply, &error)) << line << ": " << error;
+    return reply;
+  }
+
+  InProcessShards shards_;
+  std::unique_ptr<ShardRouter> router_;
+};
+
+// A named session lands on its ring owner and stays there across
+// epochs: the owning backend knows it, the other backend does not, and
+// every epoch applied through the router shows up on the owner.
+TEST_F(RouterEndToEndTest, SessionIsPinnedToItsOwningShardAcrossEpochs) {
+  const std::string name = NameOwnedBy(0, "pin");
+  LineClient via_router;
+  Connect(&via_router, router_->port());
+  EXPECT_EQ(Req(&via_router, "open " + name + " R(x,y)"),
+            "ok open " + name + " staging");
+  EXPECT_EQ(Req(&via_router, "push R(a, b)"), "ok push 1");
+  EXPECT_EQ(Req(&via_router, "push R(c, d)"), "ok push 2");
+  EXPECT_EQ(Req(&via_router, "begin").rfind("ok begin ", 0), 0u);
+  for (int epoch = 1; epoch <= 2; ++epoch) {
+    std::string fact = "R(e" + std::to_string(epoch) + ", f)";
+    EXPECT_EQ(Req(&via_router, "+ " + fact), "ok queued 1");
+    EXPECT_EQ(Req(&via_router, "epoch").rfind("ok epoch ", 0), 0u);
+  }
+  EXPECT_EQ(Req(&via_router, "resilience").rfind("ok resilience ", 0), 0u);
+
+  // The owner has the session, live, at epoch 2.
+  LineClient owner;
+  Connect(&owner, shards_.server(0)->port());
+  EXPECT_EQ(Req(&owner, "use " + name), "ok use " + name + " live");
+  std::string stats = Req(&owner, "stats");
+  EXPECT_NE(stats.find("epoch=2"), std::string::npos) << stats;
+
+  // The other shard never heard of it.
+  LineClient other;
+  Connect(&other, shards_.server(1)->port());
+  EXPECT_EQ(Req(&other, "use " + name).rfind("err no-session ", 0), 0u);
+}
+
+// Scatter-gathered router `stats` equals the field-wise sum of each
+// shard's own server-scope stats, and `sessions` merges both listings.
+TEST_F(RouterEndToEndTest, ScatterGatherAggregatesAcrossShards) {
+  const std::string on0 = NameOwnedBy(0, "agg0-");
+  const std::string on1 = NameOwnedBy(1, "agg1-");
+  LineClient via_router;
+  Connect(&via_router, router_->port());
+  EXPECT_EQ(Req(&via_router, "open " + on0 + " R(x,y)"),
+            "ok open " + on0 + " staging");
+  EXPECT_EQ(Req(&via_router, "push R(a, b)"), "ok push 1");
+  EXPECT_EQ(Req(&via_router, "begin").rfind("ok begin ", 0), 0u);
+  EXPECT_EQ(Req(&via_router, "open " + on1 + " R(x,y)"),
+            "ok open " + on1 + " staging");
+  EXPECT_EQ(Req(&via_router, "push R(c, d)"), "ok push 1");
+  EXPECT_EQ(Req(&via_router, "push R(e, f)"), "ok push 2");
+
+  auto field = [](const std::string& reply, const std::string& key) {
+    size_t at = reply.find(" " + key + "=");
+    EXPECT_NE(at, std::string::npos) << key << " in " << reply;
+    if (at == std::string::npos) return -1LL;
+    return static_cast<long long>(
+        std::stoll(reply.substr(at + key.size() + 2)));
+  };
+  long long sessions = 0, live = 0, staging = 0, tuples = 0, sets = 0;
+  for (size_t i = 0; i < shards_.count(); ++i) {
+    LineClient direct;
+    Connect(&direct, shards_.server(i)->port());
+    std::string stats = Req(&direct, "stats");
+    ASSERT_EQ(stats.rfind("ok stats scope=server ", 0), 0u) << stats;
+    sessions += field(stats, "sessions");
+    live += field(stats, "live");
+    staging += field(stats, "staging");
+    tuples += field(stats, "tuples");
+    sets += field(stats, "sets");
+  }
+  EXPECT_EQ(sessions, 2);
+  EXPECT_EQ(live, 1);
+  EXPECT_EQ(staging, 1);
+
+  // A fresh router connection (no session selected) aggregates to
+  // exactly those sums.
+  LineClient fresh;
+  Connect(&fresh, router_->port());
+  std::string agg = Req(&fresh, "stats");
+  ASSERT_EQ(agg.rfind("ok stats scope=router shards=2 up=2 ", 0), 0u) << agg;
+  EXPECT_EQ(field(agg, "sessions"), sessions);
+  EXPECT_EQ(field(agg, "live"), live);
+  EXPECT_EQ(field(agg, "staging"), staging);
+  EXPECT_EQ(field(agg, "tuples"), tuples);
+  EXPECT_EQ(field(agg, "sets"), sets);
+
+  std::string listing = Req(&fresh, "sessions");
+  EXPECT_EQ(listing.rfind("ok sessions 2\n", 0), 0u) << listing;
+  EXPECT_NE(listing.find(on0 + " live"), std::string::npos) << listing;
+  EXPECT_NE(listing.find(on1 + " staging"), std::string::npos) << listing;
+}
+
+// A downed shard costs its sessions a structured `err shard_unavailable`
+// (no hang), leaves the other shard serving, and comes back after a
+// restart once the down-cooldown lapses.
+TEST_F(RouterEndToEndTest, ShardDownIsStructuredAndRecoverable) {
+  const std::string doomed = NameOwnedBy(1, "down");
+  LineClient via_router;
+  Connect(&via_router, router_->port());
+  EXPECT_EQ(Req(&via_router, "open " + doomed + " R(x,y)"),
+            "ok open " + doomed + " staging");
+  EXPECT_EQ(Req(&via_router, "push R(a, b)"), "ok push 1");
+  EXPECT_EQ(Req(&via_router, "begin").rfind("ok begin ", 0), 0u);
+
+  int shard1_port = shards_.server(1)->port();
+  shards_.server(1)->Stop();
+
+  // The in-flight channel breaks, the reconnect finds nobody, and the
+  // reply is structured — immediately and on the fail-fast path after.
+  EXPECT_EQ(Req(&via_router, "resilience").rfind("err shard_unavailable ", 0),
+            0u);
+  EXPECT_EQ(Req(&via_router, "resilience").rfind("err shard_unavailable ", 0),
+            0u);
+
+  // Shard-0 sessions keep working through the same router.
+  const std::string alive = NameOwnedBy(0, "alive");
+  LineClient healthy;
+  Connect(&healthy, router_->port());
+  EXPECT_EQ(Req(&healthy, "open " + alive + " R(x,y)"),
+            "ok open " + alive + " staging");
+
+  // Restart a backend on the same port; after the cooldown the router
+  // probes again and the shard serves fresh sessions.
+  ResilienceEngine engine;
+  ServerOptions options;
+  options.port = shard1_port;
+  options.threads = 2;
+  ResilienceServer revived(options, &engine);
+  std::string error;
+  ASSERT_TRUE(revived.Start(&error)) << error;
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const std::string recovered = NameOwnedBy(1, "recover");
+  LineClient back;
+  Connect(&back, router_->port());
+  EXPECT_EQ(Req(&back, "open " + recovered + " R(x,y)"),
+            "ok open " + recovered + " staging");
+  // The doomed session died with its shard: the honest reply is
+  // no-session, not a hang or a silently re-created session.
+  EXPECT_EQ(Req(&back, "use " + doomed).rfind("err no-session ", 0), 0u);
+  revived.Stop();
+}
+
+// The ISSUE acceptance drive, in-process: an oracle-checked loadgen
+// through a 4-shard router stays clean, and the aggregated router stats
+// match the per-shard sums afterwards.
+TEST(RouterLoadgenTest, FourShardOracleCheckedLoadgenIsClean) {
+  InProcessShards shards;
+  ServerOptions base;
+  base.threads = 2;
+  std::string error;
+  ASSERT_TRUE(shards.Start(4, base, &error)) << error;
+  RouterOptions options;
+  options.shards = shards.specs();
+  options.threads = 4;
+  ShardRouter router(options);
+  ASSERT_TRUE(router.Start(&error)) << error;
+
+  // Two persistent sessions so the post-loadgen aggregation has
+  // non-trivial sums (loadgen closes its own sessions on the way out).
+  LineClient setup;
+  ASSERT_TRUE(setup.Connect("127.0.0.1", router.port(), &error)) << error;
+  std::string reply, err;
+  ASSERT_TRUE(setup.Request("open keeper-a R(x,y)", &reply, &err)) << err;
+  ASSERT_TRUE(setup.Request("push R(a, b)", &reply, &err)) << err;
+  ASSERT_TRUE(setup.Request("begin", &reply, &err)) << err;
+  ASSERT_TRUE(setup.Request("open keeper-b R(x,y)", &reply, &err)) << err;
+  ASSERT_TRUE(setup.Request("push R(c, d)", &reply, &err)) << err;
+
+  LoadgenOptions load;
+  load.host = "127.0.0.1";
+  load.port = router.port();
+  load.connections = 4;
+  load.scenario = "vc_er";
+  load.size = 8;
+  load.epochs = 3;
+  load.rate = 0.15;
+  load.seed = 7;
+  load.check_oracle = true;
+  load.timeout_ms = 30000;
+
+  LoadgenReport report = RunLoadgen(load);
+  EXPECT_EQ(report.error, "");
+  EXPECT_EQ(report.err_replies, 0u);
+  EXPECT_EQ(report.oracle_mismatches, 0u);
+  EXPECT_GT(report.oracle_checks, 0u);
+  EXPECT_EQ(report.epochs_applied, 12u);  // 4 connections x 3 epochs
+
+  auto field = [](const std::string& text, const std::string& key) {
+    size_t at = text.find(" " + key + "=");
+    EXPECT_NE(at, std::string::npos) << key << " in " << text;
+    if (at == std::string::npos) return -1LL;
+    return static_cast<long long>(std::stoll(text.substr(at + key.size() + 2)));
+  };
+  long long sessions = 0, live = 0, tuples = 0, sets = 0;
+  for (size_t i = 0; i < shards.count(); ++i) {
+    LineClient direct;
+    ASSERT_TRUE(direct.Connect("127.0.0.1", shards.server(i)->port(), &error))
+        << error;
+    std::string stats;
+    ASSERT_TRUE(direct.Request("stats", &stats, &err)) << err;
+    ASSERT_EQ(stats.rfind("ok stats scope=server ", 0), 0u) << stats;
+    sessions += field(stats, "sessions");
+    live += field(stats, "live");
+    tuples += field(stats, "tuples");
+    sets += field(stats, "sets");
+  }
+  EXPECT_EQ(sessions, 2);  // the keepers survived the loadgen traffic
+  EXPECT_EQ(live, 1);
+
+  LineClient via_router;
+  ASSERT_TRUE(via_router.Connect("127.0.0.1", router.port(), &error)) << error;
+  std::string agg;
+  ASSERT_TRUE(via_router.Request("stats", &agg, &err)) << err;
+  ASSERT_EQ(agg.rfind("ok stats scope=router shards=4 up=4 ", 0), 0u) << agg;
+  EXPECT_EQ(field(agg, "sessions"), sessions);
+  EXPECT_EQ(field(agg, "live"), live);
+  EXPECT_EQ(field(agg, "tuples"), tuples);
+  EXPECT_EQ(field(agg, "sets"), sets);
+
+  router.Stop();
+  shards.Stop();
 }
 
 }  // namespace

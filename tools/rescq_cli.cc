@@ -37,6 +37,7 @@
 #include "resilience/result.h"
 #include "resilience/solver.h"
 #include "server/loadgen.h"
+#include "server/router.h"
 #include "server/server.h"
 #include "util/string_util.h"
 #include "workload/batch.h"
@@ -148,6 +149,23 @@ int Usage(std::FILE* out) {
                "stop it\n"
                "      gracefully and --metrics-json snapshots the registry "
                "on shutdown.\n"
+               "  rescq route (--shard host:port ... | --shards N) [--host H] "
+               "[--port P]\n"
+               "              [--threads N] [--connect-timeout-ms N] "
+               "[--request-timeout-ms N]\n"
+               "              [--retries N] [--backoff-ms N] "
+               "[--down-cooldown-ms N]\n"
+               "              [--no-shutdown] [--metrics-json <file>]\n"
+               "      Run the consistent-hash sharding front-end: speaks the "
+               "same line\n"
+               "      protocol, places each named session on one backend "
+               "`rescq serve`\n"
+               "      shard and forwards its verbs there; `stats`/`sessions` "
+               "aggregate\n"
+               "      across all shards. --shard (repeatable) lists external "
+               "backends;\n"
+               "      --shards N spawns N in-process serve instances on "
+               "ephemeral ports.\n"
                "  rescq loadgen --port P [--host H] [--connections M] "
                "[--scenario <name>]\n"
                "               [--query <q>] [--size N] [--density D] "
@@ -156,7 +174,8 @@ int Usage(std::FILE* out) {
                "[--check-oracle]\n"
                "               [--witness-limit N] [--node-budget N] "
                "[--session-prefix P]\n"
-               "               [--csv <file>] [--json <file>]\n"
+               "               [--timeout-ms N] [--csv <file>] "
+               "[--json <file>]\n"
                "      Drive a live server: M concurrent connections each "
                "open a session,\n"
                "      push a generated base, and loop churn epochs + "
@@ -910,12 +929,15 @@ int CmdStream(const std::vector<std::string>& args) {
   return report.mismatches == 0 ? 0 : 1;
 }
 
-// The serving process's one server instance, for the signal handlers.
-// SignalStop is async-signal-safe (a single pipe write).
+// The serving process's one server (or router) instance, for the
+// signal handlers. SignalStop is async-signal-safe (a single pipe
+// write).
 ResilienceServer* g_server = nullptr;
+ShardRouter* g_router = nullptr;
 
 extern "C" void HandleStopSignal(int) {
   if (g_server != nullptr) g_server->SignalStop();
+  if (g_router != nullptr) g_router->SignalStop();
 }
 
 int CmdServe(const std::vector<std::string>& args) {
@@ -1035,6 +1057,143 @@ int CmdServe(const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdRoute(const std::vector<std::string>& args) {
+  RouterOptions options;
+  size_t spawn_shards = 0;
+  int spawn_solver_threads = 1;
+  std::string metrics_path;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    const std::string* v = nullptr;
+    uint64_t u = 0;
+    if (a == "--host") {
+      if (!(v = value("--host"))) return 2;
+      options.host = *v;
+    } else if (a == "--port") {
+      if (!(v = value("--port")) || !ParseSeedFlag(a, *v, &u)) return 2;
+      if (u > 65535) {
+        std::fprintf(stderr, "error: --port needs 0..65535, got '%s'\n",
+                     v->c_str());
+        return 2;
+      }
+      options.port = static_cast<int>(u);
+    } else if (a == "--threads") {
+      if (!(v = value("--threads")) || !ParseIntFlag(a, *v, &options.threads))
+        return 2;
+    } else if (a == "--shard") {
+      if (!(v = value("--shard"))) return 2;
+      ShardSpec spec;
+      std::string error;
+      if (!ParseShardSpec(*v, &spec, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+      }
+      options.shards.push_back(spec);
+    } else if (a == "--shards") {
+      if (!(v = value("--shards")) || !ParseSeedFlag(a, *v, &u)) return 2;
+      if (u == 0 || u > 64) {
+        std::fprintf(stderr, "error: --shards needs 1..64, got '%s'\n",
+                     v->c_str());
+        return 2;
+      }
+      spawn_shards = static_cast<size_t>(u);
+    } else if (a == "--solver-threads") {
+      if (!(v = value("--solver-threads")) ||
+          !ParseIntFlag(a, *v, &spawn_solver_threads))
+        return 2;
+    } else if (a == "--connect-timeout-ms") {
+      if (!(v = value("--connect-timeout-ms")) ||
+          !ParseIntFlag(a, *v, &options.connect_timeout_ms))
+        return 2;
+    } else if (a == "--request-timeout-ms") {
+      if (!(v = value("--request-timeout-ms")) ||
+          !ParseIntFlag(a, *v, &options.request_timeout_ms))
+        return 2;
+    } else if (a == "--retries") {
+      if (!(v = value("--retries")) || !ParseIntFlag(a, *v, &options.retries))
+        return 2;
+    } else if (a == "--backoff-ms") {
+      if (!(v = value("--backoff-ms")) ||
+          !ParseIntFlag(a, *v, &options.backoff_ms))
+        return 2;
+    } else if (a == "--down-cooldown-ms") {
+      if (!(v = value("--down-cooldown-ms")) ||
+          !ParseIntFlag(a, *v, &options.down_cooldown_ms))
+        return 2;
+    } else if (a == "--no-shutdown") {
+      options.allow_shutdown = false;
+    } else if (a == "--metrics-json") {
+      if (!(v = value("--metrics-json"))) return 2;
+      metrics_path = *v;
+    } else {
+      std::fprintf(stderr, "error: unknown route flag '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (spawn_shards > 0 && !options.shards.empty()) {
+    std::fprintf(stderr, "error: --shards and --shard are exclusive\n");
+    return 2;
+  }
+  if (spawn_shards == 0 && options.shards.empty()) {
+    std::fprintf(stderr,
+                 "error: route needs backends (--shard host:port ... or "
+                 "--shards N)\n");
+    return 2;
+  }
+  obs::SetMetricsEnabled(true);
+
+  InProcessShards spawned;
+  if (spawn_shards > 0) {
+    ServerOptions base;
+    base.threads = 2;
+    base.limits.solver_threads = spawn_solver_threads;
+    std::string error;
+    if (!spawned.Start(spawn_shards, base, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    options.shards = spawned.specs();
+    for (size_t i = 0; i < options.shards.size(); ++i) {
+      std::printf("shard %zu: %s\n", i, options.shards[i].Label().c_str());
+    }
+  }
+
+  ShardRouter router(options);
+  std::string error;
+  if (!router.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  // The announced line is the startup contract, like serve's
+  // "listening on ..." — harnesses parse the resolved port out of it.
+  std::printf("routing on %s:%d across %zu shards\n", options.host.c_str(),
+              router.port(), options.shards.size());
+  std::fflush(stdout);
+  g_router = &router;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  router.Wait();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_router = nullptr;
+  spawned.Stop();
+  std::printf("router stopped\n");
+  if (!metrics_path.empty() &&
+      !obs::WriteMetricsJson(obs::GlobalRegistry(), metrics_path)) {
+    std::fprintf(stderr, "error: cannot write metrics file '%s'\n",
+                 metrics_path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 int CmdLoadgen(const std::vector<std::string>& args) {
   LoadgenOptions options;
   std::string csv_path, json_path;
@@ -1101,6 +1260,10 @@ int CmdLoadgen(const std::vector<std::string>& args) {
     } else if (a == "--session-prefix") {
       if (!(v = value("--session-prefix"))) return 2;
       options.session_prefix = *v;
+    } else if (a == "--timeout-ms") {
+      if (!(v = value("--timeout-ms")) ||
+          !ParseIntFlag(a, *v, &options.timeout_ms))
+        return 2;
     } else if (a == "--csv") {
       if (!(v = value("--csv"))) return 2;
       csv_path = *v;
@@ -1147,6 +1310,7 @@ int Run(int argc, char** argv) {
   if (cmd == "batch") return CmdBatch(args);
   if (cmd == "stream") return CmdStream(args);
   if (cmd == "serve") return CmdServe(args);
+  if (cmd == "route") return CmdRoute(args);
   if (cmd == "loadgen") return CmdLoadgen(args);
   std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
   return Usage(stderr);
